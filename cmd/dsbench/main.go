@@ -1,0 +1,61 @@
+// Command dsbench runs the paper-reproduction experiments and prints their
+// tables.
+//
+// Usage:
+//
+//	dsbench list           # enumerate experiments
+//	dsbench all            # run everything, in paper order
+//	dsbench fig9 fig13 …   # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dsb/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dsbench [list|all|<id>...]\n\nexperiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var ids []string
+	if args[0] == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	exitCode := 0
+	for _, id := range ids {
+		exp, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dsbench: unknown experiment %q (try 'dsbench list')\n", id)
+			exitCode = 1
+			continue
+		}
+		start := time.Now()
+		rep := exp.Run()
+		fmt.Println(rep)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,103 @@
+// Command dsbtrace boots the Social Network with tracing enabled, runs a
+// short mixed workload, and inspects the trace store: per-service latency
+// aggregation, a sample request tree, and the critical path — the
+// suite's Zipkin-style trace browser.
+//
+// Usage:
+//
+//	dsbtrace -requests 200
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/services/socialnetwork"
+	"dsb/internal/trace"
+)
+
+func main() {
+	requests := flag.Int("requests", 100, "requests to trace")
+	flag.Parse()
+
+	app := core.NewApp("dsbtrace", core.Options{})
+	defer app.Close()
+	sn, err := socialnetwork.New(app, socialnetwork.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsbtrace:", err)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+	if err := sn.User.Call(ctx, "Register", socialnetwork.RegisterReq{Username: "tracer", Password: "pw"}, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dsbtrace:", err)
+		os.Exit(1)
+	}
+	var login socialnetwork.LoginResp
+	if err := sn.User.Call(ctx, "Login", socialnetwork.LoginReq{Username: "tracer", Password: "pw"}, &login); err != nil {
+		fmt.Fprintln(os.Stderr, "dsbtrace:", err)
+		os.Exit(1)
+	}
+	for i := 0; i < *requests; i++ {
+		if i%3 == 0 {
+			sn.ReadTimeline.Call(ctx, "Read", socialnetwork.ReadTimelineReq{User: "tracer", Limit: 10}, nil) //nolint:errcheck
+		} else {
+			sn.Compose.Call(ctx, "Compose", socialnetwork.ComposePostReq{ //nolint:errcheck
+				Token: login.Token, Text: fmt.Sprintf("traced post %d", i),
+			}, nil)
+		}
+	}
+	app.FlushTraces()
+
+	store := app.Traces
+	fmt.Printf("traces collected: %d\n\n", store.Len())
+
+	fmt.Println("per-service latency (server spans):")
+	lats := store.ServiceLatencies()
+	names := make([]string, 0, len(lats))
+	for n := range lats {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		s := lats[n].Snapshot()
+		fmt.Printf("  %-28s n=%-5d p50=%-10v p99=%v\n", n, s.Count,
+			time.Duration(s.P50).Round(time.Microsecond), time.Duration(s.P99).Round(time.Microsecond))
+	}
+
+	// Show the tree and critical path of the last compose trace.
+	ids := store.TraceIDs()
+	if len(ids) == 0 {
+		return
+	}
+	id := ids[len(ids)-1]
+	fmt.Printf("\nrequest tree for trace %x:\n", uint64(id))
+	printTree(store.Tree(id), 1)
+	fmt.Println("\ncritical path:")
+	for _, span := range store.CriticalPath(id) {
+		fmt.Printf("  %-28s %-24s %v\n", span.Service, span.Operation, span.Duration.Round(time.Microsecond))
+	}
+}
+
+func printTree(n *trace.Node, depth int) {
+	if n == nil {
+		return
+	}
+	fmt.Printf("%s%s %s (%v)\n", strings.Repeat("  ", depth), n.Span.Service, n.Span.Operation,
+		n.Span.Duration.Round(time.Microsecond))
+	for _, c := range n.Children {
+		printTree(c, depth+1)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

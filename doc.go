@@ -1,0 +1,23 @@
+// Package dsb is a pure-Go reproduction of DeathStarBench (Gan et al.,
+// ASPLOS 2019): five end-to-end microservice applications — a social
+// network, a media service, an e-commerce site, a banking system, and an
+// IoT swarm-coordination service — built on a from-scratch RPC/REST stack,
+// distributed tracing, and storage substrates (cache, document store,
+// relational store, blob store, message queue), together with a
+// discrete-event cluster and hardware simulator that regenerates every
+// table and figure in the paper's evaluation.
+//
+// The applications run in two modes that share the same topology
+// definitions:
+//
+//   - Live mode: every microservice is a real server (goroutine) reachable
+//     over TCP or an in-memory transport, with handlers operating on real
+//     data stores. See the examples/ directory.
+//   - Sim mode: internal/sim executes the same dependency graphs as
+//     queueing networks over modeled machines, which makes the paper's
+//     cluster-scale and hardware experiments reproducible in seconds on a
+//     laptop. See internal/experiments and bench_test.go.
+//
+// Use the facade in this package to boot an application, or import the
+// subsystem packages directly.
+package dsb

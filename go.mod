@@ -1,0 +1,3 @@
+module dsb
+
+go 1.24

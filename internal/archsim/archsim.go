@@ -1,0 +1,232 @@
+// Package archsim models the hardware the paper measures: per-service
+// cycle breakdowns and IPC (the vTune top-down analysis of Fig 10),
+// instruction-cache miss rates (Fig 11), big (Xeon) vs wimpy (ThunderX)
+// cores and frequency scaling (Figs 12–13), kernel TCP processing costs
+// per message, and the FPGA RPC-offload of Fig 16.
+//
+// These are calibrated analytical models, not cycle-accurate simulators:
+// they reproduce the shapes the paper reports (front-end-stall-dominated
+// breakdowns, low microservice i-cache pressure vs high monolith pressure,
+// search's high IPC and ML inference's low IPC) from the service profiles
+// in internal/graph. DESIGN.md records this substitution.
+package archsim
+
+import (
+	"math"
+
+	"dsb/internal/graph"
+)
+
+// CoreType selects the microarchitecture.
+type CoreType int
+
+// Core types.
+const (
+	// Xeon models the E5-2660v3/E5-2699v4 class out-of-order server core.
+	Xeon CoreType = iota
+	// ThunderX models the Cavium 48-core in-order core.
+	ThunderX
+)
+
+func (c CoreType) String() string {
+	if c == ThunderX {
+		return "thunderx"
+	}
+	return "xeon"
+}
+
+// Platform is a server configuration.
+type Platform struct {
+	Core    CoreType
+	FreqGHz float64
+	Cores   int
+}
+
+// Standard platforms from the paper's testbed.
+var (
+	// XeonPlatform is the local-cluster server at nominal frequency.
+	XeonPlatform = Platform{Core: Xeon, FreqGHz: 2.4, Cores: 40}
+	// XeonLowFreq is the Xeon clocked down to the ThunderX frequency.
+	XeonLowFreq = Platform{Core: Xeon, FreqGHz: 1.8, Cores: 40}
+	// ThunderXPlatform is the two-socket Cavium board.
+	ThunderXPlatform = Platform{Core: ThunderX, FreqGHz: 1.8, Cores: 96}
+)
+
+// maxMPKI anchors the i-cache model: the largest monolithic footprints
+// approach this L1i MPKI, matching Fig 11's monolith bars.
+const maxMPKI = 72.0
+
+// L1iMPKI models instruction-cache pressure as a saturating function of
+// code footprint beyond the 24KB that fits in a 32KB L1i alongside the
+// kernel's hot paths.
+func L1iMPKI(p graph.Profile) float64 {
+	excess := p.CodeKB - 24
+	if excess < 0 {
+		excess = 0
+	}
+	return maxMPKI * (1 - math.Exp(-excess/500))
+}
+
+// Breakdown is the top-down cycle decomposition of one service.
+type Breakdown struct {
+	FrontendPct float64
+	BadSpecPct  float64
+	BackendPct  float64
+	RetiringPct float64
+	IPC         float64
+	MPKI        float64
+}
+
+// retireShare returns the fraction of non-stalled issue slots that retire,
+// by language family unless the profile overrides it.
+func retireShare(p graph.Profile) float64 {
+	if p.RetireShare > 0 {
+		return p.RetireShare
+	}
+	switch p.Language {
+	case "C":
+		return 0.46
+	case "C++":
+		return 0.50
+	case "Java", "Go":
+		return 0.45
+	case "Scala":
+		return 0.30
+	case "node.js", "Javascript":
+		return 0.36
+	case "PHP", "Ruby":
+		return 0.40
+	default:
+		return 0.42
+	}
+}
+
+// CycleBreakdown computes the Fig 10 decomposition for a service on a Xeon
+// core: front-end stalls grow with i-cache pressure, bad speculation is a
+// small slice, and the remainder splits between back-end stalls and
+// retiring according to the service's retire share.
+func CycleBreakdown(p graph.Profile) Breakdown {
+	mpki := L1iMPKI(p)
+	fe := 0.30 + 0.38*(mpki/maxMPKI)
+	bs := 0.06 - 0.02*(mpki/maxMPKI)
+	remaining := 1 - fe - bs
+	retiring := remaining * retireShare(p)
+	backend := remaining - retiring
+	return Breakdown{
+		FrontendPct: fe * 100,
+		BadSpecPct:  bs * 100,
+		BackendPct:  backend * 100,
+		RetiringPct: retiring * 100,
+		IPC:         IPC(p, Xeon),
+		MPKI:        mpki,
+	}
+}
+
+// IPC estimates instructions per cycle: issue width times the retiring
+// fraction, derated for the in-order ThunderX, whose inability to hide
+// misses compounds the penalty.
+func IPC(p graph.Profile, core CoreType) float64 {
+	mpki := L1iMPKI(p)
+	fe := 0.30 + 0.38*(mpki/maxMPKI)
+	bs := 0.06 - 0.02*(mpki/maxMPKI)
+	retiring := (1 - fe - bs) * retireShare(p)
+	switch core {
+	case ThunderX:
+		return 2 * retiring * 0.62
+	default:
+		return 4 * retiring * 0.85
+	}
+}
+
+// ServiceTimeNs returns the per-request processing time of a service on a
+// platform: the frequency-scalable cycles (adjusted for core IPC relative
+// to the Xeon the profiles were calibrated on) plus the fixed memory/IO
+// time that no frequency or core change removes.
+func ServiceTimeNs(p graph.Profile, work float64, plat Platform) float64 {
+	cycles := p.Cycles * work
+	ipcRatio := IPC(p, Xeon) / IPC(p, plat.Core)
+	return cycles*ipcRatio/plat.FreqGHz + p.FixedNs*work
+}
+
+// Network models kernel TCP processing. Costs are cycles, so they scale
+// with frequency like any other kernel code; the FPGA offload divides them.
+type Network struct {
+	// PerMsgCycles is the fixed per-message kernel cost (syscall, softirq,
+	// TCP state machine).
+	PerMsgCycles float64
+	// PerByteCycles covers copies and checksums.
+	PerByteCycles float64
+	// AccelFactor divides processing when the bump-in-the-wire FPGA
+	// terminates TCP (1 = native kernel stack).
+	AccelFactor float64
+}
+
+// DefaultNetwork is the native Linux TCP stack model.
+var DefaultNetwork = Network{PerMsgCycles: 12e3, PerByteCycles: 2.5, AccelFactor: 1}
+
+// ProcNs returns one side's processing time for a message of size bytes at
+// the given frequency.
+func (n Network) ProcNs(bytes int, freqGHz float64) float64 {
+	cycles := (n.PerMsgCycles + n.PerByteCycles*float64(bytes)) / n.AccelFactor
+	return cycles / freqGHz
+}
+
+// FPGAAccelFactor returns the network-processing speedup the FPGA offload
+// achieves for an application, in the paper's 10–68x band: larger payloads
+// amortize the PCIe/command overhead better and benefit more.
+func FPGAAccelFactor(avgMsgBytes float64) float64 {
+	kb := avgMsgBytes / 1024
+	f := 10 + 58*(1-math.Exp(-kb/8))
+	if f < 10 {
+		f = 10
+	}
+	if f > 68 {
+		f = 68
+	}
+	return f
+}
+
+// Accelerated returns the network model with the FPGA offload engaged.
+func (n Network) Accelerated(factor float64) Network {
+	out := n
+	out.AccelFactor = factor
+	return out
+}
+
+// OSBreakdown aggregates the Fig 14 kernel/user/library split for an app:
+// application cycles split per profile, and every network message adds
+// pure kernel cycles.
+type OSBreakdown struct {
+	KernelPct, UserPct, LibPct float64
+}
+
+// AppOSBreakdown walks the workflow, weighting each invoked service's
+// split by the cycles it spends, plus kernel cycles for each message hop.
+func AppOSBreakdown(app *graph.App, net Network) OSBreakdown {
+	var kernel, user, lib float64
+	var walk func(node *graph.Node, mult float64)
+	walk = func(node *graph.Node, mult float64) {
+		p := app.Profiles[node.Service]
+		cycles := p.Cycles * node.Work * mult
+		kernel += cycles * p.KernelFrac
+		lib += cycles * p.LibFrac
+		user += cycles * (1 - p.KernelFrac - p.LibFrac)
+		for _, c := range node.Calls {
+			// Four message-processing events per call (send/recv × req/resp),
+			// all kernel cycles.
+			msgCycles := 4 * (net.PerMsgCycles + net.PerByteCycles*float64(app.Profiles[c.Node.Service].MsgBytes)) / net.AccelFactor
+			kernel += msgCycles * mult * float64(c.Count)
+			walk(c.Node, mult*float64(c.Count))
+		}
+	}
+	walk(app.Root, 1)
+	total := kernel + user + lib
+	if total == 0 {
+		return OSBreakdown{}
+	}
+	return OSBreakdown{
+		KernelPct: kernel / total * 100,
+		UserPct:   user / total * 100,
+		LibPct:    lib / total * 100,
+	}
+}

@@ -1,0 +1,151 @@
+package archsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsb/internal/graph"
+)
+
+func TestL1iMPKIShape(t *testing.T) {
+	tiny := graph.Profile{CodeKB: 20}
+	if got := L1iMPKI(tiny); got != 0 {
+		t.Fatalf("tiny footprint MPKI = %f", got)
+	}
+	micro := graph.Profile{CodeKB: 120}
+	mc := graph.Profile{CodeKB: 420}
+	mono := graph.Profile{CodeKB: 2600}
+	m1, m2, m3 := L1iMPKI(micro), L1iMPKI(mc), L1iMPKI(mono)
+	if !(m1 < m2 && m2 < m3) {
+		t.Fatalf("MPKI not monotone: %f %f %f", m1, m2, m3)
+	}
+	// Paper shapes: microservices low (<20), memcached/monolith high (>35).
+	if m1 > 20 {
+		t.Fatalf("microservice MPKI = %f, want < 20", m1)
+	}
+	if m2 < 30 || m3 < 60 {
+		t.Fatalf("memcached/monolith MPKI = %f/%f", m2, m3)
+	}
+}
+
+func TestCycleBreakdownSumsTo100(t *testing.T) {
+	f := func(codeKB uint16, lang uint8) bool {
+		langs := []string{"C", "C++", "Java", "Scala", "node.js", "PHP", "Go", "??"}
+		p := graph.Profile{CodeKB: float64(codeKB%4000) + 1, Language: langs[int(lang)%len(langs)]}
+		b := CycleBreakdown(p)
+		sum := b.FrontendPct + b.BadSpecPct + b.BackendPct + b.RetiringPct
+		return sum > 99.99 && sum < 100.01 &&
+			b.FrontendPct > 0 && b.RetiringPct > 0 && b.IPC > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperShapeConstraints(t *testing.T) {
+	social := graph.SocialNetwork()
+	// Front-end stalls are the largest single component for typical tiers.
+	b := CycleBreakdown(social.Profiles["memcached"])
+	if b.FrontendPct < b.RetiringPct || b.FrontendPct < b.BadSpecPct {
+		t.Fatalf("memcached breakdown not frontend-dominated: %+v", b)
+	}
+	// Search has high IPC; recommender (ML) the lowest.
+	searchIPC := CycleBreakdown(social.Profiles["search"]).IPC
+	recIPC := CycleBreakdown(social.Profiles["recommender"]).IPC
+	nginxIPC := CycleBreakdown(social.Profiles["nginx"]).IPC
+	if !(searchIPC > nginxIPC && nginxIPC > recIPC) {
+		t.Fatalf("IPC ordering: search=%f nginx=%f recommender=%f", searchIPC, nginxIPC, recIPC)
+	}
+	// Monolith retires slightly more than the memcached-class services but
+	// carries the most i-cache pressure.
+	mono := graph.SocialNetworkMonolith().Profiles["monolith"]
+	if L1iMPKI(mono) < L1iMPKI(social.Profiles["nginx"]) {
+		t.Fatal("monolith MPKI below nginx")
+	}
+}
+
+func TestThunderXSlower(t *testing.T) {
+	p := graph.SocialNetwork().Profiles["composePost"]
+	xeon := ServiceTimeNs(p, 1, XeonPlatform)
+	lowfreq := ServiceTimeNs(p, 1, XeonLowFreq)
+	tx := ServiceTimeNs(p, 1, ThunderXPlatform)
+	if !(xeon < lowfreq && lowfreq < tx) {
+		t.Fatalf("service times: xeon=%f xeon@1.8=%f thunderx=%f", xeon, lowfreq, tx)
+	}
+	// The in-order penalty exceeds the pure frequency effect.
+	if tx/xeon < 2 {
+		t.Fatalf("thunderx only %fx slower", tx/xeon)
+	}
+}
+
+func TestFixedTimeInsensitiveToFrequency(t *testing.T) {
+	// An I/O-bound profile (mongodb-like) barely changes with frequency.
+	p := graph.MongoDB().Profiles["mongodb"]
+	fast := ServiceTimeNs(p, 1, Platform{Core: Xeon, FreqGHz: 2.4})
+	slow := ServiceTimeNs(p, 1, Platform{Core: Xeon, FreqGHz: 1.0})
+	ratio := slow / fast
+	// Compute-bound baseline for contrast.
+	x := graph.Xapian().Profiles["xapian"]
+	xfast := ServiceTimeNs(x, 1, Platform{Core: Xeon, FreqGHz: 2.4})
+	xslow := ServiceTimeNs(x, 1, Platform{Core: Xeon, FreqGHz: 1.0})
+	xratio := xslow / xfast
+	if ratio >= xratio {
+		t.Fatalf("mongodb freq sensitivity %f >= xapian %f", ratio, xratio)
+	}
+	if xratio < 2.0 {
+		t.Fatalf("xapian should scale ~linearly with frequency: %f", xratio)
+	}
+}
+
+func TestNetworkProcScaling(t *testing.T) {
+	n := DefaultNetwork
+	small := n.ProcNs(128, 2.4)
+	big := n.ProcNs(65536, 2.4)
+	if big <= small {
+		t.Fatal("bigger messages must cost more")
+	}
+	slowFreq := n.ProcNs(128, 1.2)
+	if slowFreq <= small {
+		t.Fatal("lower frequency must cost more")
+	}
+	acc := n.Accelerated(40)
+	if got := acc.ProcNs(128, 2.4); got >= small/30 {
+		t.Fatalf("acceleration too weak: %f vs %f", got, small)
+	}
+}
+
+func TestFPGAAccelBand(t *testing.T) {
+	for _, bytes := range []float64{64, 1024, 32768, 1 << 20} {
+		f := FPGAAccelFactor(bytes)
+		if f < 10 || f > 68 {
+			t.Fatalf("accel factor for %f bytes = %f", bytes, f)
+		}
+	}
+	if FPGAAccelFactor(1<<20) <= FPGAAccelFactor(256) {
+		t.Fatal("large payloads should accelerate more")
+	}
+}
+
+func TestAppOSBreakdown(t *testing.T) {
+	for _, app := range graph.EndToEndApps() {
+		b := AppOSBreakdown(app, DefaultNetwork)
+		sum := b.KernelPct + b.UserPct + b.LibPct
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("%s: OS breakdown sums to %f", app.Name, sum)
+		}
+		if b.KernelPct < 15 {
+			t.Fatalf("%s: kernel share %f implausibly low", app.Name, b.KernelPct)
+		}
+	}
+	// Social Network is more kernel-heavy than Banking (Fig 14).
+	social := AppOSBreakdown(graph.SocialNetwork(), DefaultNetwork)
+	banking := AppOSBreakdown(graph.Banking(), DefaultNetwork)
+	if social.KernelPct <= banking.KernelPct {
+		t.Fatalf("kernel: social=%f banking=%f", social.KernelPct, banking.KernelPct)
+	}
+	// The FPGA strips kernel cycles.
+	accel := AppOSBreakdown(graph.SocialNetwork(), DefaultNetwork.Accelerated(40))
+	if accel.KernelPct >= social.KernelPct {
+		t.Fatal("acceleration did not reduce kernel share")
+	}
+}

@@ -1,0 +1,235 @@
+// Package cluster implements cluster management over the simulator: a
+// timeline monitor that samples per-service tail latency and utilization
+// (the data behind Figs 17, 19, 20, 22a), a utilization-threshold
+// autoscaler with instance start-up delay (the mechanism the paper shows
+// falling short under backpressure), and QoS violation/recovery detection.
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"dsb/internal/metrics"
+	"dsb/internal/sim"
+)
+
+// Monitor samples a deployment on a fixed interval of virtual time,
+// accumulating per-service and end-to-end timelines.
+type Monitor struct {
+	d        *sim.Deployment
+	interval time.Duration
+
+	// E2EP99 is the end-to-end p99 per window, in milliseconds.
+	E2EP99 *metrics.Series
+	// Lat and Util are per-service: windowed p99 (ms) and worker
+	// utilization (0..1).
+	Lat  map[string]*metrics.Series
+	Util map[string]*metrics.Series
+}
+
+// NewMonitor attaches a monitor; sampling begins when Start is called.
+func NewMonitor(d *sim.Deployment, interval time.Duration) *Monitor {
+	m := &Monitor{
+		d:        d,
+		interval: interval,
+		E2EP99:   metrics.NewSeries("e2e-p99-ms"),
+		Lat:      make(map[string]*metrics.Series),
+		Util:     make(map[string]*metrics.Series),
+	}
+	for _, svc := range d.Services() {
+		m.Lat[svc] = metrics.NewSeries(svc + "-p99-ms")
+		m.Util[svc] = metrics.NewSeries(svc + "-util")
+	}
+	return m
+}
+
+// Start begins periodic sampling until the stop time.
+func (m *Monitor) Start(until time.Duration) {
+	m.d.SampleReset()
+	var tick func()
+	tick = func() {
+		now := m.d.Sim.Now()
+		m.E2EP99.Add(now, float64(m.d.WindowE2E.Percentile(99))/1e6)
+		for _, svc := range m.d.Services() {
+			s := m.d.Service(svc)
+			m.Lat[svc].Add(now, float64(s.Window.Percentile(99))/1e6)
+			m.Util[svc].Add(now, s.Utilization())
+		}
+		m.d.SampleReset()
+		if now+m.interval <= until {
+			m.d.Sim.After(m.interval, tick)
+		}
+	}
+	m.d.Sim.After(m.interval, tick)
+}
+
+// ScaleEvent records one autoscaling action.
+type ScaleEvent struct {
+	At      time.Duration
+	Service string
+	// Instances is the count after the action completes.
+	Instances int
+}
+
+// Autoscaler scales a service out when its windowed utilization exceeds
+// the threshold, after a start-up delay — the reactive, utilization-driven
+// policy cloud providers ship (the paper uses 70%).
+type Autoscaler struct {
+	d             *sim.Deployment
+	Threshold     float64
+	Interval      time.Duration
+	StartupDelay  time.Duration
+	MaxPerService int
+	// TopK, when positive, limits each round to the K most-utilized
+	// services over threshold — the constrained, utilization-greedy policy
+	// that makes the autoscaler upsize busy-looking victims before finding
+	// the culprit (Fig 20b). 0 scales every service over threshold.
+	TopK int
+
+	Events  []ScaleEvent
+	pending map[string]int
+}
+
+// NewAutoscaler builds an autoscaler with the paper's defaults: 70%
+// threshold, instance start-up measured in tens of seconds.
+func NewAutoscaler(d *sim.Deployment) *Autoscaler {
+	return &Autoscaler{
+		d:             d,
+		Threshold:     0.70,
+		Interval:      5 * time.Second,
+		StartupDelay:  20 * time.Second,
+		MaxPerService: 16,
+		pending:       make(map[string]int),
+	}
+}
+
+// Start begins periodic evaluation until the stop time. It must be started
+// after the Monitor (which resets sampling windows) or given its own
+// utilization source; here it reads the same windows the Monitor samples,
+// so co-scheduling on the same interval keeps readings consistent.
+func (a *Autoscaler) Start(until time.Duration) {
+	var tick func()
+	tick = func() {
+		type cand struct {
+			svc  string
+			util float64
+		}
+		var cands []cand
+		for _, svc := range a.d.Services() {
+			s := a.d.Service(svc)
+			util := s.Utilization()
+			if util < a.Threshold {
+				continue
+			}
+			if len(s.Instances)+a.pending[svc] >= a.MaxPerService {
+				continue
+			}
+			cands = append(cands, cand{svc, util})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].util > cands[j].util })
+		if a.TopK > 0 && len(cands) > a.TopK {
+			cands = cands[:a.TopK]
+		}
+		for _, c := range cands {
+			svc := c.svc
+			a.pending[svc]++
+			a.d.Sim.After(a.StartupDelay, func() {
+				a.pending[svc]--
+				a.d.AddInstance(svc)
+				a.Events = append(a.Events, ScaleEvent{
+					At:        a.d.Sim.Now(),
+					Service:   svc,
+					Instances: len(a.d.Service(svc).Instances),
+				})
+			})
+		}
+		if a.d.Sim.Now()+a.Interval <= until {
+			a.d.Sim.After(a.Interval, tick)
+		}
+	}
+	a.d.Sim.After(a.Interval, tick)
+}
+
+// QoS analyzes an end-to-end p99 timeline against a target.
+type QoS struct {
+	TargetMs float64
+}
+
+// ViolationAt returns the first time the series exceeds the target, and
+// whether it ever did.
+func (q QoS) ViolationAt(s *metrics.Series) (time.Duration, bool) {
+	for _, p := range s.Points {
+		if p.V > q.TargetMs {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// RecoveryAfter returns the first time at or after from where the series
+// returns below the target and stays there for at least hold samples.
+func (q QoS) RecoveryAfter(s *metrics.Series, from time.Duration, hold int) (time.Duration, bool) {
+	if hold < 1 {
+		hold = 1
+	}
+	run := 0
+	for _, p := range s.Points {
+		if p.T < from {
+			continue
+		}
+		if p.V <= q.TargetMs {
+			run++
+			if run >= hold {
+				return p.T, true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, false
+}
+
+// MaxGoodput sweeps offered load and returns the highest QPS whose p99
+// stays within the QoS target — "max QPS under QoS", the y-axis of
+// Fig 22b/c. The probe runs each level on a fresh deployment produced by
+// build, for dur of virtual time.
+func MaxGoodput(build func() *sim.Deployment, levels []float64, dur time.Duration, target time.Duration) float64 {
+	return MaxGoodputP(build, levels, dur, target, 99)
+}
+
+// PerRequestGoodput sweeps offered load and returns the highest rate of
+// individually-QoS-meeting requests per second — Fig 22c's goodput, which
+// degrades gracefully when only a fixed fraction of requests are slow and
+// collapses when a slow instance backpressures the whole graph.
+func PerRequestGoodput(build func() *sim.Deployment, levels []float64, dur time.Duration, target time.Duration) float64 {
+	best := 0.0
+	for _, qps := range levels {
+		d := build()
+		d.GoodTarget = target
+		d.RunOpenLoop(qps, dur)
+		if g := float64(d.GoodCount) / dur.Seconds(); g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// MaxGoodputP is MaxGoodput with a configurable tail percentile.
+func MaxGoodputP(build func() *sim.Deployment, levels []float64, dur time.Duration, target time.Duration, pctile float64) float64 {
+	best := 0.0
+	for _, qps := range levels {
+		d := build()
+		res := d.RunOpenLoop(qps, dur)
+		if res.Completed == 0 {
+			break
+		}
+		if d.E2E.PercentileDuration(pctile) <= target {
+			if thr := res.Goodput(dur); thr > best {
+				best = thr
+			}
+		} else {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dsb/internal/graph"
+	"dsb/internal/metrics"
+	"dsb/internal/sim"
+)
+
+func newDeployment(t *testing.T, cfg sim.Config) *sim.Deployment {
+	t.Helper()
+	s := sim.New()
+	if cfg.App == nil {
+		cfg.App = graph.SocialNetwork()
+	}
+	d, err := sim.NewDeployment(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMonitorTimelines(t *testing.T) {
+	d := newDeployment(t, sim.Config{Seed: 1, WorkerScale: 0.25})
+	m := NewMonitor(d, time.Second)
+	m.Start(10 * time.Second)
+	d.RunOpenLoop(100, 10*time.Second)
+	if len(m.E2EP99.Points) < 9 {
+		t.Fatalf("samples = %d", len(m.E2EP99.Points))
+	}
+	if m.E2EP99.Max() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	nginx := m.Util["nginx"]
+	if nginx == nil || nginx.Max() <= 0 || nginx.Max() > 1 {
+		t.Fatalf("nginx util series = %+v", nginx)
+	}
+}
+
+func TestAutoscalerScalesSaturatedService(t *testing.T) {
+	d := newDeployment(t, sim.Config{Seed: 2, WorkerScale: 0.125})
+	a := NewAutoscaler(d)
+	a.Interval = 2 * time.Second
+	a.StartupDelay = 4 * time.Second
+	d.SampleReset()
+	a.Start(40 * time.Second)
+	d.RunOpenLoop(700, 40*time.Second) // well into saturation
+	if len(a.Events) == 0 {
+		t.Fatal("autoscaler never scaled")
+	}
+	// The saturated front tier must have grown.
+	grew := false
+	for _, e := range a.Events {
+		if e.Service == "nginx" || e.Service == "composePost" {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("front tiers never scaled: %+v", a.Events)
+	}
+	// Cap respected.
+	counts := map[string]int{}
+	for _, e := range a.Events {
+		if e.Instances > counts[e.Service] {
+			counts[e.Service] = e.Instances
+		}
+	}
+	for svc, n := range counts {
+		if n > a.MaxPerService {
+			t.Fatalf("%s scaled to %d > cap", svc, n)
+		}
+	}
+}
+
+func TestAutoscalerIdleNoScale(t *testing.T) {
+	d := newDeployment(t, sim.Config{Seed: 3})
+	a := NewAutoscaler(d)
+	a.Interval = 2 * time.Second
+	d.SampleReset()
+	a.Start(20 * time.Second)
+	d.RunOpenLoop(5, 20*time.Second)
+	if len(a.Events) != 0 {
+		t.Fatalf("idle cluster scaled: %+v", a.Events)
+	}
+}
+
+func TestQoSDetection(t *testing.T) {
+	q := QoS{TargetMs: 10}
+	s := newSeries([]float64{1, 2, 15, 20, 8, 5, 4, 3})
+	at, ok := q.ViolationAt(s)
+	if !ok || at != 2*time.Second {
+		t.Fatalf("violation = %v, %v", at, ok)
+	}
+	rec, ok := q.RecoveryAfter(s, at, 2)
+	if !ok || rec != 5*time.Second {
+		t.Fatalf("recovery = %v, %v", rec, ok)
+	}
+	if _, ok := q.RecoveryAfter(s, at, 10); ok {
+		t.Fatal("impossible hold satisfied")
+	}
+	if _, ok := (QoS{TargetMs: 100}).ViolationAt(s); ok {
+		t.Fatal("phantom violation")
+	}
+}
+
+func newSeries(vals []float64) *seriesT {
+	s := &seriesT{}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+// seriesT aliases metrics.Series through the package import in cluster.go.
+type seriesT = seriesAlias
+
+func TestMaxGoodputFindsKnee(t *testing.T) {
+	build := func() *sim.Deployment {
+		return newDeployment(t, sim.Config{Seed: 4, WorkerScale: 0.125})
+	}
+	levels := []float64{50, 100, 200, 400, 800, 1600}
+	got := MaxGoodput(build, levels, 2*time.Second, 20*time.Millisecond)
+	if got < 50 {
+		t.Fatalf("goodput = %f", got)
+	}
+	// An impossible target yields zero.
+	if MaxGoodput(build, levels, 2*time.Second, time.Microsecond) != 0 {
+		t.Fatal("impossible QoS target produced goodput")
+	}
+}
+
+func TestSlowBackendPropagatesUpstream(t *testing.T) {
+	// Fig 19's mechanism: degrade the back-end and watch the front-end's
+	// windowed p99 blow up, while mid-tier utilization stays misleading.
+	d := newDeployment(t, sim.Config{Seed: 5, WorkerScale: 0.25})
+	m := NewMonitor(d, time.Second)
+	m.Start(30 * time.Second)
+	d.Sim.After(10*time.Second, func() {
+		d.SetSlow("mongodb", 0, 20) //nolint:errcheck
+	})
+	d.RunOpenLoop(250, 30*time.Second)
+
+	front := m.Lat["nginx"]
+	before := front.At(9 * time.Second)
+	after := front.Max()
+	if after < before*2 {
+		t.Fatalf("front-end tail did not degrade: before=%f after-max=%f", before, after)
+	}
+}
+
+// seriesAlias keeps the test file self-contained.
+type seriesAlias = metrics.Series

@@ -1,0 +1,309 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type inner struct {
+	Name  string
+	Score float64
+}
+
+type message struct {
+	ID       uint64
+	Kind     int32
+	Text     string
+	Media    []byte
+	Tags     []string
+	Ratings  map[string]int64
+	Nested   inner
+	Pointer  *inner
+	Flags    [3]bool
+	When     int64 // nanoseconds; time is carried as int64 on the wire
+	private  int   // unexported: skipped
+	Excluded int   `codec:"-"`
+}
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := Unmarshal(data, out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+}
+
+func TestRoundTripMessage(t *testing.T) {
+	in := message{
+		ID:       42,
+		Kind:     -7,
+		Text:     "hello µservices",
+		Media:    []byte{0, 1, 2, 255},
+		Tags:     []string{"a", "", "c"},
+		Ratings:  map[string]int64{"x": -1, "y": 2},
+		Nested:   inner{Name: "n", Score: 3.5},
+		Pointer:  &inner{Name: "p", Score: -0.25},
+		Flags:    [3]bool{true, false, true},
+		When:     time.Now().UnixNano(),
+		private:  9,
+		Excluded: 8,
+	}
+	var out message
+	roundTrip(t, in, &out)
+	// private and Excluded are not carried.
+	in.private = 0
+	in.Excluded = 0
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestRoundTripNilPointer(t *testing.T) {
+	in := message{Pointer: nil}
+	var out message
+	out.Pointer = &inner{Name: "stale"} // must be cleared by decode
+	roundTrip(t, in, &out)
+	if out.Pointer != nil {
+		t.Fatalf("nil pointer decoded as %+v", out.Pointer)
+	}
+}
+
+func TestRoundTripEmptyCollections(t *testing.T) {
+	in := message{Tags: []string{}, Ratings: map[string]int64{}, Media: []byte{}}
+	var out message
+	roundTrip(t, in, &out)
+	if len(out.Tags) != 0 || len(out.Ratings) != 0 || len(out.Media) != 0 {
+		t.Fatalf("expected empty collections, got %+v", out)
+	}
+}
+
+func TestScalars(t *testing.T) {
+	type scalars struct {
+		B   bool
+		I8  int8
+		I16 int16
+		I32 int32
+		I64 int64
+		U8  uint8
+		U16 uint16
+		U32 uint32
+		U64 uint64
+		F32 float32
+		F64 float64
+		S   string
+	}
+	in := scalars{true, -128, -32768, math.MinInt32, math.MinInt64,
+		255, 65535, math.MaxUint32, math.MaxUint64,
+		-1.5, math.Pi, "s"}
+	var out scalars
+	roundTrip(t, in, &out)
+	if in != out {
+		t.Fatalf("mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestDeterministicMapEncoding(t *testing.T) {
+	m := map[string]int{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+	first, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatal("map encoding is not deterministic")
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var m message
+	if err := Unmarshal(nil, &m); err == nil {
+		t.Error("want error for empty input")
+	}
+	if err := Unmarshal([]byte{1, 2, 3}, m); err == nil {
+		t.Error("want error for non-pointer target")
+	}
+	var p *message
+	if err := Unmarshal([]byte{1}, p); err == nil {
+		t.Error("want error for nil pointer target")
+	}
+	// Trailing garbage must be rejected.
+	data, _ := Marshal(int64(5))
+	var x int64
+	if err := Unmarshal(append(data, 0xFF), &x); err != ErrTrailingBytes {
+		t.Errorf("want ErrTrailingBytes, got %v", err)
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	type bad struct{ Ch chan int }
+	if _, err := Marshal(bad{}); err == nil {
+		t.Error("want error for chan field")
+	}
+	if _, err := Marshal(func() {}); err == nil {
+		t.Error("want error for func")
+	}
+	if _, err := Marshal(nil); err == nil {
+		t.Error("want error for nil interface")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	in := message{Text: "some text long enough to truncate", Tags: []string{"a", "b"}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 0; i < len(data); i++ {
+		var out message
+		if err := Unmarshal(data[:i], &out); err == nil {
+			t.Fatalf("truncated to %d bytes decoded without error", i)
+		}
+	}
+}
+
+func TestCorruptLength(t *testing.T) {
+	// A huge declared length must be rejected before allocation.
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	var s string
+	if err := Unmarshal(data, &s); err == nil {
+		t.Fatal("want error for oversized length")
+	}
+}
+
+func TestRecursiveType(t *testing.T) {
+	type node struct {
+		Val  int
+		Next *node
+	}
+	in := node{1, &node{2, &node{3, nil}}}
+	var out node
+	roundTrip(t, in, &out)
+	if out.Val != 1 || out.Next.Val != 2 || out.Next.Next.Val != 3 || out.Next.Next.Next != nil {
+		t.Fatalf("recursive decode mismatch: %+v", out)
+	}
+}
+
+// Property: arbitrary instances of a representative struct round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	type prop struct {
+		A int64
+		B uint32
+		C string
+		D []byte
+		E []int16
+		F map[string]uint8
+		G *string
+		H float64
+		I bool
+	}
+	f := func(in prop) bool {
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out prop
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		// nil and empty collections are equivalent on the wire.
+		norm := func(p *prop) {
+			if len(p.D) == 0 {
+				p.D = nil
+			}
+			if len(p.E) == 0 {
+				p.E = nil
+			}
+			if len(p.F) == 0 {
+				p.F = nil
+			}
+		}
+		norm(&in)
+		norm(&out)
+		if in.H != out.H && !(math.IsNaN(in.H) && math.IsNaN(out.H)) {
+			return false
+		}
+		in.H, out.H = 0, 0
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		var m message
+		_ = Unmarshal(data, &m) // error or success, must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendMarshal(t *testing.T) {
+	prefix := []byte("hdr")
+	out, err := AppendMarshal(prefix, int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, []byte("hdr")) {
+		t.Fatal("AppendMarshal did not preserve prefix")
+	}
+	var x int64
+	if err := Unmarshal(out[3:], &x); err != nil || x != 7 {
+		t.Fatalf("decode after prefix: %v, x=%d", err, x)
+	}
+}
+
+func BenchmarkMarshalMessage(b *testing.B) {
+	in := message{
+		ID: 42, Kind: -7, Text: "hello microservices benchmark payload",
+		Media:   bytes.Repeat([]byte{0xAB}, 256),
+		Tags:    []string{"social", "post", "media"},
+		Ratings: map[string]int64{"a": 1, "b": 2},
+		Nested:  inner{"n", 2.5},
+	}
+	b.ReportAllocs()
+	buf := make([]byte, 0, 1024)
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendMarshal(buf[:0], in)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalMessage(b *testing.B) {
+	in := message{
+		ID: 42, Kind: -7, Text: "hello microservices benchmark payload",
+		Media: bytes.Repeat([]byte{0xAB}, 256),
+		Tags:  []string{"social", "post", "media"},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out message
+		if err := Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package core is the composition root for live-mode applications: it
+// boots microservice servers on a shared transport, registers them for
+// discovery, wires load-balanced clients between tiers, and threads the
+// distributed tracer through every hop. Each end-to-end application in
+// internal/services builds itself on top of an App.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"dsb/internal/lb"
+	"dsb/internal/registry"
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+	"dsb/internal/trace"
+)
+
+// App owns the shared infrastructure of one running application: network,
+// registry, tracer, and every server and client started through it.
+type App struct {
+	Name     string
+	Net      rpc.Network
+	Registry *registry.Registry
+	Tracer   *trace.Tracer
+	Traces   *trace.Store
+
+	collector *trace.Collector
+	instance  atomic.Uint64
+
+	mu      sync.Mutex
+	closers []io.Closer
+	servers []*rpc.Server
+	rests   []*rest.Server
+	closed  bool
+}
+
+// Options configure an App.
+type Options struct {
+	// Network overrides the transport; nil means a fresh in-memory network.
+	Network rpc.Network
+	// DisableTracing turns off span collection.
+	DisableTracing bool
+	// TraceBuffer sizes the collector channel (0 = default).
+	TraceBuffer int
+}
+
+// NewApp creates an application named name.
+func NewApp(name string, opts Options) *App {
+	a := &App{Name: name, Net: opts.Network, Registry: registry.New()}
+	if a.Net == nil {
+		a.Net = rpc.NewMem()
+	}
+	if !opts.DisableTracing {
+		a.Traces = trace.NewStore()
+		a.collector = trace.NewCollector(a.Traces, opts.TraceBuffer)
+		a.Tracer = trace.NewTracer(a.collector)
+	}
+	return a
+}
+
+// StartRPC boots one instance of an RPC microservice: register is called to
+// install handlers, then the server starts listening and is entered into
+// the registry. It returns the instance address.
+func (a *App) StartRPC(service string, register func(*rpc.Server)) (string, error) {
+	srv := rpc.NewServer(service)
+	if a.Tracer != nil {
+		srv.Use(trace.ServerInterceptor(a.Tracer))
+	}
+	register(srv)
+	addr, err := srv.Start(a.Net, a.instanceAddr(service))
+	if err != nil {
+		return "", fmt.Errorf("start %s: %w", service, err)
+	}
+	a.Registry.Register(service, addr)
+	a.mu.Lock()
+	a.servers = append(a.servers, srv)
+	a.mu.Unlock()
+	return addr, nil
+}
+
+// StartREST boots one instance of a REST microservice, mirroring StartRPC.
+func (a *App) StartREST(service string, register func(*rest.Server)) (string, error) {
+	srv := rest.NewServer(service)
+	if a.Tracer != nil {
+		srv.Use(trace.RESTServerInterceptor(a.Tracer))
+	}
+	register(srv)
+	addr, err := srv.Start(a.Net, a.instanceAddr(service))
+	if err != nil {
+		return "", fmt.Errorf("start %s: %w", service, err)
+	}
+	a.Registry.Register(service, addr)
+	a.mu.Lock()
+	a.rests = append(a.rests, srv)
+	a.mu.Unlock()
+	return addr, nil
+}
+
+// instanceAddr generates a unique listen address. The in-memory transport
+// accepts any string; TCP callers should pass a Network that listens on
+// 127.0.0.1 and would instead use port 0 — the Mem convention keeps
+// addresses readable in traces and registry dumps.
+func (a *App) instanceAddr(service string) string {
+	if _, isMem := a.Net.(*rpc.Mem); isMem {
+		// host:port shape keeps the address usable inside http URLs.
+		return fmt.Sprintf("%s:%d", service, a.instance.Add(1))
+	}
+	return "127.0.0.1:0"
+}
+
+// RPC returns a load-balanced, traced client from caller to every live
+// instance of target. The backend set follows registry changes, so scaling
+// target out or in redirects traffic without rewiring.
+func (a *App) RPC(caller, target string) (*lb.Balanced, error) {
+	addrs, err := a.Registry.MustLookup(target)
+	if err != nil {
+		return nil, err
+	}
+	var opts []rpc.ClientOption
+	if a.Tracer != nil {
+		opts = append(opts, rpc.WithInterceptor(trace.ClientInterceptor(a.Tracer, caller)))
+	}
+	bal := lb.New(a.Net, target, addrs, &lb.RoundRobin{}, opts...)
+	stop := make(chan struct{})
+	go a.followRegistry(bal, target, stop)
+	a.track(closerFunc(func() error {
+		close(stop)
+		return bal.Close()
+	}))
+	return bal, nil
+}
+
+func (a *App) followRegistry(bal *lb.Balanced, target string, stop <-chan struct{}) {
+	for {
+		// Register the watch before reconciling so a change landing between
+		// the two is never missed.
+		ch := a.Registry.Changed(target)
+		want := a.Registry.Lookup(target)
+		wantSet := make(map[string]bool, len(want))
+		for _, addr := range want {
+			wantSet[addr] = true
+			bal.AddBackend(addr)
+		}
+		for _, addr := range bal.Backends() {
+			if !wantSet[addr] {
+				bal.RemoveBackend(addr)
+			}
+		}
+		select {
+		case <-stop:
+			return
+		case <-ch:
+		}
+	}
+}
+
+// REST returns a traced REST client from caller to target (first live
+// instance; REST front doors are singletons in the suite's apps).
+func (a *App) REST(caller, target string) (*rest.Client, error) {
+	addrs, err := a.Registry.MustLookup(target)
+	if err != nil {
+		return nil, err
+	}
+	var opts []rest.ClientOption
+	if a.Tracer != nil {
+		opts = append(opts, rest.WithInterceptor(trace.ClientInterceptor(a.Tracer, caller)))
+	}
+	c := rest.NewClient(a.Net, target, addrs[0], opts...)
+	a.track(c)
+	return c, nil
+}
+
+// FlushTraces waits for all submitted spans to reach the trace store.
+func (a *App) FlushTraces() {
+	if a.collector != nil {
+		a.collector.Flush()
+	}
+}
+
+// track remembers a closer for Close.
+func (a *App) track(c io.Closer) {
+	a.mu.Lock()
+	a.closers = append(a.closers, c)
+	a.mu.Unlock()
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// Close shuts down every client and server started through the app and
+// stops trace collection.
+func (a *App) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	closers := a.closers
+	servers := a.servers
+	rests := a.rests
+	a.mu.Unlock()
+
+	for _, c := range closers {
+		c.Close() //nolint:errcheck // best-effort teardown
+	}
+	for _, s := range servers {
+		s.Close() //nolint:errcheck
+	}
+	for _, s := range rests {
+		s.Close() //nolint:errcheck
+	}
+	if a.collector != nil {
+		a.collector.Close()
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+)
+
+// buildTwoTier boots backend (RPC) and frontend (REST) tiers where the
+// frontend calls the backend, the canonical shape of every suite app.
+func buildTwoTier(t *testing.T) (*App, *rest.Client) {
+	t.Helper()
+	app := NewApp("test", Options{})
+	t.Cleanup(func() { app.Close() })
+
+	if _, err := app.StartRPC("backend", func(s *rpc.Server) {
+		s.Handle("Double", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			var n int64
+			if err := codec.Unmarshal(payload, &n); err != nil {
+				return nil, err
+			}
+			return codec.Marshal(n * 2)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	backend, err := app.RPC("frontend", "backend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.StartREST("frontend", func(s *rest.Server) {
+		s.Handle("POST /double", func(ctx *rest.Ctx, body []byte) (any, error) {
+			var req struct {
+				N int64 `json:"n"`
+			}
+			if err := rest.DecodeJSON(body, &req); err != nil {
+				return nil, err
+			}
+			var out int64
+			if err := backend.Call(ctx, "Double", req.N, &out); err != nil {
+				return nil, err
+			}
+			return map[string]int64{"result": out}, nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := app.REST("client", "frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, client
+}
+
+func TestEndToEndTwoTier(t *testing.T) {
+	_, client := buildTwoTier(t)
+	var resp struct {
+		Result int64 `json:"result"`
+	}
+	if err := client.Do(context.Background(), "POST", "/double", map[string]int64{"n": 21}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result != 42 {
+		t.Fatalf("result = %d", resp.Result)
+	}
+}
+
+func TestTracesSpanRESTAndRPC(t *testing.T) {
+	app, client := buildTwoTier(t)
+	if err := client.Do(context.Background(), "POST", "/double", map[string]int64{"n": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	app.FlushTraces()
+	if app.Traces.Len() != 1 {
+		t.Fatalf("traces = %d, want 1 end-to-end trace", app.Traces.Len())
+	}
+	id := app.Traces.TraceIDs()[0]
+	spans := app.Traces.Spans(id)
+	// client REST client span, frontend REST server span, frontend RPC
+	// client span, backend RPC server span.
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4: %+v", len(spans), spans)
+	}
+	tree := app.Traces.Tree(id)
+	depth := 0
+	for n := tree; n != nil && len(n.Children) > 0; n = n.Children[0] {
+		depth++
+	}
+	if depth != 3 {
+		t.Fatalf("trace depth = %d, want 3", depth)
+	}
+}
+
+func TestRPCUnknownTarget(t *testing.T) {
+	app := NewApp("test", Options{})
+	defer app.Close()
+	if _, err := app.RPC("x", "missing"); err == nil {
+		t.Fatal("want error for unknown target")
+	}
+	if _, err := app.REST("x", "missing"); err == nil {
+		t.Fatal("want error for unknown REST target")
+	}
+}
+
+func TestScaleOutRedirectsTraffic(t *testing.T) {
+	app := NewApp("test", Options{})
+	defer app.Close()
+	handler := func(name string) func(*rpc.Server) {
+		return func(s *rpc.Server) {
+			s.Handle("Who", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+				return codec.Marshal(name)
+			})
+		}
+	}
+	if _, err := app.StartRPC("svc", handler("one")); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := app.RPC("caller", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale out to a second instance; the balanced client must pick it up
+	// via the registry watch.
+	if _, err := app.StartRPC("svc", handler("two")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	seen := map[string]bool{}
+	for time.Now().Before(deadline) && len(seen) < 2 {
+		var who string
+		if err := cl.Call(context.Background(), "Who", nil, &who); err != nil {
+			t.Fatal(err)
+		}
+		seen[who] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("traffic never reached new instance: %v", seen)
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	app := NewApp("test", Options{DisableTracing: true})
+	defer app.Close()
+	if _, err := app.StartRPC("svc", func(s *rpc.Server) {
+		s.Handle("Ping", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) { return nil, nil })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := app.RPC("caller", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Call(context.Background(), "Ping", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if app.Traces != nil {
+		t.Fatal("trace store allocated with tracing disabled")
+	}
+	app.FlushTraces() // must not panic
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	app := NewApp("test", Options{})
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceFailureRecovery(t *testing.T) {
+	app := NewApp("failover", Options{})
+	defer app.Close()
+	mk := func(name string) (*rpc.Server, string) {
+		var srv *rpc.Server
+		addr, err := app.StartRPC("svc", func(s *rpc.Server) {
+			srv = s
+			s.Handle("Who", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+				return codec.Marshal(name)
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, addr
+	}
+	srv1, addr1 := mk("one")
+	mk("two")
+	cl, err := app.RPC("caller", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill instance one: close its server and deregister it, as a health
+	// checker would.
+	srv1.Close()
+	app.Registry.Deregister("svc", addr1)
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 50; i++ {
+		var who string
+		err := cl.Call(context.Background(), "Who", nil, &who)
+		if err != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("traffic never recovered: %v", err)
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if who != "two" {
+			t.Fatalf("routed to dead instance: %q", who)
+		}
+	}
+}

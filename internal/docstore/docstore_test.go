@@ -1,0 +1,435 @@
+package docstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dsb/internal/rpc"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewStore()
+	posts := s.Collection("posts")
+	d := Doc{ID: "p1", Fields: map[string]string{"author": "alice"}, Nums: map[string]int64{"ts": 100}, Body: []byte("hello")}
+	if err := posts.Put(d); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := posts.Get("p1")
+	if !ok || string(got.Body) != "hello" || got.Fields["author"] != "alice" {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	existed, err := posts.Delete("p1")
+	if err != nil || !existed {
+		t.Fatalf("Delete = %v, %v", existed, err)
+	}
+	if _, ok := posts.Get("p1"); ok {
+		t.Fatal("deleted doc present")
+	}
+	existed, _ = posts.Delete("p1")
+	if existed {
+		t.Fatal("double delete reported existed")
+	}
+}
+
+func TestEmptyIDRejected(t *testing.T) {
+	s := NewStore()
+	if err := s.Collection("c").Put(Doc{}); !rpc.IsCode(err, rpc.CodeBadRequest) {
+		t.Fatalf("want CodeBadRequest, got %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("c")
+	c.Put(Doc{ID: "x", Body: []byte("abc"), Fields: map[string]string{"f": "v"}}) //nolint:errcheck
+	got, _ := c.Get("x")
+	got.Body[0] = 'Z'
+	got.Fields["f"] = "mutated"
+	again, _ := c.Get("x")
+	if string(again.Body) != "abc" || again.Fields["f"] != "v" {
+		t.Fatal("Get leaked internal state")
+	}
+}
+
+func TestFindByField(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("posts")
+	for i := 0; i < 5; i++ {
+		author := "alice"
+		if i%2 == 1 {
+			author = "bob"
+		}
+		c.Put(Doc{ID: fmt.Sprintf("p%d", i), Fields: map[string]string{"author": author}}) //nolint:errcheck
+	}
+	alice := c.Find("author", "alice", 0)
+	if len(alice) != 3 {
+		t.Fatalf("alice posts = %d", len(alice))
+	}
+	if got := c.Find("author", "alice", 2); len(got) != 2 {
+		t.Fatalf("limited find = %d", len(got))
+	}
+	if got := c.Find("author", "carol", 0); len(got) != 0 {
+		t.Fatalf("carol posts = %d", len(got))
+	}
+	if got := c.Find("nosuchfield", "x", 0); len(got) != 0 {
+		t.Fatalf("unknown field = %d", len(got))
+	}
+}
+
+func TestFindRangeNewestFirst(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("timeline")
+	for i := int64(1); i <= 10; i++ {
+		c.Put(Doc{ID: fmt.Sprintf("p%d", i), Nums: map[string]int64{"ts": i * 10}}) //nolint:errcheck
+	}
+	got := c.FindRange("ts", 25, 75, 0)
+	if len(got) != 5 {
+		t.Fatalf("range size = %d", len(got))
+	}
+	// Descending by ts: 70, 60, 50, 40, 30.
+	if got[0].Nums["ts"] != 70 || got[4].Nums["ts"] != 30 {
+		t.Fatalf("order = %v ... %v", got[0].Nums["ts"], got[4].Nums["ts"])
+	}
+	if lim := c.FindRange("ts", 0, 1000, 3); len(lim) != 3 || lim[0].Nums["ts"] != 100 {
+		t.Fatalf("limit: %v", lim)
+	}
+}
+
+func TestReindexOnUpdate(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("c")
+	c.Put(Doc{ID: "x", Fields: map[string]string{"state": "open"}, Nums: map[string]int64{"v": 1}})   //nolint:errcheck
+	c.Put(Doc{ID: "x", Fields: map[string]string{"state": "closed"}, Nums: map[string]int64{"v": 2}}) //nolint:errcheck
+	if got := c.Find("state", "open", 0); len(got) != 0 {
+		t.Fatal("stale string index")
+	}
+	if got := c.Find("state", "closed", 0); len(got) != 1 {
+		t.Fatal("missing new string index")
+	}
+	if got := c.FindRange("v", 1, 1, 0); len(got) != 0 {
+		t.Fatal("stale numeric index")
+	}
+	if got := c.FindRange("v", 2, 2, 0); len(got) != 1 {
+		t.Fatal("missing new numeric index")
+	}
+}
+
+func TestUpdateFn(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("accounts")
+	c.Put(Doc{ID: "a", Nums: map[string]int64{"balance": 100}}) //nolint:errcheck
+	err := c.Update("a", func(d Doc) Doc {
+		d.Nums["balance"] -= 30
+		return d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get("a")
+	if got.Nums["balance"] != 70 {
+		t.Fatalf("balance = %d", got.Nums["balance"])
+	}
+	if err := c.Update("ghost", func(d Doc) Doc { return d }); !rpc.IsCode(err, rpc.CodeNotFound) {
+		t.Fatalf("want NotFound, got %v", err)
+	}
+}
+
+// Property: for any operation sequence, Find(field, v) returns exactly the
+// live docs whose field equals v, and FindRange agrees with a linear scan.
+func TestIndexConsistencyProperty(t *testing.T) {
+	type op struct {
+		Del bool
+		ID  uint8
+		Val uint8
+		Num int16
+	}
+	f := func(ops []op) bool {
+		s := NewStore()
+		c := s.Collection("c")
+		live := map[string]Doc{}
+		for _, o := range ops {
+			id := fmt.Sprintf("d%d", o.ID%24)
+			if o.Del {
+				c.Delete(id) //nolint:errcheck
+				delete(live, id)
+				continue
+			}
+			d := Doc{
+				ID:     id,
+				Fields: map[string]string{"f": fmt.Sprintf("v%d", o.Val%4)},
+				Nums:   map[string]int64{"n": int64(o.Num)},
+			}
+			if c.Put(d) != nil {
+				return false
+			}
+			live[id] = d
+		}
+		// Equality via index vs linear scan.
+		for v := 0; v < 4; v++ {
+			val := fmt.Sprintf("v%d", v)
+			got := c.Find("f", val, 0)
+			want := 0
+			for _, d := range live {
+				if d.Fields["f"] == val {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+		}
+		// Range via index vs linear scan.
+		got := c.FindRange("n", -100, 100, 0)
+		want := 0
+		for _, d := range live {
+			if n := d.Nums["n"]; n >= -100 && n <= 100 {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("c")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := fmt.Sprintf("d%d", (g*500+i)%64)
+				switch i % 3 {
+				case 0:
+					c.Put(Doc{ID: id, Fields: map[string]string{"g": fmt.Sprint(g)}, Nums: map[string]int64{"i": int64(i)}}) //nolint:errcheck
+				case 1:
+					c.Get(id)
+					c.Find("g", fmt.Sprint(g), 10)
+				case 2:
+					c.FindRange("i", 0, 250, 5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestWALPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.wal")
+
+	s, w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Collection("posts")
+	for i := 0; i < 10; i++ {
+		if err := c.Put(Doc{ID: fmt.Sprintf("p%d", i), Nums: map[string]int64{"ts": int64(i)}, Body: []byte("body")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Delete("p3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update("p4", func(d Doc) Doc { d.Body = []byte("updated"); return d }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	c2 := s2.Collection("posts")
+	if c2.Len() != 9 {
+		t.Fatalf("recovered %d docs, want 9", c2.Len())
+	}
+	if _, ok := c2.Get("p3"); ok {
+		t.Fatal("deleted doc resurrected")
+	}
+	got, _ := c2.Get("p4")
+	if string(got.Body) != "updated" {
+		t.Fatalf("update lost: %q", got.Body)
+	}
+	// Index rebuilt from log.
+	if r := c2.FindRange("ts", 5, 9, 0); len(r) != 5 {
+		t.Fatalf("recovered range = %d", len(r))
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.wal")
+	s, w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Collection("c").Put(Doc{ID: "keep", Body: []byte("x")}) //nolint:errcheck
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{200, 0, 0, 0, 1, 2, 3}) //nolint:errcheck
+	f.Close()
+
+	s2, w2, err := Open(path)
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	defer w2.Close()
+	if _, ok := s2.Collection("c").Get("keep"); !ok {
+		t.Fatal("intact record lost during torn-tail recovery")
+	}
+	// The store must accept new writes after truncating the tail.
+	if err := s2.Collection("c").Put(Doc{ID: "new", Body: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCService(t *testing.T) {
+	n := rpc.NewMem()
+	srv := rpc.NewServer("mongodb")
+	RegisterService(srv, NewStore())
+	addr, err := srv.Start(n, "mongodb:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := rpc.NewClient(n, "mongodb", addr)
+	defer cl.Close()
+	ctx := context.Background()
+
+	put := PutReq{Collection: "posts", Doc: Doc{ID: "p1", Fields: map[string]string{"author": "a"}, Nums: map[string]int64{"ts": 5}, Body: []byte("b")}}
+	if err := cl.Call(ctx, "Put", put, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got GetResp
+	if err := cl.Call(ctx, "Get", GetReq{Collection: "posts", ID: "p1"}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || string(got.Doc.Body) != "b" {
+		t.Fatalf("Get = %+v", got)
+	}
+	var fr FindResp
+	if err := cl.Call(ctx, "Find", FindReq{Collection: "posts", Field: "author", Value: "a"}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Docs) != 1 {
+		t.Fatalf("Find = %d docs", len(fr.Docs))
+	}
+	if err := cl.Call(ctx, "FindRange", FindRangeReq{Collection: "posts", Field: "ts", Min: 0, Max: 10}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Docs) != 1 {
+		t.Fatalf("FindRange = %d docs", len(fr.Docs))
+	}
+	var dr DeleteResp
+	if err := cl.Call(ctx, "Delete", DeleteReq{Collection: "posts", ID: "p1"}, &dr); err != nil || !dr.Existed {
+		t.Fatalf("Delete = %+v, %v", dr, err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := NewStore()
+	c := s.Collection("bench")
+	body := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(Doc{ //nolint:errcheck
+			ID:     fmt.Sprintf("d%d", i%10000),
+			Fields: map[string]string{"author": fmt.Sprintf("u%d", i%100)},
+			Nums:   map[string]int64{"ts": int64(i)},
+			Body:   body,
+		})
+	}
+}
+
+func BenchmarkFindRange(b *testing.B) {
+	s := NewStore()
+	c := s.Collection("bench")
+	for i := 0; i < 10000; i++ {
+		c.Put(Doc{ID: fmt.Sprintf("d%d", i), Nums: map[string]int64{"ts": int64(i)}}) //nolint:errcheck
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FindRange("ts", int64(i%9000), int64(i%9000+100), 10)
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.wal")
+	s, w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Collection("posts")
+	// Churn: many overwrites and deletes bloat the log.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 10; j++ {
+			if err := c.Put(Doc{ID: fmt.Sprintf("p%d", j), Nums: map[string]int64{"v": int64(i)}, Body: []byte("body")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for j := 5; j < 10; j++ {
+		if _, err := c.Delete(fmt.Sprintf("p%d", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := w.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Compact(s); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before/10 {
+		t.Fatalf("compaction ineffective: %d -> %d bytes", before, after)
+	}
+	// The log stays appendable post-compaction.
+	if err := c.Put(Doc{ID: "new", Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery from the compacted log restores exactly the live state.
+	s2, w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	c2 := s2.Collection("posts")
+	if c2.Len() != 6 { // p0..p4 + new
+		t.Fatalf("recovered %d docs, want 6", c2.Len())
+	}
+	got, _ := c2.Get("p3")
+	if got.Nums["v"] != 49 {
+		t.Fatalf("latest version lost: %+v", got)
+	}
+	if _, ok := c2.Get("p7"); ok {
+		t.Fatal("deleted doc resurrected by compaction")
+	}
+}

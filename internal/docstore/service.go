@@ -1,0 +1,102 @@
+package docstore
+
+import (
+	"dsb/internal/codec"
+	"dsb/internal/rpc"
+)
+
+// Wire messages for the store's RPC interface.
+
+// PutReq stores a document in a collection.
+type PutReq struct {
+	Collection string
+	Doc        Doc
+}
+
+// GetReq fetches a document by ID.
+type GetReq struct {
+	Collection string
+	ID         string
+}
+
+// GetResp returns the document if found.
+type GetResp struct {
+	Doc   Doc
+	Found bool
+}
+
+// FindReq queries an indexed string field.
+type FindReq struct {
+	Collection string
+	Field      string
+	Value      string
+	Limit      int64
+}
+
+// FindRangeReq queries an indexed numeric field.
+type FindRangeReq struct {
+	Collection string
+	Field      string
+	Min, Max   int64
+	Limit      int64
+}
+
+// FindResp returns matching documents.
+type FindResp struct{ Docs []Doc }
+
+// DeleteReq removes a document.
+type DeleteReq struct {
+	Collection string
+	ID         string
+}
+
+// DeleteResp reports whether the document existed.
+type DeleteResp struct{ Existed bool }
+
+// RegisterService exposes store as an RPC microservice with methods Put,
+// Get, Find, FindRange, and Delete — the "mongodb" tier in the application
+// graphs.
+func RegisterService(srv *rpc.Server, store *Store) {
+	srv.Handle("Put", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req PutReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		return nil, store.Collection(req.Collection).Put(req.Doc)
+	})
+	srv.Handle("Get", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req GetReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		d, ok := store.Collection(req.Collection).Get(req.ID)
+		return codec.Marshal(GetResp{Doc: d, Found: ok})
+	})
+	srv.Handle("Find", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req FindReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		docs := store.Collection(req.Collection).Find(req.Field, req.Value, int(req.Limit))
+		return codec.Marshal(FindResp{Docs: docs})
+	})
+	srv.Handle("FindRange", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req FindRangeReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		docs := store.Collection(req.Collection).FindRange(req.Field, req.Min, req.Max, int(req.Limit))
+		return codec.Marshal(FindResp{Docs: docs})
+	})
+	srv.Handle("Delete", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req DeleteReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		existed, err := store.Collection(req.Collection).Delete(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return codec.Marshal(DeleteResp{Existed: existed})
+	})
+}

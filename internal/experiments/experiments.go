@@ -1,0 +1,141 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation. Each driver runs its workload (usually on the
+// discrete-event simulator, occasionally on the live in-process stack) and
+// returns a Report whose rows mirror what the paper plots, with notes
+// comparing the measured shape against the paper's claims. bench_test.go
+// at the repository root exposes each driver as a benchmark, and
+// cmd/dsbench prints any subset from the command line.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dsb/internal/sim"
+)
+
+// Report is a printable experiment result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned ASCII table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, nte := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", nte)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Report
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Suite composition (services, LoC, protocols)", Table1},
+		{"fig3", "Network vs application processing", Fig3},
+		{"fig9", "Swarm edge vs cloud throughput-latency", Fig9},
+		{"fig10", "Cycle breakdown and IPC per microservice", Fig10},
+		{"fig11", "L1i MPKI per microservice", Fig11},
+		{"fig12", "Tail latency vs load and frequency", Fig12},
+		{"fig13", "Xeon vs ThunderX saturation throughput", Fig13},
+		{"fig14", "Kernel/user/library cycle breakdown", Fig14},
+		{"fig15", "Network processing share per tier and load", Fig15},
+		{"fig16", "FPGA RPC acceleration", Fig16},
+		{"fig17", "Two-tier backpressure (nginx+memcached)", Fig17},
+		{"fig18", "Microservice dependency-graph shapes", Fig18},
+		{"fig19", "Cascading QoS violations", Fig19},
+		{"fig20", "Recovery: microservices vs monolith", Fig20},
+		{"fig21", "Serverless: EC2 vs Lambda", Fig21},
+		{"fig22a", "Large-scale cascading hotspots", Fig22a},
+		{"fig22b", "Request skew vs goodput", Fig22b},
+		{"fig22c", "Slow servers vs goodput", Fig22c},
+		{"querydiv", "Query diversity (Sec 3.8, live stack)", QueryDiversity},
+		{"rpcrest", "RPC vs REST microbenchmark (live stack)", RPCvsREST},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d)/1e6) }
+func us(d time.Duration) string { return fmt.Sprintf("%.0fµs", float64(d)/1e3) }
+func pct(f float64) string      { return fmt.Sprintf("%.1f%%", f*100) }
+func f1(f float64) string       { return fmt.Sprintf("%.1f", f) }
+func f2(f float64) string       { return fmt.Sprintf("%.2f", f) }
+func qpsStr(f float64) string   { return fmt.Sprintf("%.0f", f) }
+
+// findCapacity doubles offered load until the p99 exceeds degrade× the
+// low-load p99 (or requests stop completing inside the run), returning the
+// last sustainable QPS.
+func findCapacity(build func() *sim.Deployment, startQPS float64, dur time.Duration, degrade float64) float64 {
+	base := build().RunOpenLoop(startQPS, dur)
+	baseP99 := float64(base.E2E.P99)
+	if baseP99 <= 0 {
+		return 0
+	}
+	last := startQPS
+	for qps := startQPS * 2; qps <= startQPS*4096; qps *= 2 {
+		res := build().RunOpenLoop(qps, dur)
+		if float64(res.E2E.P99) > degrade*baseP99 {
+			// Refine once between last and qps.
+			mid := (last + qps) / 2
+			if res := build().RunOpenLoop(mid, dur); float64(res.E2E.P99) <= degrade*baseP99 {
+				return mid
+			}
+			return last
+		}
+		last = qps
+	}
+	return last
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "fig3", "fig9", "fig12", "fig17", "fig21", "fig22c"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+	if _, ok := Lookup("fig3"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup found ghost")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"wide-cell", "3"}},
+		Notes:  []string{"a note"},
+	}
+	s := r.String()
+	for _, want := range []string{"== x: demo ==", "long-column", "wide-cell", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// parseFloat pulls a float out of a cell like "36.3%" or "8.0x".
+func parseFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimRight(cell, "%xmsµ")
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig3Shape(t *testing.T) {
+	rep := Fig3()
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	shares := map[string]float64{}
+	for _, row := range rep.Rows {
+		shares[row[0]] = parseFloat(t, row[2])
+	}
+	// The paper's ordering: social >> memcached > mongodb, nginx lowest-ish.
+	if !(shares["socialNetwork"] > shares["memcached"] && shares["memcached"] > shares["nginx"]) {
+		t.Fatalf("network share ordering wrong: %v", shares)
+	}
+	if shares["socialNetwork"] < 25 || shares["socialNetwork"] > 50 {
+		t.Fatalf("social share = %.1f, want near 36.3", shares["socialNetwork"])
+	}
+}
+
+func TestFig10Fig11Shapes(t *testing.T) {
+	f10 := Fig10()
+	if len(f10.Rows) < 20 {
+		t.Fatalf("fig10 rows = %d", len(f10.Rows))
+	}
+	for _, row := range f10.Rows {
+		sum := parseFloat(t, row[2]) + parseFloat(t, row[3]) + parseFloat(t, row[4]) + parseFloat(t, row[5])
+		if sum < 98 || sum > 102 {
+			t.Fatalf("breakdown for %s/%s sums to %.1f", row[0], row[1], sum)
+		}
+	}
+	f11 := Fig11()
+	var mono, micro float64
+	for _, row := range f11.Rows {
+		if row[1] == "monolith" {
+			mono = parseFloat(t, row[2])
+		}
+		if row[1] == "uniqueID" {
+			micro = parseFloat(t, row[2])
+		}
+	}
+	if mono <= micro || mono < 40 {
+		t.Fatalf("MPKI: monolith %.1f vs uniqueID %.1f", mono, micro)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rep := Fig14()
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		c := parseFloat(t, row[1]) + parseFloat(t, row[2]) + parseFloat(t, row[3])
+		if c < 98 || c > 102 {
+			t.Fatalf("%s cycles sum %.1f", row[0], c)
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	rep := Fig16()
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		accel := parseFloat(t, row[1])
+		if accel < 10 || accel > 68 {
+			t.Fatalf("%s accel = %.1f", row[0], accel)
+		}
+		if e2e := parseFloat(t, row[3]); e2e < 1.0 {
+			t.Fatalf("%s e2e speedup = %.2f < 1", row[0], e2e)
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	rep := Fig18()
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	rep := Fig21()
+	if len(rep.Rows) != 15 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestTable1CountsServices(t *testing.T) {
+	rep := Table1()
+	if len(rep.Rows) != 6 { // 5 apps + total
+		t.Fatalf("rows = %d (notes: %v)", len(rep.Rows), rep.Notes)
+	}
+	total := rep.Rows[5]
+	if n := parseFloat(t, total[2]); n < 80 {
+		t.Fatalf("total services = %.0f, want 80+", n)
+	}
+}
+
+func TestHeavyExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment smoke skipped in -short mode")
+	}
+	for _, id := range []string{"fig9", "fig13", "fig17"} {
+		exp, _ := Lookup(id)
+		rep := exp.Run()
+		if len(rep.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}

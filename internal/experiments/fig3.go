@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dsb/internal/graph"
+	"dsb/internal/sim"
+)
+
+// Fig3 reproduces the network-vs-application-processing breakdown: three
+// monolithic baselines plus the Social Network end-to-end service, each at
+// low load. The paper reports network shares of 5.3% (nginx, 1293µs),
+// 19.8% (memcached, 186µs), 13.6% (MongoDB, 383µs) and 36.3% for Social
+// Network (3827µs).
+func Fig3() *Report {
+	r := &Report{
+		ID:     "fig3",
+		Title:  "Network (kernel TCP) vs application processing at low load",
+		Header: []string{"application", "latency", "network share", "paper latency", "paper share"},
+	}
+	cases := []struct {
+		app        *graph.App
+		paperLat   string
+		paperShare string
+	}{
+		{graph.Nginx(), "1293µs", "5.3%"},
+		{graph.Memcached(), "186µs", "19.8%"},
+		{graph.MongoDB(), "383µs", "13.6%"},
+		{graph.SocialNetwork(), "3827µs", "36.3%"},
+	}
+	for _, c := range cases {
+		d, err := sim.NewDeployment(sim.New(), sim.Config{App: c.app, Seed: 3})
+		if err != nil {
+			r.Notes = append(r.Notes, err.Error())
+			continue
+		}
+		res := d.RunOpenLoop(30, 2*time.Second)
+		r.Rows = append(r.Rows, []string{
+			c.app.Name,
+			us(time.Duration(res.E2E.P50)),
+			pct(res.NetFrac),
+			c.paperLat,
+			c.paperShare,
+		})
+	}
+	r.Notes = append(r.Notes,
+		"shape check: microservices spend several times more of their latency in network processing than single-tier services")
+	return r
+}
+
+// Fig16 measures the bump-in-the-wire FPGA offload: per application, the
+// speedup on network processing alone and on end-to-end tail latency. The
+// paper reports 10–68× network speedups and 43%–2.2× end-to-end gains.
+func Fig16() *Report {
+	r := &Report{
+		ID:     "fig16",
+		Title:  "FPGA TCP offload: network and end-to-end speedup",
+		Header: []string{"application", "accel factor", "net proc speedup", "e2e p99 speedup"},
+	}
+	apps := []*graph.App{graph.SocialNetwork(), graph.MediaService(), graph.Ecommerce(), graph.Banking(), graph.SwarmCloud()}
+	for _, build := range apps {
+		app := build
+		// Average message size over workflow services weights the accel.
+		var sumBytes float64
+		var n int
+		for _, svc := range app.Services() {
+			sumBytes += float64(app.Profiles[svc].MsgBytes)
+			n++
+		}
+		factor := fpgaFactor(sumBytes / float64(n))
+
+		type accelResult struct {
+			sim.Result
+			KernelNetNsPerReq float64
+		}
+		run := func(accel bool) accelResult {
+			cfg := sim.Config{App: app, Seed: 16}
+			if accel {
+				cfg.Net = defaultNet().Accelerated(factor)
+			}
+			d, _ := sim.NewDeployment(sim.New(), cfg)
+			res := d.RunOpenLoop(40, 2*time.Second)
+			perReq := 0.0
+			if d.Completed > 0 {
+				perReq = d.NetNs / float64(d.Completed)
+			}
+			return accelResult{Result: res, KernelNetNsPerReq: perReq}
+		}
+		native := run(false)
+		accel := run(true)
+		// Network-processing speedup compares kernel NIC time per request
+		// (wire propagation is not offloadable and excluded).
+		netSpeedup := native.KernelNetNsPerReq / (accel.KernelNetNsPerReq + 1)
+		e2eSpeedup := float64(native.E2E.P99) / float64(accel.E2E.P99)
+		r.Rows = append(r.Rows, []string{
+			app.Name,
+			fmt.Sprintf("%.0fx", factor),
+			fmt.Sprintf("%.1fx", netSpeedup),
+			fmt.Sprintf("%.2fx", e2eSpeedup),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"paper: network processing improves 10-68x; end-to-end tail improves 43% up to 2.2x",
+		"wire propagation is not offloadable, so end-to-end gains are bounded by the app-processing share")
+	return r
+}

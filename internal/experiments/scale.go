@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"dsb/internal/cluster"
+	"dsb/internal/graph"
+	"dsb/internal/sim"
+)
+
+// Fig18 summarizes dependency-graph shape: our applications against
+// synthetic production-scale graphs with the connectivity the paper's
+// Netflix/Twitter/Amazon visualizations show.
+func Fig18() *Report {
+	r := &Report{
+		ID:     "fig18",
+		Title:  "Dependency-graph shapes",
+		Header: []string{"graph", "services", "edges", "avg out-degree", "depth"},
+	}
+	for _, app := range graph.EndToEndApps() {
+		services := app.Services()
+		edges := app.Edges()
+		r.Rows = append(r.Rows, []string{
+			app.Name,
+			fmt.Sprintf("%d", len(services)),
+			fmt.Sprintf("%d", len(edges)),
+			f2(float64(len(edges)) / float64(len(services))),
+			fmt.Sprintf("%d", app.Depth()),
+		})
+	}
+	// Synthetic production graphs: random layered DAGs at reported scales.
+	for _, prod := range []struct {
+		name     string
+		services int
+		fanout   float64
+	}{
+		{"netflix-like", 210, 3.2},
+		{"twitter-like", 160, 2.8},
+		{"amazon-like", 140, 3.6},
+	} {
+		rng := rand.New(rand.NewPCG(uint64(prod.services), 18))
+		edges := 0
+		maxDepth := 0
+		layerOf := make([]int, prod.services)
+		for i := 1; i < prod.services; i++ {
+			layerOf[i] = layerOf[rng.IntN(i)] + 1
+			if layerOf[i] > maxDepth {
+				maxDepth = layerOf[i]
+			}
+			edges += 1 + rng.IntN(int(prod.fanout*2))
+		}
+		r.Rows = append(r.Rows, []string{
+			prod.name,
+			fmt.Sprintf("%d", prod.services),
+			fmt.Sprintf("%d", edges),
+			f2(float64(edges) / float64(prod.services)),
+			fmt.Sprintf("%d", maxDepth),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"paper: production microservice graphs have hundreds of nodes with dense, fast-changing dependencies no operator can describe by hand")
+	return r
+}
+
+// Fig22b sweeps the request-skew knob: skew% = 100 − u where u% of users
+// issue 90% of requests; skewed traffic concentrates on hot instances and
+// goodput under QoS collapses.
+func Fig22b() *Report {
+	r := &Report{
+		ID:     "fig22b",
+		Title:  "Max goodput under QoS vs request skew (100 instances-class deployment)",
+		Header: []string{"skew", "hot-instance share", "max QPS under QoS", "normalized"},
+	}
+	build := func(hot float64) func() *sim.Deployment {
+		return func() *sim.Deployment {
+			reps := map[string]int{}
+			app := graph.SocialNetwork()
+			for _, svc := range app.Services() {
+				reps[svc] = 4
+			}
+			d, _ := sim.NewDeployment(sim.New(), sim.Config{
+				App: app, Replicas: reps, WorkerScale: 0.25, HotFraction: hot, Seed: 22,
+			})
+			return d
+		}
+	}
+	dur := 1200 * time.Millisecond
+	base := build(0)().RunOpenLoop(10, dur)
+	target := time.Duration(3 * base.E2E.P99)
+	var levels []float64
+	for q := 50.0; q <= 4200; q *= 1.25 {
+		levels = append(levels, q)
+	}
+
+	baseline := cluster.MaxGoodput(build(0), levels, dur, target)
+	for _, skew := range []float64{0, 20, 40, 60, 80, 90, 99} {
+		// Skew s% means (100-s)% of users issue 90% of traffic; with 4
+		// instances, the hot instance's share of picks grows toward 1.
+		hot := 0.25 + 0.75*(skew/100)
+		g := cluster.MaxGoodput(build(hot), levels, dur, target)
+		norm := 0.0
+		if baseline > 0 {
+			norm = g / baseline
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f%%", skew), f2(hot), qpsStr(g), f2(norm),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"paper: goodput approaches zero once fewer than 20% of users issue the majority of requests (skew > 80%)")
+	return r
+}
+
+// Fig22c degrades a fraction of servers (aggressive power management) in
+// clusters of growing size and compares goodput for the microservice
+// graph vs the monolith, whose instances fail independently.
+func Fig22c() *Report {
+	r := &Report{
+		ID:     "fig22c",
+		Title:  "Goodput vs slow servers: microservices vs monolith",
+		Header: []string{"architecture", "cluster", "slow servers", "max QPS under QoS", "normalized"},
+	}
+	dur := 1200 * time.Millisecond
+	var levels []float64
+	for q := 50.0; q <= 24000; q *= 1.4 {
+		levels = append(levels, q)
+	}
+
+	type arch struct {
+		name string
+		app  func() *graph.App
+	}
+	for _, a := range []arch{{"microservices", graph.SocialNetwork}, {"monolith", graph.SocialNetworkMonolith}} {
+		for _, clusterSize := range []int{40, 100, 200} {
+			app := a.app()
+			services := app.Services()
+			perSvc := clusterSize / len(services)
+			if perSvc < 1 {
+				perSvc = 1
+			}
+			build := func(slowPct float64) func() *sim.Deployment {
+				return func() *sim.Deployment {
+					reps := map[string]int{}
+					for _, svc := range services {
+						reps[svc] = perSvc
+					}
+					d, _ := sim.NewDeployment(sim.New(), sim.Config{App: app, Replicas: reps, WorkerScale: 0.25, Seed: 23})
+					// Degrade slowPct of the cluster's servers (one instance
+					// each): a random distinct sample across all tiers.
+					rng := rand.New(rand.NewPCG(uint64(clusterSize), 23))
+					total := perSvc * len(services)
+					nSlow := int(float64(total)*slowPct/100 + 0.5)
+					perm := rng.Perm(total)
+					for i := 0; i < nSlow && i < total; i++ {
+						svc := services[perm[i]/perSvc]
+						d.SetSlow(svc, perm[i]%perSvc, 10) //nolint:errcheck
+					}
+					return d
+				}
+			}
+			base := build(0)()
+			base.RunOpenLoop(10, dur)
+			// QoS: a request is "good" within 2.5x the healthy low-load
+			// p95; goodput counts individually-good requests.
+			target := 5 * base.E2E.PercentileDuration(95) / 2
+			healthy := cluster.PerRequestGoodput(build(0), levels, dur, target)
+			for _, slowPct := range []float64{0, 1, 2, 5} {
+				g := cluster.PerRequestGoodput(build(slowPct), levels, dur, target)
+				norm := 0.0
+				if healthy > 0 {
+					norm = g / healthy
+				}
+				r.Rows = append(r.Rows, []string{
+					a.name, fmt.Sprintf("%d", clusterSize),
+					fmt.Sprintf("%.0f%%", slowPct), qpsStr(g), f2(norm),
+				})
+			}
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper: for clusters ≥100 instances, ≥1% slow servers drives microservice goodput to ~0 (some slow instance sits on every critical path); monolith goodput degrades gracefully")
+	return r
+}

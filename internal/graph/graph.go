@@ -1,0 +1,163 @@
+// Package graph defines the service dependency graphs and per-service cost
+// profiles that drive the discrete-event simulator and the architectural
+// models. Each application is a workflow tree (who calls whom, how often,
+// sequentially or in parallel) plus per-service cost profiles (CPU cycles,
+// fixed memory/IO time, code footprint, kernel share, message sizes).
+//
+// Profiles are the calibrated synthetic stand-in for the paper's vTune
+// measurements: absolute values are chosen so the end-to-end services land
+// near the latencies the paper reports (e.g. Social Network ≈3.8ms at low
+// load, memcached ≈186µs) and so the derived figures reproduce the paper's
+// shapes. DESIGN.md documents this substitution.
+package graph
+
+import "fmt"
+
+// Profile is the cost model of one microservice.
+type Profile struct {
+	// Language is informational (Table 1 breakdowns).
+	Language string
+	// Cycles is the frequency-scalable CPU work per request, in cycles.
+	Cycles float64
+	// FixedNs is the non-scaling time per request (memory/IO bound), ns.
+	FixedNs float64
+	// CodeKB is the instruction footprint, driving i-cache models.
+	CodeKB float64
+	// KernelFrac / LibFrac split cycles for the OS breakdown (Fig 14);
+	// the remainder is user code.
+	KernelFrac, LibFrac float64
+	// MsgBytes is the typical request+response payload.
+	MsgBytes int
+	// Workers is the per-instance concurrency (thread pool size).
+	Workers int
+	// Stateless services have lower LLC/TLB pressure (Fig 11 commentary).
+	Stateless bool
+	// RetireShare overrides the language default for the fraction of
+	// non-stalled slots that retire (archsim cycle model); 0 = by language.
+	// Search tiers are memory-locality-optimized (high), ML inference low.
+	RetireShare float64
+}
+
+// Call is one outgoing edge in a workflow node.
+type Call struct {
+	// Node is the callee subtree.
+	Node *Node
+	// Count is how many times the call is issued per parent request
+	// (e.g. timeline fan-out issues one write per follower).
+	Count int
+	// Stage groups calls: stages run sequentially, calls within a stage run
+	// in parallel, matching the orchestrators in the live applications.
+	Stage int
+}
+
+// Node is one service invocation in a workflow.
+type Node struct {
+	// Service names the profile to charge.
+	Service string
+	// Work scales the service's Cycles for this invocation (a cache GET is
+	// cheaper than a SET).
+	Work float64
+	// Calls are the downstream invocations.
+	Calls []Call
+}
+
+// App is one end-to-end application topology.
+type App struct {
+	Name     string
+	Profiles map[string]Profile
+	// Root is the dominant request workflow, entered at the front-end.
+	Root *Node
+	// WireNs is the per-hop one-way propagation delay between this app's
+	// tiers (datacenter ≈ 20µs; the Swarm edge hop is wifi).
+	WireNs float64
+}
+
+// Validate checks that every workflow node has a profile.
+func (a *App) Validate() error {
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if _, ok := a.Profiles[n.Service]; !ok {
+			return fmt.Errorf("graph: %s: no profile for service %q", a.Name, n.Service)
+		}
+		for _, c := range n.Calls {
+			if c.Count < 1 {
+				return fmt.Errorf("graph: %s: call count < 1 under %s", a.Name, n.Service)
+			}
+			if err := walk(c.Node); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if a.Root == nil {
+		return fmt.Errorf("graph: %s: nil root", a.Name)
+	}
+	return walk(a.Root)
+}
+
+// Services returns the profile names, sorted deterministically by first
+// appearance in a preorder walk, then any profiles not in the workflow.
+func (a *App) Services() []string {
+	seen := map[string]bool{}
+	var order []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !seen[n.Service] {
+			seen[n.Service] = true
+			order = append(order, n.Service)
+		}
+		for _, c := range n.Calls {
+			walk(c.Node)
+		}
+	}
+	walk(a.Root)
+	return order
+}
+
+// Edges returns unique (caller, callee) pairs in the workflow.
+func (a *App) Edges() [][2]string {
+	seen := map[[2]string]bool{}
+	var out [][2]string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Calls {
+			e := [2]string{n.Service, c.Node.Service}
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+			walk(c.Node)
+		}
+	}
+	walk(a.Root)
+	return out
+}
+
+// Depth returns the longest caller chain in the workflow.
+func (a *App) Depth() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		max := 0
+		for _, c := range n.Calls {
+			if d := walk(c.Node); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return walk(a.Root)
+}
+
+// TotalCalls returns the number of service invocations one end-to-end
+// request triggers (counting fan-out).
+func (a *App) TotalCalls() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		total := 1
+		for _, c := range n.Calls {
+			total += c.Count * walk(c.Node)
+		}
+		return total
+	}
+	return walk(a.Root)
+}

@@ -1,0 +1,120 @@
+package graph
+
+import "testing"
+
+func allApps() []*App {
+	apps := EndToEndApps()
+	apps = append(apps, SingleTierApps()...)
+	apps = append(apps, SocialNetworkMonolith(), SwarmEdge())
+	return apps
+}
+
+func TestAllTopologiesValidate(t *testing.T) {
+	for _, app := range allApps() {
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesMissingProfile(t *testing.T) {
+	app := &App{
+		Name:     "broken",
+		Profiles: map[string]Profile{"a": {}},
+		Root:     n("a", 1, seq(0, n("ghost", 1))),
+	}
+	if err := app.Validate(); err == nil {
+		t.Fatal("missing profile not caught")
+	}
+	if err := (&App{Name: "nil"}).Validate(); err == nil {
+		t.Fatal("nil root not caught")
+	}
+	bad := &App{Name: "count", Profiles: map[string]Profile{"a": {}},
+		Root: &Node{Service: "a", Calls: []Call{{Node: n("a", 1), Count: 0}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero count not caught")
+	}
+}
+
+func TestSocialNetworkShape(t *testing.T) {
+	app := SocialNetwork()
+	services := app.Services()
+	if len(services) < 12 {
+		t.Fatalf("social services = %d, want >= 12", len(services))
+	}
+	if services[0] != "nginx" {
+		t.Fatalf("entry = %s", services[0])
+	}
+	if d := app.Depth(); d < 4 {
+		t.Fatalf("depth = %d", d)
+	}
+	// Fan-out means more invocations than unique services.
+	if app.TotalCalls() <= len(services) {
+		t.Fatalf("TotalCalls = %d, services = %d", app.TotalCalls(), len(services))
+	}
+	if len(app.Edges()) < 12 {
+		t.Fatalf("edges = %d", len(app.Edges()))
+	}
+}
+
+func TestMonolithSimplerThanMicroservices(t *testing.T) {
+	micro, mono := SocialNetwork(), SocialNetworkMonolith()
+	if len(mono.Services()) >= len(micro.Services()) {
+		t.Fatal("monolith should have fewer services")
+	}
+	if mono.Depth() >= micro.Depth() {
+		t.Fatalf("monolith depth %d >= micro depth %d", mono.Depth(), micro.Depth())
+	}
+	// The monolith's code footprint concentrates in one binary.
+	if mono.Profiles["monolith"].CodeKB <= micro.Profiles["nginx"].CodeKB {
+		t.Fatal("monolith footprint should exceed any single microservice")
+	}
+}
+
+func TestSwarmWifiHop(t *testing.T) {
+	cloud := SwarmCloud()
+	if cloud.WireNs != WifiWireNs {
+		t.Fatalf("swarm wire = %f", cloud.WireNs)
+	}
+	social := SocialNetwork()
+	if social.WireNs != DatacenterWireNs {
+		t.Fatalf("social wire = %f", social.WireNs)
+	}
+}
+
+func TestSingleTiersAreLeaves(t *testing.T) {
+	for _, app := range SingleTierApps() {
+		if len(app.Root.Calls) != 0 {
+			t.Errorf("%s: single-tier app has downstream calls", app.Name)
+		}
+		if app.TotalCalls() != 1 {
+			t.Errorf("%s: TotalCalls = %d", app.Name, app.TotalCalls())
+		}
+	}
+}
+
+func TestQueueMasterSerialized(t *testing.T) {
+	app := Ecommerce()
+	if app.Profiles["queueMaster"].Workers != 1 {
+		t.Fatal("queueMaster must be single-worker (the paper's serialization point)")
+	}
+}
+
+func TestProfilesHaveSaneValues(t *testing.T) {
+	for _, app := range allApps() {
+		for name, p := range app.Profiles {
+			if p.Cycles <= 0 {
+				t.Errorf("%s/%s: cycles = %f", app.Name, name, p.Cycles)
+			}
+			if p.Workers <= 0 {
+				t.Errorf("%s/%s: workers = %d", app.Name, name, p.Workers)
+			}
+			if p.KernelFrac+p.LibFrac >= 1 {
+				t.Errorf("%s/%s: kernel+lib = %f", app.Name, name, p.KernelFrac+p.LibFrac)
+			}
+			if p.MsgBytes <= 0 || p.CodeKB <= 0 {
+				t.Errorf("%s/%s: msg/code = %d/%f", app.Name, name, p.MsgBytes, p.CodeKB)
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package kv implements the suite's in-memory lookaside cache — the role
+// memcached plays in every DeathStarBench backend. It is a sharded LRU
+// cache with TTL expiry, CAS, counters, and memcached-style statistics, and
+// it can be exposed as an RPC microservice (see Service) so cache tiers
+// appear in dependency graphs and traces exactly like the paper's
+// memcached instances.
+package kv
+
+import (
+	"sync"
+	"time"
+
+	"dsb/internal/metrics"
+)
+
+// numShards spreads lock contention; power of two for cheap masking.
+const numShards = 16
+
+// entry is one cached item, a node in its shard's intrusive LRU list.
+type entry struct {
+	key        string
+	value      []byte
+	version    uint64
+	expires    time.Time // zero = no expiry
+	prev, next *entry
+}
+
+// Stats mirrors the memcached counters the experiments read.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Sets      int64
+	Evictions int64
+	Expired   int64
+	Items     int64
+	Bytes     int64
+}
+
+// Cache is a sharded LRU cache bounded by total value bytes.
+type Cache struct {
+	shards    [numShards]shard
+	now       func() time.Time
+	hits      metrics.Counter
+	misses    metrics.Counter
+	sets      metrics.Counter
+	evictions metrics.Counter
+	expired   metrics.Counter
+}
+
+type shard struct {
+	mu       sync.Mutex
+	items    map[string]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	bytes    int64
+	maxBytes int64
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithClock injects a clock for TTL handling in tests and simulations.
+func WithClock(now func() time.Time) Option {
+	return func(c *Cache) { c.now = now }
+}
+
+// New creates a cache bounded to maxBytes of value data (split evenly
+// across shards). maxBytes <= 0 means a generous default of 64 MiB.
+func New(maxBytes int64, opts ...Option) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	c := &Cache{now: time.Now}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*entry)
+		c.shards[i].maxBytes = maxBytes / numShards
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv1a(key)&(numShards-1)]
+}
+
+// Get returns the cached value and its CAS version. The returned slice is
+// shared; callers must not modify it.
+func (c *Cache) Get(key string) (value []byte, version uint64, ok bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.items[key]
+	if !exists {
+		c.misses.Inc()
+		return nil, 0, false
+	}
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		s.remove(e)
+		c.expired.Inc()
+		c.misses.Inc()
+		return nil, 0, false
+	}
+	s.touch(e)
+	c.hits.Inc()
+	return e.value, e.version, true
+}
+
+// Set stores value under key with the given TTL (0 = never expires).
+func (c *Cache) Set(key string, value []byte, ttl time.Duration) {
+	c.set(key, value, ttl, 0, false)
+}
+
+// CompareAndSwap stores value only if the entry's current version matches.
+// It reports whether the swap happened; a missing key never matches.
+func (c *Cache) CompareAndSwap(key string, value []byte, ttl time.Duration, version uint64) bool {
+	return c.set(key, value, ttl, version, true)
+}
+
+func (c *Cache) set(key string, value []byte, ttl time.Duration, casVersion uint64, cas bool) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.items[key]
+	if cas && (!exists || e.version != casVersion) {
+		return false
+	}
+	c.sets.Inc()
+	var expires time.Time
+	if ttl > 0 {
+		expires = c.now().Add(ttl)
+	}
+	if exists {
+		s.bytes += int64(len(value)) - int64(len(e.value))
+		e.value = value
+		e.version++
+		e.expires = expires
+		s.touch(e)
+	} else {
+		e = &entry{key: key, value: value, version: 1, expires: expires}
+		s.items[key] = e
+		s.bytes += int64(len(value))
+		s.pushFront(e)
+	}
+	for s.bytes > s.maxBytes && s.tail != nil && s.tail != e {
+		c.evictions.Inc()
+		s.remove(s.tail)
+	}
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cache) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.items[key]
+	if !exists {
+		return false
+	}
+	s.remove(e)
+	return true
+}
+
+// Incr atomically adds delta to the decimal counter stored at key,
+// creating it at delta if absent, and returns the new value. The stored
+// representation is the decimal string, as in memcached.
+func (c *Cache) Incr(key string, delta int64) int64 {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cur int64
+	e, exists := s.items[key]
+	if exists && (e.expires.IsZero() || c.now().Before(e.expires)) {
+		cur = parseInt(e.value)
+	}
+	cur += delta
+	val := appendInt(nil, cur)
+	if exists {
+		s.bytes += int64(len(val)) - int64(len(e.value))
+		e.value = val
+		e.version++
+		s.touch(e)
+	} else {
+		e = &entry{key: key, value: val, version: 1}
+		s.items[key] = e
+		s.bytes += int64(len(val))
+		s.pushFront(e)
+	}
+	return cur
+}
+
+// Len returns the total number of cached items (including not-yet-reaped
+// expired entries).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Sets:      c.sets.Value(),
+		Evictions: c.evictions.Value(),
+		Expired:   c.expired.Value(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Items += int64(len(s.items))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Flush removes every entry.
+func (c *Cache) Flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*entry)
+		s.head, s.tail, s.bytes = nil, nil, 0
+		s.mu.Unlock()
+	}
+}
+
+// --- intrusive LRU list (shard lock held) ---
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *shard) remove(e *entry) {
+	s.unlink(e)
+	delete(s.items, e.key)
+	s.bytes -= int64(len(e.value))
+}
+
+// --- minimal decimal helpers (avoid strconv allocs on the hot path) ---
+
+func parseInt(b []byte) int64 {
+	var n int64
+	neg := false
+	for i, ch := range b {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return 0
+		}
+		n = n*10 + int64(ch-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+func appendInt(b []byte, n int64) []byte {
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

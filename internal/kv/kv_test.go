@@ -1,0 +1,303 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dsb/internal/rpc"
+)
+
+func TestSetGet(t *testing.T) {
+	c := New(1 << 20)
+	c.Set("k", []byte("v"), 0)
+	v, ver, ok := c.Get("k")
+	if !ok || string(v) != "v" || ver != 1 {
+		t.Fatalf("Get = %q, %d, %v", v, ver, ok)
+	}
+	if _, _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestOverwriteBumpsVersion(t *testing.T) {
+	c := New(1 << 20)
+	c.Set("k", []byte("v1"), 0)
+	c.Set("k", []byte("v2"), 0)
+	v, ver, _ := c.Get("k")
+	if string(v) != "v2" || ver != 2 {
+		t.Fatalf("Get = %q, %d", v, ver)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := New(1<<20, WithClock(func() time.Time { return now }))
+	c.Set("k", []byte("v"), time.Second)
+	if _, _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh key should be present")
+	}
+	now = now.Add(2 * time.Second)
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("expired key should be gone")
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d", st.Expired)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(1 << 20)
+	c.Set("k", []byte("v"), 0)
+	if !c.Delete("k") {
+		t.Fatal("Delete existing = false")
+	}
+	if c.Delete("k") {
+		t.Fatal("Delete missing = true")
+	}
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("deleted key present")
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	c := New(1 << 20)
+	c.Set("k", []byte("v1"), 0)
+	_, ver, _ := c.Get("k")
+	if !c.CompareAndSwap("k", []byte("v2"), 0, ver) {
+		t.Fatal("CAS with correct version failed")
+	}
+	if c.CompareAndSwap("k", []byte("v3"), 0, ver) {
+		t.Fatal("CAS with stale version succeeded")
+	}
+	if c.CompareAndSwap("missing", []byte("x"), 0, 1) {
+		t.Fatal("CAS on missing key succeeded")
+	}
+	v, _, _ := c.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestIncr(t *testing.T) {
+	c := New(1 << 20)
+	if got := c.Incr("n", 5); got != 5 {
+		t.Fatalf("Incr new = %d", got)
+	}
+	if got := c.Incr("n", -2); got != 3 {
+		t.Fatalf("Incr = %d", got)
+	}
+	v, _, _ := c.Get("n")
+	if string(v) != "3" {
+		t.Fatalf("stored = %q", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard gets maxBytes/numShards; craft keys for a single shard by
+	// brute force so eviction order is observable.
+	c := New(numShards * 100) // 100 bytes per shard
+	shardOf := func(k string) *shard { return c.shard(k) }
+	target := shardOf("seed")
+	var keys []string
+	for i := 0; len(keys) < 5; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if shardOf(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	val := make([]byte, 30)
+	for _, k := range keys[:3] {
+		c.Set(k, val, 0) // 90 bytes: fits
+	}
+	// Touch keys[0] so keys[1] is LRU.
+	c.Get(keys[0])
+	c.Set(keys[3], val, 0) // 120 bytes: evicts LRU (keys[1])
+	if _, _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestStatsAndFlush(t *testing.T) {
+	c := New(1 << 20)
+	c.Set("a", []byte("xy"), 0)
+	c.Get("a")
+	c.Get("b")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Sets != 1 || st.Items != 1 || st.Bytes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.Flush()
+	if c.Len() != 0 || c.Stats().Bytes != 0 {
+		t.Fatal("flush incomplete")
+	}
+}
+
+// Property: cache byte accounting equals the sum of live values, and never
+// exceeds capacity after any operation sequence.
+func TestCacheInvariantsProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value []byte
+	}
+	const perShardCap = 256
+	f := func(ops []op) bool {
+		c := New(numShards * perShardCap)
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%16)
+			if len(o.Value) > perShardCap {
+				o.Value = o.Value[:perShardCap]
+			}
+			switch o.Kind % 3 {
+			case 0:
+				c.Set(key, o.Value, 0)
+			case 1:
+				c.Get(key)
+			case 2:
+				c.Delete(key)
+			}
+			for i := range c.shards {
+				s := &c.shards[i]
+				s.mu.Lock()
+				var sum int64
+				count := 0
+				for e := s.head; e != nil; e = e.next {
+					sum += int64(len(e.value))
+					count++
+				}
+				ok := sum == s.bytes && count == len(s.items) && s.bytes <= s.maxBytes
+				s.mu.Unlock()
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 7))
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", rng.IntN(64))
+				switch rng.IntN(4) {
+				case 0:
+					c.Set(key, []byte("value"), 0)
+				case 1:
+					c.Get(key)
+				case 2:
+					c.Delete(key)
+				case 3:
+					c.Incr("ctr-"+key, 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestIncrConcurrentExact(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Incr("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	v, _, _ := c.Get("n")
+	if string(v) != "10000" {
+		t.Fatalf("counter = %q, want 10000", v)
+	}
+}
+
+func TestRPCService(t *testing.T) {
+	n := rpc.NewMem()
+	srv := rpc.NewServer("memcached")
+	RegisterService(srv, New(1<<20))
+	addr, err := srv.Start(n, "memcached:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := rpc.NewClient(n, "memcached", addr)
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Call(ctx, "Set", SetReq{Key: "k", Value: []byte("v")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got GetResp
+	if err := c.Call(ctx, "Get", GetReq{Key: "k"}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || string(got.Value) != "v" {
+		t.Fatalf("Get = %+v", got)
+	}
+	var ir IncrResp
+	if err := c.Call(ctx, "Incr", IncrReq{Key: "c", Delta: 3}, &ir); err != nil || ir.Value != 3 {
+		t.Fatalf("Incr = %+v, %v", ir, err)
+	}
+	var dr DeleteResp
+	if err := c.Call(ctx, "Delete", DeleteReq{Key: "k"}, &dr); err != nil || !dr.Existed {
+		t.Fatalf("Delete = %+v, %v", dr, err)
+	}
+	if err := c.Call(ctx, "Get", GetReq{Key: "k"}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Found {
+		t.Fatal("deleted key found over RPC")
+	}
+}
+
+func BenchmarkCacheGet(b *testing.B) {
+	c := New(64 << 20)
+	for i := 0; i < 1000; i++ {
+		c.Set(fmt.Sprintf("key-%d", i), make([]byte, 128), 0)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(fmt.Sprintf("key-%d", i%1000))
+			i++
+		}
+	})
+}
+
+func BenchmarkCacheSet(b *testing.B) {
+	c := New(64 << 20)
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Set(fmt.Sprintf("key-%d", i%4096), val, 0)
+			i++
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package kv
+
+import (
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/rpc"
+)
+
+// Wire messages for the cache's RPC interface.
+
+// GetReq asks for one key.
+type GetReq struct{ Key string }
+
+// GetResp returns the value if found.
+type GetResp struct {
+	Value   []byte
+	Version uint64
+	Found   bool
+}
+
+// SetReq stores a value with a TTL in nanoseconds (0 = no expiry).
+type SetReq struct {
+	Key   string
+	Value []byte
+	TTLNs int64
+}
+
+// DeleteReq removes one key.
+type DeleteReq struct{ Key string }
+
+// DeleteResp reports whether the key existed.
+type DeleteResp struct{ Existed bool }
+
+// IncrReq adjusts a counter.
+type IncrReq struct {
+	Key   string
+	Delta int64
+}
+
+// IncrResp returns the new counter value.
+type IncrResp struct{ Value int64 }
+
+// RegisterService exposes cache as an RPC microservice on srv with methods
+// Get, Set, Delete, and Incr — the cache tier the application graphs call.
+func RegisterService(srv *rpc.Server, cache *Cache) {
+	srv.Handle("Get", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req GetReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		v, ver, ok := cache.Get(req.Key)
+		return codec.Marshal(GetResp{Value: v, Version: ver, Found: ok})
+	})
+	srv.Handle("Set", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req SetReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		cache.Set(req.Key, req.Value, time.Duration(req.TTLNs))
+		return nil, nil
+	})
+	srv.Handle("Delete", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req DeleteReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		return codec.Marshal(DeleteResp{Existed: cache.Delete(req.Key)})
+	})
+	srv.Handle("Incr", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req IncrReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		return codec.Marshal(IncrResp{Value: cache.Incr(req.Key, req.Delta)})
+	})
+}

@@ -1,0 +1,211 @@
+// Package lb implements client-side load balancing across the instances of
+// one microservice — the role the nginx load-balancer tier plays in front
+// of the suite's webservers, generalized to every tier-to-tier edge so that
+// scaled-out instances share traffic. Policies: round-robin, least
+// outstanding connections, and power-of-two-choices.
+package lb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"dsb/internal/rpc"
+)
+
+// Policy selects a backend index given per-backend outstanding counts.
+type Policy interface {
+	// Pick returns the index of the chosen backend; n is len(outstanding).
+	Pick(n int, outstanding func(i int) int64) int
+}
+
+// RoundRobin cycles through backends.
+type RoundRobin struct{ next atomic.Uint64 }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(n int, _ func(int) int64) int {
+	return int(p.next.Add(1)-1) % n
+}
+
+// LeastConn picks the backend with the fewest outstanding requests.
+type LeastConn struct{}
+
+// Pick implements Policy.
+func (LeastConn) Pick(n int, outstanding func(int) int64) int {
+	best, bestV := 0, outstanding(0)
+	for i := 1; i < n; i++ {
+		if v := outstanding(i); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// PowerOfTwo samples two random backends and picks the less loaded, the
+// classic load-balancing compromise between cost and tail behaviour.
+type PowerOfTwo struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPowerOfTwo returns a seeded power-of-two-choices policy.
+func NewPowerOfTwo(seed uint64) *PowerOfTwo {
+	return &PowerOfTwo{rng: rand.New(rand.NewPCG(seed, 0x9E37))}
+}
+
+// Pick implements Policy.
+func (p *PowerOfTwo) Pick(n int, outstanding func(int) int64) int {
+	if n == 1 {
+		return 0
+	}
+	p.mu.Lock()
+	a := p.rng.IntN(n)
+	b := p.rng.IntN(n - 1)
+	p.mu.Unlock()
+	if b >= a {
+		b++
+	}
+	if outstanding(b) < outstanding(a) {
+		return b
+	}
+	return a
+}
+
+type backend struct {
+	addr        string
+	client      *rpc.Client
+	outstanding atomic.Int64
+}
+
+// Balanced is a load-balanced RPC client over the instances of one target
+// service. Backends can be added and removed at runtime as instances scale
+// out and in.
+type Balanced struct {
+	network rpc.Network
+	target  string
+	policy  Policy
+	opts    []rpc.ClientOption
+
+	mu       sync.RWMutex
+	backends []*backend
+}
+
+// New creates a balanced client. addrs may be empty initially.
+func New(network rpc.Network, target string, addrs []string, policy Policy, opts ...rpc.ClientOption) *Balanced {
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	b := &Balanced{network: network, target: target, policy: policy, opts: opts}
+	for _, a := range addrs {
+		b.AddBackend(a)
+	}
+	return b
+}
+
+// Target returns the balanced service name.
+func (b *Balanced) Target() string { return b.target }
+
+// AddBackend adds an instance address (idempotent). The backend slice is
+// copy-on-write: Call holds snapshots of it outside the lock.
+func (b *Balanced) AddBackend(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, be := range b.backends {
+		if be.addr == addr {
+			return
+		}
+	}
+	next := make([]*backend, len(b.backends), len(b.backends)+1)
+	copy(next, b.backends)
+	b.backends = append(next, &backend{
+		addr:   addr,
+		client: rpc.NewClient(b.network, b.target, addr, b.opts...),
+	})
+}
+
+// RemoveBackend drops an instance address, closing its client. In-flight
+// calls holding the old snapshot finish against the closed client and fail
+// over.
+func (b *Balanced) RemoveBackend(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, be := range b.backends {
+		if be.addr == addr {
+			be.client.Close()
+			next := make([]*backend, 0, len(b.backends)-1)
+			next = append(next, b.backends[:i]...)
+			next = append(next, b.backends[i+1:]...)
+			b.backends = next
+			return
+		}
+	}
+}
+
+// Backends returns the current backend addresses.
+func (b *Balanced) Backends() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, len(b.backends))
+	for i, be := range b.backends {
+		out[i] = be.addr
+	}
+	return out
+}
+
+// Call invokes method on a backend chosen by the policy. Transport-level
+// failures (dial refused, connection lost) fail over once to the next
+// backend, so a dead instance doesn't surface to callers while the
+// registry catches up; application errors are returned as-is.
+func (b *Balanced) Call(ctx context.Context, method string, req, resp any) error {
+	b.mu.RLock()
+	backends := b.backends
+	b.mu.RUnlock()
+	if len(backends) == 0 {
+		return rpc.Errorf(rpc.CodeUnavailable, "lb: no backends for %q", b.target)
+	}
+	idx := b.policy.Pick(len(backends), func(i int) int64 {
+		return backends[i].outstanding.Load()
+	})
+	if idx < 0 || idx >= len(backends) {
+		return fmt.Errorf("lb: policy picked invalid backend %d/%d", idx, len(backends))
+	}
+	err := backends[idx].call(ctx, method, req, resp)
+	if err == nil || !isTransportError(err) || len(backends) < 2 || ctx.Err() != nil {
+		return err
+	}
+	// One failover attempt on the neighboring backend.
+	return backends[(idx+1)%len(backends)].call(ctx, method, req, resp)
+}
+
+func (be *backend) call(ctx context.Context, method string, req, resp any) error {
+	be.outstanding.Add(1)
+	defer be.outstanding.Add(-1)
+	return be.client.Call(ctx, method, req, resp)
+}
+
+// isTransportError distinguishes connection-level failures (safe to retry
+// on another instance) from application errors (which must not be retried
+// here; idempotency is the application's concern).
+func isTransportError(err error) bool {
+	var e *rpc.Error
+	if errors.As(err, &e) {
+		// Coded errors were produced by a reachable server (or a local
+		// deadline, which retrying would only make worse).
+		return false
+	}
+	return true
+}
+
+// Close closes all backend clients.
+func (b *Balanced) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, be := range b.backends {
+		be.client.Close()
+	}
+	b.backends = nil
+	return nil
+}

@@ -1,0 +1,211 @@
+package lb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/rpc"
+)
+
+type whoResp struct{ Instance string }
+
+// startInstances boots n echo servers that identify themselves.
+func startInstances(t testing.TB, net rpc.Network, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("inst-%d", i)
+		s := rpc.NewServer("svc")
+		s.Handle("Who", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			return codec.Marshal(whoResp{Instance: name})
+		})
+		s.Handle("Slow", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			time.Sleep(30 * time.Millisecond)
+			return codec.Marshal(whoResp{Instance: name})
+		})
+		addr, err := s.Start(net, fmt.Sprintf("svc/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	net := rpc.NewMem()
+	addrs := startInstances(t, net, 3)
+	b := New(net, "svc", addrs, &RoundRobin{})
+	defer b.Close()
+	counts := map[string]int{}
+	for i := 0; i < 30; i++ {
+		var resp whoResp
+		if err := b.Call(context.Background(), "Who", nil, &resp); err != nil {
+			t.Fatal(err)
+		}
+		counts[resp.Instance]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("instances hit = %v", counts)
+	}
+	for inst, c := range counts {
+		if c != 10 {
+			t.Fatalf("round robin uneven: %s = %d", inst, c)
+		}
+	}
+}
+
+func TestNoBackends(t *testing.T) {
+	b := New(rpc.NewMem(), "svc", nil, &RoundRobin{})
+	defer b.Close()
+	err := b.Call(context.Background(), "Who", nil, nil)
+	if !rpc.IsCode(err, rpc.CodeUnavailable) {
+		t.Fatalf("want CodeUnavailable, got %v", err)
+	}
+}
+
+func TestAddRemoveBackend(t *testing.T) {
+	net := rpc.NewMem()
+	addrs := startInstances(t, net, 2)
+	b := New(net, "svc", addrs[:1], &RoundRobin{})
+	defer b.Close()
+	b.AddBackend(addrs[1])
+	b.AddBackend(addrs[1]) // idempotent
+	if got := b.Backends(); len(got) != 2 {
+		t.Fatalf("Backends = %v", got)
+	}
+	b.RemoveBackend(addrs[0])
+	if got := b.Backends(); len(got) != 1 || got[0] != addrs[1] {
+		t.Fatalf("after remove = %v", got)
+	}
+	var resp whoResp
+	if err := b.Call(context.Background(), "Who", nil, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Instance != "inst-1" {
+		t.Fatalf("routed to removed backend: %s", resp.Instance)
+	}
+}
+
+func TestLeastConnAvoidsBusy(t *testing.T) {
+	net := rpc.NewMem()
+	addrs := startInstances(t, net, 2)
+	b := New(net, "svc", addrs, LeastConn{})
+	defer b.Close()
+
+	// Stagger three slow calls so least-conn assigns them 0, 1, 0 (ties go
+	// to the lowest index), leaving outstanding = (2, 1). Fast calls issued
+	// while they run must all land on the less-loaded backend 1.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp whoResp
+			b.Call(context.Background(), "Slow", nil, &resp) //nolint:errcheck
+		}()
+		time.Sleep(5 * time.Millisecond)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 5; i++ {
+		var resp whoResp
+		if err := b.Call(context.Background(), "Who", nil, &resp); err != nil {
+			t.Fatal(err)
+		}
+		counts[resp.Instance]++
+	}
+	wg.Wait()
+	if counts["inst-1"] != 5 {
+		t.Fatalf("least-conn did not prefer idle backend: %v", counts)
+	}
+}
+
+func TestPowerOfTwoPick(t *testing.T) {
+	p := NewPowerOfTwo(42)
+	if got := p.Pick(1, func(int) int64 { return 0 }); got != 0 {
+		t.Fatalf("single backend pick = %d", got)
+	}
+	loads := []int64{100, 0, 100, 100}
+	hits := make([]int, 4)
+	for i := 0; i < 200; i++ {
+		idx := p.Pick(4, func(i int) int64 { return loads[i] })
+		hits[idx]++
+	}
+	// The idle backend must win every comparison it appears in (~half of
+	// picks in expectation); it must clearly dominate.
+	if hits[1] < 60 {
+		t.Fatalf("power-of-two ignored idle backend: %v", hits)
+	}
+}
+
+func TestRoundRobinPolicyCycle(t *testing.T) {
+	p := &RoundRobin{}
+	got := []int{}
+	for i := 0; i < 6; i++ {
+		got = append(got, p.Pick(3, nil))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle = %v", got)
+		}
+	}
+}
+
+func TestFailoverOnDeadBackend(t *testing.T) {
+	net := rpc.NewMem()
+	addrs := startInstances(t, net, 2)
+	b := New(net, "svc", addrs, &RoundRobin{})
+	defer b.Close()
+
+	// Register a third, never-listening backend; calls picked for it must
+	// fail over to a live neighbor instead of erroring.
+	b.AddBackend("dead:0")
+	failures := 0
+	for i := 0; i < 30; i++ {
+		var resp whoResp
+		if err := b.Call(context.Background(), "Who", nil, &resp); err != nil {
+			failures++
+		}
+	}
+	if failures != 0 {
+		t.Fatalf("%d calls failed despite failover", failures)
+	}
+}
+
+func TestNoFailoverOnApplicationError(t *testing.T) {
+	net := rpc.NewMem()
+	var hits [2]int32
+	for i := 0; i < 2; i++ {
+		i := i
+		s := rpc.NewServer("svc")
+		s.Handle("Fail", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			atomic.AddInt32(&hits[i], 1)
+			return nil, rpc.Errorf(rpc.CodeConflict, "app error")
+		})
+		addr, err := s.Start(net, fmt.Sprintf("svc-fail/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		if i == 0 {
+			b := New(net, "svc", []string{addr}, &RoundRobin{})
+			t.Cleanup(func() { b.Close() })
+		}
+	}
+	addrs := []string{"svc-fail/0", "svc-fail/1"}
+	b := New(net, "svc", addrs, &RoundRobin{})
+	defer b.Close()
+	if err := b.Call(context.Background(), "Fail", nil, nil); !rpc.IsCode(err, rpc.CodeConflict) {
+		t.Fatalf("err = %v", err)
+	}
+	if hits[0]+hits[1] != 1 {
+		t.Fatalf("application error was retried: hits=%v", hits)
+	}
+}

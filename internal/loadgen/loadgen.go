@@ -1,0 +1,317 @@
+// Package loadgen implements the suite's workload generation: open-loop
+// arrival processes (Poisson, and non-homogeneous Poisson for diurnal
+// patterns), closed-loop clients, and the key/user popularity
+// distributions (Zipf, and the "top-u% of users issue 90% of requests"
+// skew knob of Figure 22b). All generators are seeded and deterministic.
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"dsb/internal/metrics"
+)
+
+// Arrivals produces inter-arrival gaps for an open-loop generator.
+type Arrivals interface {
+	// Next returns the gap before the next arrival.
+	Next() time.Duration
+}
+
+// Poisson is a homogeneous Poisson arrival process at a fixed rate.
+type Poisson struct {
+	rate float64 // arrivals per second
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with the given rate (per second).
+func NewPoisson(rate float64, seed uint64) *Poisson {
+	return &Poisson{rate: rate, rng: rand.New(rand.NewPCG(seed, 0xA11CE))}
+}
+
+// Next implements Arrivals: exponential inter-arrival times.
+func (p *Poisson) Next() time.Duration {
+	if p.rate <= 0 {
+		return time.Hour
+	}
+	gap := p.rng.ExpFloat64() / p.rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// ConstantRate spaces arrivals evenly, the deterministic baseline.
+type ConstantRate struct{ Gap time.Duration }
+
+// Next implements Arrivals.
+func (c ConstantRate) Next() time.Duration { return c.Gap }
+
+// Pattern maps elapsed time to a rate multiplier; Eval must be >= 0.
+type Pattern interface {
+	Eval(elapsed time.Duration) float64
+}
+
+// Diurnal is a day-shaped load curve: a raised cosine with its trough at
+// phase 0, scaled so the multiplier swings between min and max. The paper
+// compresses a day of Social Network traffic into minutes; Period controls
+// that compression.
+type Diurnal struct {
+	Period   time.Duration
+	Min, Max float64
+}
+
+// Eval implements Pattern.
+func (d Diurnal) Eval(elapsed time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Max
+	}
+	phase := 2 * math.Pi * float64(elapsed%d.Period) / float64(d.Period)
+	unit := (1 - math.Cos(phase)) / 2 // 0 at trough, 1 at peak
+	return d.Min + (d.Max-d.Min)*unit
+}
+
+// Spike is flat at 1.0 with a multiplicative burst in [Start, Start+Width).
+type Spike struct {
+	Start, Width time.Duration
+	Factor       float64
+}
+
+// Eval implements Pattern.
+func (s Spike) Eval(elapsed time.Duration) float64 {
+	if elapsed >= s.Start && elapsed < s.Start+s.Width {
+		return s.Factor
+	}
+	return 1
+}
+
+// NonHomogeneous modulates a base Poisson process by a Pattern via
+// thinning: candidate arrivals are generated at the peak rate and kept
+// with probability rate(t)/peak.
+type NonHomogeneous struct {
+	base    *Poisson
+	pattern Pattern
+	peak    float64
+	elapsed time.Duration
+	rng     *rand.Rand
+}
+
+// NewNonHomogeneous creates a modulated process; baseRate is the rate at
+// multiplier 1.0 and peakMultiplier bounds pattern.Eval.
+func NewNonHomogeneous(baseRate float64, pattern Pattern, peakMultiplier float64, seed uint64) *NonHomogeneous {
+	if peakMultiplier < 1 {
+		peakMultiplier = 1
+	}
+	return &NonHomogeneous{
+		base:    NewPoisson(baseRate*peakMultiplier, seed),
+		pattern: pattern,
+		peak:    peakMultiplier,
+		rng:     rand.New(rand.NewPCG(seed, 0xD1A)),
+	}
+}
+
+// Next implements Arrivals by thinning.
+func (n *NonHomogeneous) Next() time.Duration {
+	var total time.Duration
+	for {
+		gap := n.base.Next()
+		total += gap
+		n.elapsed += gap
+		mult := n.pattern.Eval(n.elapsed)
+		if mult < 0 {
+			mult = 0
+		}
+		if n.rng.Float64() < mult/n.peak {
+			return total
+		}
+	}
+}
+
+// Zipf draws integers in [0, n) with probability proportional to
+// 1/(rank+1)^s, via an inverted CDF table. s=0 degenerates to uniform.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds the distribution over n items with exponent s >= 0.
+func NewZipf(n int, s float64, seed uint64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rand.New(rand.NewPCG(seed, 0x21F))}
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SkewedUsers models Figure 22b's skew knob: skewPct = 100 - u where u is
+// the percentage of users responsible for 90% of requests. skewPct 0 means
+// uniform; skewPct 99 means 1% of users issue 90% of the traffic.
+type SkewedUsers struct {
+	n       int
+	hotSize int
+	rng     *rand.Rand
+}
+
+// NewSkewedUsers builds the distribution over n users at the given skew.
+func NewSkewedUsers(n int, skewPct float64, seed uint64) *SkewedUsers {
+	if n < 1 {
+		n = 1
+	}
+	if skewPct < 0 {
+		skewPct = 0
+	}
+	if skewPct > 99.9 {
+		skewPct = 99.9
+	}
+	u := 100 - skewPct // % of users issuing 90% of requests
+	hot := int(math.Round(float64(n) * u / 100))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	return &SkewedUsers{n: n, hotSize: hot, rng: rand.New(rand.NewPCG(seed, 0x5EED))}
+}
+
+// Draw returns the next user index in [0, n).
+func (s *SkewedUsers) Draw() int {
+	if s.hotSize >= s.n {
+		return s.rng.IntN(s.n)
+	}
+	if s.rng.Float64() < 0.9 {
+		return s.rng.IntN(s.hotSize)
+	}
+	return s.hotSize + s.rng.IntN(s.n-s.hotSize)
+}
+
+// Result summarizes one load-generation run.
+type Result struct {
+	Issued    int64
+	Completed int64
+	Errors    int64
+	Elapsed   time.Duration
+	Latency   metrics.Snapshot
+}
+
+// Throughput returns completed requests per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// RunOpenLoop fires requests following the arrival process for the given
+// duration, never waiting for responses before issuing the next request —
+// the open-loop methodology the paper uses so that server slowdowns surface
+// as queueing rather than reduced offered load. Each request runs in its
+// own goroutine; do must be safe for concurrent use.
+func RunOpenLoop(ctx context.Context, arrivals Arrivals, duration time.Duration, do func(ctx context.Context) error) Result {
+	hist := metrics.NewHistogram()
+	var res Result
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	<-timer.C
+	defer timer.Stop()
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= duration || ctx.Err() != nil {
+			break
+		}
+		gap := arrivals.Next()
+		timer.Reset(gap)
+		select {
+		case <-ctx.Done():
+		case <-timer.C:
+		}
+		if ctx.Err() != nil || time.Since(start) >= duration {
+			break
+		}
+		mu.Lock()
+		res.Issued++
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			err := do(ctx)
+			lat := time.Since(t0)
+			mu.Lock()
+			if err != nil {
+				res.Errors++
+			} else {
+				res.Completed++
+				hist.RecordDuration(lat)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Latency = hist.Snapshot()
+	return res
+}
+
+// RunClosedLoop drives the target with a fixed number of workers, each
+// issuing its next request only after the previous one completes — the
+// contrast case to open-loop generation.
+func RunClosedLoop(ctx context.Context, workers int, duration time.Duration, do func(ctx context.Context) error) Result {
+	if workers < 1 {
+		workers = 1
+	}
+	hist := metrics.NewHistogram()
+	var res Result
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Since(start) < duration && ctx.Err() == nil {
+				t0 := time.Now()
+				err := do(ctx)
+				lat := time.Since(t0)
+				mu.Lock()
+				res.Issued++
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Completed++
+					hist.RecordDuration(lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Latency = hist.Snapshot()
+	return res
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("Value = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	// Inject a controllable clock.
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	m := NewMeter(time.Second, 10, clock)
+	for i := 0; i < 100; i++ {
+		m.Mark(1)
+	}
+	got := m.Rate()
+	if got < 99 || got > 101 {
+		t.Fatalf("Rate = %f, want ~100", got)
+	}
+	// Advance past the window: rate decays to zero.
+	now = now.Add(2 * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after window = %f, want 0", got)
+	}
+}
+
+func TestMeterRotation(t *testing.T) {
+	now := time.Unix(2000, 0)
+	clock := func() time.Time { return now }
+	m := NewMeter(time.Second, 10, clock)
+	m.Mark(10)
+	now = now.Add(500 * time.Millisecond)
+	m.Mark(10)
+	// Both marks inside the 1s window.
+	if got := m.Rate(); got < 19 || got > 21 {
+		t.Fatalf("Rate = %f, want ~20", got)
+	}
+	// Slide so only the second mark remains.
+	now = now.Add(700 * time.Millisecond)
+	got := m.Rate()
+	if got < 9 || got > 11 {
+		t.Fatalf("Rate after slide = %f, want ~10", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("b")
+	h2 := r.Histogram("a")
+	if r.Histogram("b") != h1 {
+		t.Fatal("Histogram not memoized")
+	}
+	h1.Record(1)
+	h2.Record(2)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	var visited []string
+	r.Each(func(name string, h *Histogram) { visited = append(visited, name) })
+	if len(visited) != 2 || visited[0] != "a" {
+		t.Fatalf("Each visited %v", visited)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("lat")
+	if s.Last() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(0, 1)
+	s.Add(time.Second, 3)
+	s.Add(2*time.Second, 2)
+	if got := s.Last(); got != 2 {
+		t.Errorf("Last = %f", got)
+	}
+	if got := s.Max(); got != 3 {
+		t.Errorf("Max = %f", got)
+	}
+	if got := s.Mean(); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := s.At(1500 * time.Millisecond); got != 3 {
+		t.Errorf("At(1.5s) = %f, want 3", got)
+	}
+	if got := s.At(-time.Second); got != 0 {
+		t.Errorf("At(-1s) = %f, want 0", got)
+	}
+	if sl := s.Sparkline(10); len([]rune(sl)) != 10 {
+		t.Errorf("Sparkline width = %d", len([]rune(sl)))
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,230 @@
+// Package mq implements the suite's message queue — the role RabbitMQ
+// plays as the orderQueue behind queueMaster in the E-commerce service.
+// Queues are named, FIFO, and support consumer acknowledgement with
+// redelivery: a message dequeued but not acked within its lease returns to
+// the front of the queue, so a crashed worker never loses an order. This
+// serialization point is exactly the scalability constraint Section 7 of
+// the paper attributes to queueMaster.
+package mq
+
+import (
+	"sync"
+	"time"
+
+	"dsb/internal/rpc"
+)
+
+// Message is one queued item.
+type Message struct {
+	// ID is assigned by the broker, monotonically increasing per queue.
+	ID uint64
+	// Body is the payload.
+	Body []byte
+	// Attempts counts deliveries, 1 on first receive.
+	Attempts int
+}
+
+// Broker holds named queues.
+type Broker struct {
+	mu     sync.Mutex
+	queues map[string]*queue
+	now    func() time.Time
+}
+
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []*item // FIFO: items[0] is next
+	inflight map[uint64]*item
+	nextID   uint64
+	closed   bool
+	now      func() time.Time
+}
+
+type item struct {
+	msg      Message
+	leasedAt time.Time
+	lease    time.Duration
+}
+
+// Option configures a Broker.
+type Option func(*Broker)
+
+// WithClock injects a clock for lease expiry in tests.
+func WithClock(now func() time.Time) Option {
+	return func(b *Broker) { b.now = now }
+}
+
+// NewBroker returns an empty broker.
+func NewBroker(opts ...Option) *Broker {
+	b := &Broker{queues: make(map[string]*queue), now: time.Now}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Queue returns the named queue, creating it if needed.
+func (b *Broker) Queue(name string) *Queue {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[name]
+	if !ok {
+		q = &queue{inflight: make(map[uint64]*item), now: b.now}
+		q.cond = sync.NewCond(&q.mu)
+		b.queues[name] = q
+	}
+	return &Queue{q: q, name: name}
+}
+
+// Queue is a handle on one named queue.
+type Queue struct {
+	q    *queue
+	name string
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Publish appends a message and returns its ID.
+func (q *Queue) Publish(body []byte) (uint64, error) {
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	if qq.closed {
+		return 0, rpc.Errorf(rpc.CodeUnavailable, "mq: queue %q closed", q.name)
+	}
+	qq.nextID++
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	qq.items = append(qq.items, &item{msg: Message{ID: qq.nextID, Body: cp}})
+	qq.cond.Signal()
+	return qq.nextID, nil
+}
+
+// Receive blocks until a message is available (or the queue closes) and
+// leases it to the caller for leaseFor; if not acked in time, the message
+// is redelivered. leaseFor <= 0 means a 30s default.
+func (q *Queue) Receive(leaseFor time.Duration) (Message, bool) {
+	if leaseFor <= 0 {
+		leaseFor = 30 * time.Second
+	}
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	for {
+		qq.reclaimExpiredLocked()
+		if len(qq.items) > 0 {
+			it := qq.items[0]
+			qq.items = qq.items[1:]
+			it.msg.Attempts++
+			it.leasedAt = qq.now()
+			it.lease = leaseFor
+			qq.inflight[it.msg.ID] = it
+			return it.msg, true
+		}
+		if qq.closed {
+			return Message{}, false
+		}
+		qq.cond.Wait()
+	}
+}
+
+// TryReceive is Receive without blocking; ok is false when empty.
+func (q *Queue) TryReceive(leaseFor time.Duration) (Message, bool) {
+	if leaseFor <= 0 {
+		leaseFor = 30 * time.Second
+	}
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	qq.reclaimExpiredLocked()
+	if len(qq.items) == 0 {
+		return Message{}, false
+	}
+	it := qq.items[0]
+	qq.items = qq.items[1:]
+	it.msg.Attempts++
+	it.leasedAt = qq.now()
+	it.lease = leaseFor
+	qq.inflight[it.msg.ID] = it
+	return it.msg, true
+}
+
+// reclaimExpiredLocked returns timed-out in-flight messages to the front of
+// the queue, preserving ID order among reclaimed items.
+func (qq *queue) reclaimExpiredLocked() {
+	if len(qq.inflight) == 0 {
+		return
+	}
+	now := qq.now()
+	var expired []*item
+	for id, it := range qq.inflight {
+		if now.Sub(it.leasedAt) >= it.lease {
+			expired = append(expired, it)
+			delete(qq.inflight, id)
+		}
+	}
+	if len(expired) == 0 {
+		return
+	}
+	// Order reclaimed items by ID, then put them ahead of fresh items.
+	for i := 1; i < len(expired); i++ {
+		for j := i; j > 0 && expired[j].msg.ID < expired[j-1].msg.ID; j-- {
+			expired[j], expired[j-1] = expired[j-1], expired[j]
+		}
+	}
+	qq.items = append(expired, qq.items...)
+	qq.cond.Broadcast()
+}
+
+// Ack confirms processing of a leased message; returns false for unknown
+// or already-expired leases.
+func (q *Queue) Ack(id uint64) bool {
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	if _, ok := qq.inflight[id]; !ok {
+		return false
+	}
+	delete(qq.inflight, id)
+	return true
+}
+
+// Nack returns a leased message to the front of the queue immediately.
+func (q *Queue) Nack(id uint64) bool {
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	it, ok := qq.inflight[id]
+	if !ok {
+		return false
+	}
+	delete(qq.inflight, id)
+	qq.items = append([]*item{it}, qq.items...)
+	qq.cond.Signal()
+	return true
+}
+
+// Len returns the number of queued (not in-flight) messages.
+func (q *Queue) Len() int {
+	q.q.mu.Lock()
+	defer q.q.mu.Unlock()
+	return len(q.q.items)
+}
+
+// InFlight returns the number of leased, unacked messages.
+func (q *Queue) InFlight() int {
+	q.q.mu.Lock()
+	defer q.q.mu.Unlock()
+	return len(q.q.inflight)
+}
+
+// Close wakes all blocked receivers; subsequent publishes fail and
+// receives drain remaining items then report closed.
+func (q *Queue) Close() {
+	q.q.mu.Lock()
+	q.q.closed = true
+	q.q.cond.Broadcast()
+	q.q.mu.Unlock()
+}

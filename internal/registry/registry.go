@@ -1,0 +1,106 @@
+// Package registry implements service discovery for live-mode
+// applications: each microservice instance registers its (service, address)
+// pair on startup, and clients resolve a service name to the current set of
+// addresses. It plays the role of the auxiliary service-discovery tiers the
+// paper mentions for the Media service.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps service names to live instance addresses.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]map[string]struct{}
+	watch   map[string][]chan struct{}
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		entries: make(map[string]map[string]struct{}),
+		watch:   make(map[string][]chan struct{}),
+	}
+}
+
+// Register adds an instance address for a service.
+func (r *Registry) Register(service, addr string) {
+	r.mu.Lock()
+	set, ok := r.entries[service]
+	if !ok {
+		set = make(map[string]struct{})
+		r.entries[service] = set
+	}
+	set[addr] = struct{}{}
+	watchers := r.watch[service]
+	r.watch[service] = nil
+	r.mu.Unlock()
+	for _, ch := range watchers {
+		close(ch)
+	}
+}
+
+// Deregister removes an instance address.
+func (r *Registry) Deregister(service, addr string) {
+	r.mu.Lock()
+	if set, ok := r.entries[service]; ok {
+		delete(set, addr)
+		if len(set) == 0 {
+			delete(r.entries, service)
+		}
+	}
+	watchers := r.watch[service]
+	r.watch[service] = nil
+	r.mu.Unlock()
+	for _, ch := range watchers {
+		close(ch)
+	}
+}
+
+// Lookup returns the sorted addresses of a service's live instances.
+func (r *Registry) Lookup(service string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	set := r.entries[service]
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustLookup returns the addresses or an error naming the missing service,
+// the common client-wiring path.
+func (r *Registry) MustLookup(service string) ([]string, error) {
+	addrs := r.Lookup(service)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("registry: no instances of %q", service)
+	}
+	return addrs, nil
+}
+
+// Services returns all registered service names, sorted.
+func (r *Registry) Services() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for s := range r.entries {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Changed returns a channel closed on the next membership change of the
+// service; load balancers use it to refresh backend sets.
+func (r *Registry) Changed(service string) <-chan struct{} {
+	ch := make(chan struct{})
+	r.mu.Lock()
+	r.watch[service] = append(r.watch[service], ch)
+	r.mu.Unlock()
+	return ch
+}

@@ -1,0 +1,78 @@
+package registry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	r := New()
+	r.Register("svc", "a:1")
+	r.Register("svc", "b:2")
+	r.Register("svc", "a:1") // idempotent
+	got := r.Lookup("svc")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if got := r.Lookup("ghost"); len(got) != 0 {
+		t.Fatalf("ghost = %v", got)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	r := New()
+	r.Register("svc", "a:1")
+	r.Deregister("svc", "a:1")
+	if got := r.Lookup("svc"); len(got) != 0 {
+		t.Fatalf("after deregister = %v", got)
+	}
+	r.Deregister("svc", "never") // no panic on unknown
+	if got := r.Services(); len(got) != 0 {
+		t.Fatalf("Services = %v", got)
+	}
+}
+
+func TestMustLookup(t *testing.T) {
+	r := New()
+	if _, err := r.MustLookup("nope"); err == nil {
+		t.Fatal("want error for missing service")
+	}
+	r.Register("svc", "a:1")
+	addrs, err := r.MustLookup("svc")
+	if err != nil || len(addrs) != 1 {
+		t.Fatalf("MustLookup = %v, %v", addrs, err)
+	}
+}
+
+func TestServicesSorted(t *testing.T) {
+	r := New()
+	r.Register("zeta", "z:1")
+	r.Register("alpha", "a:1")
+	got := r.Services()
+	if len(got) != 2 || got[0] != "alpha" {
+		t.Fatalf("Services = %v", got)
+	}
+}
+
+func TestChangedNotification(t *testing.T) {
+	r := New()
+	ch := r.Changed("svc")
+	select {
+	case <-ch:
+		t.Fatal("premature notification")
+	case <-time.After(10 * time.Millisecond):
+	}
+	r.Register("svc", "a:1")
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification on register")
+	}
+	ch2 := r.Changed("svc")
+	r.Deregister("svc", "a:1")
+	select {
+	case <-ch2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification on deregister")
+	}
+}

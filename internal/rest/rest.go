@@ -1,0 +1,312 @@
+// Package rest implements the suite's JSON-over-HTTP API layer, the role
+// REST plays in the E-commerce and Swarm applications. It reuses the rpc
+// Network abstraction so REST services run over real TCP or in-memory
+// pipes, and it propagates the same header-based trace context as the RPC
+// layer, so traces cross RPC/REST boundaries intact.
+//
+// HTTP/1 semantics matter to the paper's backpressure results: within one
+// connection requests are serialized, so a slow backend stalls the
+// connection and queues form ahead of the front-end. The client exposes
+// MaxConnsPerHost to reproduce that regime.
+package rest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dsb/internal/rpc"
+)
+
+// Ctx is the per-request server context for REST handlers.
+type Ctx struct {
+	context.Context
+	// Service is the serving microservice's name.
+	Service string
+	// Request is the underlying HTTP request (path params, query).
+	Request *http.Request
+	// ReplyHeaders are returned as HTTP response headers.
+	ReplyHeaders map[string]string
+}
+
+// Header returns a request header value.
+func (c *Ctx) Header(key string) string { return c.Request.Header.Get(key) }
+
+// PathValue returns a path wildcard value (Go 1.22 mux patterns).
+func (c *Ctx) PathValue(name string) string { return c.Request.PathValue(name) }
+
+// Query returns a query parameter.
+func (c *Ctx) Query(name string) string { return c.Request.URL.Query().Get(name) }
+
+// SetReplyHeader adds a response header.
+func (c *Ctx) SetReplyHeader(key, value string) {
+	if c.ReplyHeaders == nil {
+		c.ReplyHeaders = make(map[string]string, 4)
+	}
+	c.ReplyHeaders[key] = value
+}
+
+// Handler consumes the decoded request body (raw bytes; most handlers
+// unmarshal JSON via DecodeJSON) and returns a value to encode as JSON.
+type Handler func(ctx *Ctx, body []byte) (any, error)
+
+// Interceptor wraps server-side handling.
+type Interceptor func(ctx *Ctx, body []byte, next Handler) (any, error)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Code  int    `json:"code"`
+	Error string `json:"error"`
+}
+
+// Server is a REST microservice server.
+type Server struct {
+	service      string
+	mux          *http.ServeMux
+	hs           *http.Server
+	mu           sync.Mutex
+	interceptors []Interceptor
+	listener     net.Listener
+}
+
+// NewServer creates a REST server for the named service.
+func NewServer(service string) *Server {
+	s := &Server{service: service, mux: http.NewServeMux()}
+	s.hs = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Service returns the service name.
+func (s *Server) Service() string { return s.service }
+
+// Use appends a server interceptor. Must be called before Start.
+func (s *Server) Use(i Interceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interceptors = append(s.interceptors, i)
+}
+
+// Handle registers a handler for a mux pattern such as "POST /orders" or
+// "GET /catalogue/{id}".
+func (s *Server) Handle(pattern string, h Handler) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			writeError(w, rpc.Errorf(rpc.CodeBadRequest, "read body: %v", err))
+			return
+		}
+		ctx := &Ctx{Context: r.Context(), Service: s.service, Request: r}
+		s.mu.Lock()
+		chain := s.interceptors
+		s.mu.Unlock()
+		wrapped := h
+		for i := len(chain) - 1; i >= 0; i-- {
+			ic, next := chain[i], wrapped
+			wrapped = func(ctx *Ctx, body []byte) (any, error) {
+				return ic(ctx, body, next)
+			}
+		}
+		out, err := safeServe(wrapped, ctx, body)
+		for k, v := range ctx.ReplyHeaders {
+			w.Header().Set(k, v)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if out == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			writeError(w, rpc.Errorf(rpc.CodeInternal, "encode response: %v", err))
+			return
+		}
+		w.Write(data) //nolint:errcheck // client disconnects are routine
+	})
+}
+
+func safeServe(h Handler, ctx *Ctx, body []byte) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = rpc.Errorf(rpc.CodeInternal, "panic in %s %s: %v", ctx.Service, ctx.Request.URL.Path, r)
+		}
+	}()
+	return h(ctx, body)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := rpc.ErrorCode(err)
+	status := http.StatusInternalServerError
+	switch code {
+	case rpc.CodeNotFound:
+		status = http.StatusNotFound
+	case rpc.CodeBadRequest:
+		status = http.StatusBadRequest
+	case rpc.CodeUnauthorized:
+		status = http.StatusUnauthorized
+	case rpc.CodeUnavailable:
+		status = http.StatusServiceUnavailable
+	case rpc.CodeConflict:
+		status = http.StatusConflict
+	case rpc.CodeDeadline:
+		status = http.StatusGatewayTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg := err.Error()
+	var e *rpc.Error
+	if errors.As(err, &e) {
+		msg = e.Msg
+	}
+	json.NewEncoder(w).Encode(errorBody{Code: code, Error: msg}) //nolint:errcheck
+}
+
+// Start listens on addr via network and serves in the background,
+// returning the bound address.
+func (s *Server) Start(network rpc.Network, addr string) (string, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.hs.Serve(l) //nolint:errcheck // exit is signaled via Close
+	return l.Addr().String(), nil
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error {
+	return s.hs.Close()
+}
+
+// Client issues REST calls to one service.
+type Client struct {
+	target       string
+	base         string // e.g. "http://addr"
+	hc           *http.Client
+	interceptors []rpc.ClientInterceptor
+}
+
+// ClientOption configures a REST client.
+type ClientOption func(*Client)
+
+// WithInterceptor appends a client interceptor (same shape as the RPC
+// client's, so tracing instruments both identically).
+func WithInterceptor(i rpc.ClientInterceptor) ClientOption {
+	return func(c *Client) { c.interceptors = append(c.interceptors, i) }
+}
+
+// WithMaxConns bounds connections to the host, reproducing HTTP/1
+// head-of-line blocking when set to a small number.
+func WithMaxConns(n int) ClientOption {
+	return func(c *Client) {
+		c.hc.Transport.(*http.Transport).MaxConnsPerHost = n
+	}
+}
+
+// NewClient creates a client for the target service at addr, dialing
+// through the given network.
+func NewClient(network rpc.Network, target, addr string, opts ...ClientOption) *Client {
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			return network.Dial(addr)
+		},
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     time.Minute,
+	}
+	c := &Client{target: target, base: "http://" + addr, hc: &http.Client{Transport: tr}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Target returns the service name this client talks to.
+func (c *Client) Target() string { return c.target }
+
+// Do issues method (e.g. "POST") against path, JSON-encoding req (nil for
+// no body) and decoding the JSON response into resp (nil to discard).
+func (c *Client) Do(ctx context.Context, method, path string, req, resp any) error {
+	headers := make(map[string]string, 4)
+	invoke := func(ctx context.Context) error {
+		return c.exchange(ctx, method, path, headers, req, resp)
+	}
+	wrapped := invoke
+	op := method + " " + path
+	for i := len(c.interceptors) - 1; i >= 0; i-- {
+		ic, next := c.interceptors[i], wrapped
+		wrapped = func(ctx context.Context) error {
+			return ic(ctx, op, headers, next)
+		}
+	}
+	return wrapped(ctx)
+}
+
+func (c *Client) exchange(ctx context.Context, method, path string, headers map[string]string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("rest: marshal %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		hr.Header.Set(k, v)
+	}
+	res, err := c.hc.Do(hr)
+	if err != nil {
+		return fmt.Errorf("rest: %s %s: %w", method, c.target+path, err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &rpc.Error{Code: eb.Code, Msg: eb.Error}
+		}
+		return rpc.Errorf(rpc.CodeInternal, "%s %s: HTTP %d", method, path, res.StatusCode)
+	}
+	if resp != nil && res.StatusCode != http.StatusNoContent && len(data) > 0 {
+		if err := json.Unmarshal(data, resp); err != nil {
+			return fmt.Errorf("rest: decode %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Close releases idle connections.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// DecodeJSON decodes a request body into v, returning a coded error on
+// malformed input; handlers use it as their first line.
+func DecodeJSON(body []byte, v any) error {
+	if err := json.Unmarshal(body, v); err != nil {
+		return rpc.Errorf(rpc.CodeBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}

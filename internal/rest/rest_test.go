@@ -1,0 +1,211 @@
+package rest
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dsb/internal/rpc"
+)
+
+type item struct {
+	ID    string  `json:"id"`
+	Name  string  `json:"name"`
+	Price float64 `json:"price"`
+}
+
+func startCatalogue(t testing.TB, n rpc.Network) (string, *Server) {
+	t.Helper()
+	s := NewServer("catalogue")
+	var mu sync.Mutex
+	items := map[string]item{}
+	s.Handle("POST /items", func(ctx *Ctx, body []byte) (any, error) {
+		var it item
+		if err := DecodeJSON(body, &it); err != nil {
+			return nil, err
+		}
+		if it.ID == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "missing id")
+		}
+		mu.Lock()
+		items[it.ID] = it
+		mu.Unlock()
+		return it, nil
+	})
+	s.Handle("GET /items/{id}", func(ctx *Ctx, body []byte) (any, error) {
+		mu.Lock()
+		it, ok := items[ctx.PathValue("id")]
+		mu.Unlock()
+		if !ok {
+			return nil, rpc.NotFoundf("no item %s", ctx.PathValue("id"))
+		}
+		return it, nil
+	})
+	s.Handle("GET /panic", func(ctx *Ctx, body []byte) (any, error) { panic("rest boom") })
+	s.Handle("GET /slow", func(ctx *Ctx, body []byte) (any, error) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	s.Handle("GET /headers", func(ctx *Ctx, body []byte) (any, error) {
+		ctx.SetReplyHeader("x-reply", "pong")
+		return map[string]string{"got": ctx.Header("x-req")}, nil
+	})
+	addr, err := s.Start(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr, s
+}
+
+func testNetworks(t *testing.T, fn func(t *testing.T, n rpc.Network)) {
+	t.Run("mem", func(t *testing.T) { fn(t, rpc.NewMem()) })
+	t.Run("tcp", func(t *testing.T) { fn(t, rpc.TCP{}) })
+}
+
+func TestCRUD(t *testing.T) {
+	testNetworks(t, func(t *testing.T, n rpc.Network) {
+		addr, _ := startCatalogue(t, n)
+		c := NewClient(n, "catalogue", addr)
+		defer c.Close()
+		in := item{ID: "sock-1", Name: "wool sock", Price: 9.99}
+		var created item
+		if err := c.Do(context.Background(), "POST", "/items", in, &created); err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		if created != in {
+			t.Fatalf("created = %+v", created)
+		}
+		var got item
+		if err := c.Do(context.Background(), "GET", "/items/sock-1", nil, &got); err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		if got != in {
+			t.Fatalf("got = %+v", got)
+		}
+	})
+}
+
+func TestNotFoundMapsToCode(t *testing.T) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(t, n)
+	c := NewClient(n, "catalogue", addr)
+	defer c.Close()
+	err := c.Do(context.Background(), "GET", "/items/ghost", nil, nil)
+	if !rpc.IsCode(err, rpc.CodeNotFound) {
+		t.Fatalf("want CodeNotFound, got %v", err)
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	var it item
+	if err := DecodeJSON([]byte("{nope"), &it); !rpc.IsCode(err, rpc.CodeBadRequest) {
+		t.Fatalf("want CodeBadRequest, got %v", err)
+	}
+}
+
+func TestPanicBecomes500(t *testing.T) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(t, n)
+	c := NewClient(n, "catalogue", addr)
+	defer c.Close()
+	err := c.Do(context.Background(), "GET", "/panic", nil, nil)
+	if !rpc.IsCode(err, rpc.CodeInternal) {
+		t.Fatalf("want CodeInternal, got %v", err)
+	}
+	// Server still alive.
+	if err := c.Do(context.Background(), "GET", "/items/ghost", nil, nil); !rpc.IsCode(err, rpc.CodeNotFound) {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+}
+
+func TestHeaderPropagation(t *testing.T) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(t, n)
+	c := NewClient(n, "catalogue", addr,
+		WithInterceptor(func(ctx context.Context, op string, headers map[string]string, invoke func(context.Context) error) error {
+			headers["x-req"] = "ping"
+			return invoke(ctx)
+		}))
+	defer c.Close()
+	var out map[string]string
+	if err := c.Do(context.Background(), "GET", "/headers", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["got"] != "ping" {
+		t.Fatalf("header not propagated: %v", out)
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(t, n)
+	c := NewClient(n, "catalogue", addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Do(ctx, "GET", "/slow", nil, nil)
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout not honored")
+	}
+}
+
+func TestUnknownRoute(t *testing.T) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(t, n)
+	c := NewClient(n, "catalogue", addr)
+	defer c.Close()
+	if err := c.Do(context.Background(), "GET", "/definitely/not/here", nil, nil); err == nil {
+		t.Fatal("want error for unknown route")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(t, n)
+	c := NewClient(n, "catalogue", addr)
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			it := item{ID: string(rune('a' + i%26)), Name: "x", Price: 1}
+			if err := c.Do(context.Background(), "POST", "/items", it, nil); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRESTCallMem(b *testing.B) {
+	n := rpc.NewMem()
+	addr, _ := startCatalogue(b, n)
+	c := NewClient(n, "catalogue", addr)
+	defer c.Close()
+	if err := c.Do(context.Background(), "POST", "/items", item{ID: "bench", Name: "n", Price: 2}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var it item
+		if err := c.Do(context.Background(), "GET", "/items/bench", nil, &it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

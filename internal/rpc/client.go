@@ -1,0 +1,293 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsb/internal/codec"
+)
+
+// ClientInterceptor wraps an outgoing call. headers may be mutated to
+// propagate context (the tracing layer injects span identity this way).
+// invoke performs the call; interceptors run in registration order,
+// outermost first.
+type ClientInterceptor func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error
+
+// Client issues RPCs to a single target address over a small pool of
+// multiplexed connections, mirroring how each DeathStarBench tier keeps
+// persistent Thrift connections to its downstream tiers.
+type Client struct {
+	network      Network
+	addr         string
+	target       string // service name, for errors and tracing
+	interceptors []ClientInterceptor
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	next   atomic.Uint64
+	closed bool
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithPoolSize sets the number of pooled connections (default 2).
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.conns = make([]*clientConn, n)
+		}
+	}
+}
+
+// WithInterceptor appends a client interceptor.
+func WithInterceptor(i ClientInterceptor) ClientOption {
+	return func(c *Client) { c.interceptors = append(c.interceptors, i) }
+}
+
+// NewClient creates a client for the target service at addr. Connections
+// are dialed lazily on first use.
+func NewClient(network Network, target, addr string, opts ...ClientOption) *Client {
+	c := &Client{network: network, addr: addr, target: target, conns: make([]*clientConn, 2)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Target returns the service name this client talks to.
+func (c *Client) Target() string { return c.target }
+
+// Call invokes method with req encoded via the wire codec, decoding the
+// reply into resp (which may be nil for fire-and-forget-style methods that
+// return no body).
+func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
+	var payload []byte
+	if req != nil {
+		var err error
+		payload, err = codec.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal %s.%s: %w", c.target, method, err)
+		}
+	}
+	out, err := c.CallRaw(ctx, method, payload)
+	if err != nil {
+		return err
+	}
+	if resp != nil {
+		if err := codec.Unmarshal(out, resp); err != nil {
+			return fmt.Errorf("rpc: unmarshal %s.%s reply: %w", c.target, method, err)
+		}
+	}
+	return nil
+}
+
+// CallRaw invokes method with a pre-encoded payload and returns the raw
+// reply payload. Interceptors run around the transport exchange.
+func (c *Client) CallRaw(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	headers := make(map[string]string, 4)
+	if dl, ok := ctx.Deadline(); ok {
+		headers[deadlineHeader] = strconv.FormatInt(dl.UnixNano(), 10)
+	}
+	var reply []byte
+	invoke := func(ctx context.Context) error {
+		var err error
+		reply, err = c.exchange(ctx, method, headers, payload)
+		return err
+	}
+	wrapped := invoke
+	for i := len(c.interceptors) - 1; i >= 0; i-- {
+		ic, next := c.interceptors[i], wrapped
+		m := method
+		wrapped = func(ctx context.Context) error {
+			return ic(ctx, m, headers, next)
+		}
+	}
+	if err := wrapped(ctx); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+func (c *Client) exchange(ctx context.Context, method string, headers map[string]string, payload []byte) ([]byte, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{kind: kindRequest, method: method, headers: headers, payload: payload}
+	ch, seq, err := cc.send(f)
+	if err != nil {
+		cc.fail(err)
+		return nil, fmt.Errorf("rpc: send to %s: %w", c.target, err)
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("rpc: connection to %s lost", c.target)
+		}
+		if reply.kind == kindError {
+			return nil, &Error{Code: int(reply.code), Msg: string(reply.payload)}
+		}
+		return reply.payload, nil
+	case <-ctx.Done():
+		cc.abandon(seq)
+		return nil, Errorf(CodeDeadline, "call %s.%s: %v", c.target, method, ctx.Err())
+	}
+}
+
+// pick returns a live pooled connection, dialing if necessary.
+func (c *Client) pick() (*clientConn, error) {
+	idx := int(c.next.Add(1)) % len(c.conns)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("rpc: client closed")
+	}
+	cc := c.conns[idx]
+	if cc != nil && !cc.dead() {
+		return cc, nil
+	}
+	conn, err := c.network.Dial(c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s (%s): %w", c.target, c.addr, err)
+	}
+	cc = newClientConn(conn)
+	c.conns[idx] = cc
+	return cc, nil
+}
+
+// Close tears down all pooled connections. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.conns {
+		if cc != nil {
+			cc.fail(errors.New("client closed"))
+		}
+	}
+	return nil
+}
+
+// clientConn is one multiplexed connection: writes are serialized, replies
+// are dispatched to waiters by sequence number by a reader goroutine.
+type clientConn struct {
+	conn    interface{ Close() error }
+	w       *bufio.Writer
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *frame
+	seq     uint64
+	err     error
+}
+
+func newClientConn(conn interface {
+	Close() error
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+}) *clientConn {
+	cc := &clientConn{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 32<<10),
+		pending: make(map[uint64]chan *frame),
+	}
+	go cc.readLoop(bufio.NewReaderSize(conn, 32<<10))
+	return cc
+}
+
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// send registers a waiter and writes the frame, returning the reply channel.
+func (cc *clientConn) send(f *frame) (chan *frame, uint64, error) {
+	ch := make(chan *frame, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, 0, err
+	}
+	cc.seq++
+	f.seq = cc.seq
+	seq := f.seq
+	cc.pending[seq] = ch
+	cc.mu.Unlock()
+
+	cc.writeMu.Lock()
+	err := writeFrame(cc.w, f, nil)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.mu.Lock()
+		delete(cc.pending, seq)
+		cc.mu.Unlock()
+		return nil, 0, err
+	}
+	return ch, seq, nil
+}
+
+// abandon drops the waiter for seq after a local timeout; a late reply for
+// the sequence is discarded by the read loop.
+func (cc *clientConn) abandon(seq uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, seq)
+	cc.mu.Unlock()
+}
+
+// fail marks the connection dead and wakes all waiters with closed channels.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+		for seq, ch := range cc.pending {
+			close(ch)
+			delete(cc.pending, seq)
+		}
+	}
+	cc.mu.Unlock()
+	cc.conn.Close()
+}
+
+func (cc *clientConn) readLoop(r *bufio.Reader) {
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.seq]
+		if ok {
+			delete(cc.pending, f.seq)
+		}
+		cc.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// DelayInterceptor returns a client interceptor that sleeps for d before
+// each call, used in live mode to model a slow link (e.g. the cloud↔edge
+// wifi hop in the Swarm application).
+func DelayInterceptor(d time.Duration) ClientInterceptor {
+	return func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return invoke(ctx)
+	}
+}

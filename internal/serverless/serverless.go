@@ -1,0 +1,261 @@
+// Package serverless models running the suite's applications on
+// traditional containers (EC2 instances) versus a serverless framework
+// (AWS Lambda), reproducing Figure 21's mechanics: Lambda with S3 state
+// passing pays a remote-storage round trip on every inter-function edge;
+// Lambda with in-memory state passing removes most of that but keeps
+// placement-induced variability and cold starts; EC2 has the lowest and
+// tightest latency but costs roughly an order of magnitude more, and its
+// threshold autoscaler lags diurnal ramps while Lambda's capacity tracks
+// demand instantaneously.
+package serverless
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"dsb/internal/archsim"
+	"dsb/internal/graph"
+	"dsb/internal/loadgen"
+	"dsb/internal/metrics"
+)
+
+// Option is the execution platform.
+type Option int
+
+// Platforms.
+const (
+	EC2 Option = iota
+	LambdaS3
+	LambdaMem
+)
+
+func (o Option) String() string {
+	switch o {
+	case LambdaS3:
+		return "lambda-s3"
+	case LambdaMem:
+		return "lambda-mem"
+	default:
+		return "ec2"
+	}
+}
+
+// Model captures the per-platform latency and cost mechanics.
+type Model struct {
+	// S3RoundTripMs is the persistent-store write+read between dependent
+	// functions (rate-limited remote storage).
+	S3RoundTripMs float64
+	// MemPassMs is the remote-memory state pass.
+	MemPassMs float64
+	// ColdStartMs and ColdStartProb model function cold starts.
+	ColdStartMs   float64
+	ColdStartProb float64
+	// PlacementJitterMs is the per-request stddev of Lambda placement and
+	// co-tenancy interference.
+	PlacementJitterMs float64
+	// EC2JitterMs is the (much smaller) dedicated-instance jitter.
+	EC2JitterMs float64
+
+	// EC2HourlyUSD is the m5.12xlarge on-demand price; EC2Instances is the
+	// fleet the paper used per app (20–64).
+	EC2HourlyUSD float64
+	EC2Instances int
+	// LambdaPerInvokeUSD and LambdaGBsUSD price invocations;
+	// S3PerRequestUSD prices state passing; MemInstances are the four
+	// extra EC2 boxes the in-memory variant keeps.
+	LambdaPerInvokeUSD float64
+	LambdaGBsUSD       float64
+	S3PerRequestUSD    float64
+	MemInstances       int
+}
+
+// DefaultModel matches the paper's setup and 2019 list prices.
+var DefaultModel = Model{
+	S3RoundTripMs:      24,
+	MemPassMs:          1.1,
+	ColdStartMs:        180,
+	ColdStartProb:      0.015,
+	PlacementJitterMs:  6,
+	EC2JitterMs:        0.8,
+	EC2HourlyUSD:       2.304,
+	EC2Instances:       24,
+	LambdaPerInvokeUSD: 2e-7,
+	LambdaGBsUSD:       1.66667e-5,
+	S3PerRequestUSD:    5e-7,
+	MemInstances:       4,
+}
+
+// baseLatencyMs is the app's unloaded end-to-end latency from the
+// analytic walk of its workflow (critical path through stages).
+func baseLatencyMs(app *graph.App) float64 {
+	var walk func(n *graph.Node) float64
+	walk = func(n *graph.Node) float64 {
+		p := app.Profiles[n.Service]
+		own := archsim.ServiceTimeNs(p, n.Work, archsim.XeonPlatform)
+		hop := 2*archsim.DefaultNetwork.ProcNs(p.MsgBytes, archsim.XeonPlatform.FreqGHz)*2 + 2*app.WireNs
+		stageMax := map[int]float64{}
+		for _, c := range n.Calls {
+			t := walk(c.Node) * float64(c.Count)
+			if t > stageMax[c.Stage] {
+				stageMax[c.Stage] = t
+			}
+		}
+		var children float64
+		for _, t := range stageMax {
+			children += t
+		}
+		return own + hop + children
+	}
+	return walk(app.Root) / 1e6
+}
+
+// edges counts inter-function state-passing edges per request.
+func edges(app *graph.App) int {
+	var walk func(n *graph.Node) int
+	walk = func(n *graph.Node) int {
+		total := 0
+		for _, c := range n.Calls {
+			total += c.Count * (1 + walk(c.Node))
+		}
+		return total
+	}
+	return walk(app.Root)
+}
+
+// Result is one platform evaluation.
+type Result struct {
+	Option  Option
+	Latency metrics.Snapshot // milliseconds ×1e6 (stored as ns for the histogram)
+	CostUSD float64
+}
+
+// Evaluate models running app on the platform for dur at qps, returning
+// the request latency distribution and the total cost.
+func (m Model) Evaluate(app *graph.App, opt Option, qps float64, dur time.Duration, seed uint64) Result {
+	rng := rand.New(rand.NewPCG(seed, uint64(opt)+0xF00D))
+	base := baseLatencyMs(app)
+	nEdges := edges(app)
+	nFuncs := nEdges + 1
+	hist := metrics.NewHistogram()
+	requests := int(qps * dur.Seconds())
+	if requests < 1 {
+		requests = 1
+	}
+	for i := 0; i < requests; i++ {
+		lat := base
+		switch opt {
+		case EC2:
+			lat += absNorm(rng, m.EC2JitterMs)
+		case LambdaS3:
+			// Each dependent edge serializes through S3, with rate-limit
+			// spikes on a small fraction of accesses.
+			for e := 0; e < nEdges; e++ {
+				rt := m.S3RoundTripMs * (0.7 + 0.6*rng.Float64())
+				if rng.Float64() < 0.02 {
+					rt *= 6 // throttled access
+				}
+				lat += rt
+			}
+			lat += m.coldAndJitter(rng)
+		case LambdaMem:
+			lat += float64(nEdges) * m.MemPassMs * (0.7 + 0.6*rng.Float64())
+			lat += m.coldAndJitter(rng)
+		}
+		hist.Record(int64(lat * 1e6)) // store ms as ns-scaled integer
+	}
+
+	hours := dur.Hours()
+	var cost float64
+	switch opt {
+	case EC2:
+		cost = m.EC2HourlyUSD * float64(m.EC2Instances) * hours
+	case LambdaS3:
+		invokes := float64(requests) * float64(nFuncs)
+		gbs := float64(requests) * base / 1000 * 1.5 // 1.5GB functions
+		cost = invokes*m.LambdaPerInvokeUSD + gbs*m.LambdaGBsUSD +
+			float64(requests)*float64(nEdges)*2*m.S3PerRequestUSD
+	case LambdaMem:
+		invokes := float64(requests) * float64(nFuncs)
+		gbs := float64(requests) * base / 1000 * 1.5
+		cost = invokes*m.LambdaPerInvokeUSD + gbs*m.LambdaGBsUSD +
+			m.EC2HourlyUSD*float64(m.MemInstances)*hours
+	}
+	return Result{Option: opt, Latency: hist.Snapshot(), CostUSD: cost}
+}
+
+func (m Model) coldAndJitter(rng *rand.Rand) float64 {
+	lat := absNorm(rng, m.PlacementJitterMs)
+	if rng.Float64() < m.ColdStartProb {
+		lat += m.ColdStartMs * (0.7 + 0.6*rng.Float64())
+	}
+	return lat
+}
+
+func absNorm(rng *rand.Rand, std float64) float64 {
+	v := rng.NormFloat64() * std
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// DiurnalPoint is one timeline sample of the diurnal comparison.
+type DiurnalPoint struct {
+	T        time.Duration
+	QPS      float64
+	EC2P99Ms float64
+	LamP99Ms float64
+}
+
+// Diurnal replays a compressed diurnal load pattern and models both
+// platforms' tail latency over time: EC2 capacity follows a threshold
+// autoscaler with reaction lag, so ramps overload it until instances
+// arrive; Lambda allocates per-request, so its latency stays flat (plus
+// its constant overhead).
+func (m Model) Diurnal(app *graph.App, peakQPS float64, period, dur, step time.Duration, seed uint64) []DiurnalPoint {
+	rng := rand.New(rand.NewPCG(seed, 0xD1A1))
+	pattern := loadgen.Diurnal{Period: period, Min: 0.15, Max: 1.0}
+	base := baseLatencyMs(app)
+	lambdaOverhead := float64(edges(app)) * m.MemPassMs
+
+	// EC2: capacity in QPS; autoscaler adds 25% capacity 20s after
+	// utilization exceeds 70%, removes it when below 30%.
+	capacity := peakQPS * 0.35
+	var pendingAt time.Duration = -1
+	var out []DiurnalPoint
+	for t := time.Duration(0); t <= dur; t += step {
+		qps := peakQPS * pattern.Eval(t)
+		util := qps / capacity
+		if util > 0.70 {
+			if pendingAt < 0 {
+				pendingAt = t + 20*time.Second
+			}
+		}
+		if pendingAt >= 0 && t >= pendingAt {
+			capacity *= 1.3
+			pendingAt = -1
+		}
+		if util < 0.30 && capacity > peakQPS*0.35 {
+			capacity /= 1.15
+		}
+
+		// M/M/1-flavored inflation as utilization approaches 1.
+		inflate := 1.0
+		if util < 1 {
+			inflate = 1 / (1 - minF(util, 0.97))
+		} else {
+			inflate = 40 + 20*(util-1)
+		}
+		ec2 := base*inflate + absNorm(rng, m.EC2JitterMs)*3
+		lam := base + lambdaOverhead + absNorm(rng, m.PlacementJitterMs)*2.3
+		out = append(out, DiurnalPoint{T: t, QPS: qps, EC2P99Ms: ec2, LamP99Ms: lam})
+	}
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package serverless
+
+import (
+	"testing"
+	"time"
+
+	"dsb/internal/graph"
+)
+
+func TestLatencyOrdering(t *testing.T) {
+	// Fig 21 top: Lambda(S3) ≫ Lambda(mem) > EC2 in latency.
+	app := graph.SocialNetwork()
+	m := DefaultModel
+	dur := 10 * time.Minute
+	ec2 := m.Evaluate(app, EC2, 10, dur, 1)
+	s3 := m.Evaluate(app, LambdaS3, 10, dur, 1)
+	mem := m.Evaluate(app, LambdaMem, 10, dur, 1)
+	if !(s3.Latency.P50 > mem.Latency.P50 && mem.Latency.P50 > ec2.Latency.P50) {
+		t.Fatalf("p50 ordering: s3=%d mem=%d ec2=%d", s3.Latency.P50, mem.Latency.P50, ec2.Latency.P50)
+	}
+	// S3 should be dominated by storage passes: several times EC2.
+	if float64(s3.Latency.P50) < 3*float64(ec2.Latency.P50) {
+		t.Fatalf("s3 overhead too small: %d vs %d", s3.Latency.P50, ec2.Latency.P50)
+	}
+	// Lambda variability (absolute p95−p50 spread) exceeds EC2's.
+	spread := func(s Result) int64 { return s.Latency.P95 - s.Latency.P50 }
+	if spread(mem) <= spread(ec2) {
+		t.Fatalf("lambda spread %d <= ec2 spread %d", spread(mem), spread(ec2))
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Fig 21: Lambda costs roughly an order of magnitude less than EC2 at
+	// the paper's request rates; S3 cheapest.
+	app := graph.Ecommerce()
+	m := DefaultModel
+	dur := 10 * time.Minute
+	ec2 := m.Evaluate(app, EC2, 10, dur, 2)
+	s3 := m.Evaluate(app, LambdaS3, 10, dur, 2)
+	mem := m.Evaluate(app, LambdaMem, 10, dur, 2)
+	if !(ec2.CostUSD > mem.CostUSD && mem.CostUSD > s3.CostUSD) {
+		t.Fatalf("cost ordering: ec2=%f mem=%f s3=%f", ec2.CostUSD, mem.CostUSD, s3.CostUSD)
+	}
+	if ec2.CostUSD < 4*s3.CostUSD {
+		t.Fatalf("ec2/s3 cost ratio too small: %f / %f", ec2.CostUSD, s3.CostUSD)
+	}
+}
+
+func TestAllAppsEvaluate(t *testing.T) {
+	m := DefaultModel
+	for _, app := range graph.EndToEndApps() {
+		for _, opt := range []Option{EC2, LambdaS3, LambdaMem} {
+			r := m.Evaluate(app, opt, 5, time.Minute, 3)
+			if r.Latency.Count == 0 || r.Latency.P50 <= 0 {
+				t.Fatalf("%s/%s: empty result", app.Name, opt)
+			}
+			if r.CostUSD <= 0 {
+				t.Fatalf("%s/%s: zero cost", app.Name, opt)
+			}
+		}
+	}
+}
+
+func TestDiurnalEC2LagsRamp(t *testing.T) {
+	app := graph.SocialNetwork()
+	pts := DefaultModel.Diurnal(app, 400, 4*time.Minute, 4*time.Minute, time.Second, 4)
+	if len(pts) < 100 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// During the ramp (load rising through mid-period), EC2 must spike
+	// well above Lambda at some point.
+	spiked := false
+	for _, p := range pts {
+		if p.EC2P99Ms > 3*p.LamP99Ms && p.QPS > 150 {
+			spiked = true
+			break
+		}
+	}
+	if !spiked {
+		t.Fatal("EC2 never lagged the ramp")
+	}
+	// At the trough, EC2 beats Lambda (paper: EC2 lower tail at low load).
+	troughEC2, troughLam := pts[0].EC2P99Ms, pts[0].LamP99Ms
+	if troughEC2 >= troughLam {
+		t.Fatalf("trough: ec2=%f lambda=%f", troughEC2, troughLam)
+	}
+	// QPS follows the pattern: peak mid-period.
+	if pts[len(pts)/2].QPS <= pts[0].QPS {
+		t.Fatal("diurnal pattern missing")
+	}
+}
+
+func TestDeterministicEvaluation(t *testing.T) {
+	app := graph.Banking()
+	a := DefaultModel.Evaluate(app, LambdaS3, 8, time.Minute, 7)
+	b := DefaultModel.Evaluate(app, LambdaS3, 8, time.Minute, 7)
+	if a.Latency != b.Latency || a.CostUSD != b.CostUSD {
+		t.Fatal("evaluation not deterministic")
+	}
+}

@@ -1,0 +1,152 @@
+package banking
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// EnrollReq creates login credentials for a customer.
+type EnrollReq struct{ Username, Password string }
+
+// LoginReq authenticates.
+type LoginReq struct{ Username, Password string }
+
+// LoginResp returns a session token.
+type LoginResp struct{ Token string }
+
+// VerifyTokenReq validates a token.
+type VerifyTokenReq struct{ Token string }
+
+// VerifyTokenResp identifies the session user.
+type VerifyTokenResp struct {
+	Username string
+	Valid    bool
+}
+
+// registerAuthentication installs the authentication service.
+func registerAuthentication(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+	svcutil.Handle(srv, "Enroll", func(ctx *rpc.Ctx, req *EnrollReq) (*struct{}, error) {
+		if req.Username == "" || req.Password == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "authentication: username and password required")
+		}
+		if _, found, err := db.Get(ctx, "credentials", req.Username); err != nil {
+			return nil, err
+		} else if found {
+			return nil, rpc.Errorf(rpc.CodeConflict, "authentication: %q enrolled", req.Username)
+		}
+		salt := bankRandomHex(8)
+		return nil, db.Put(ctx, "credentials", docstore.Doc{
+			ID:     req.Username,
+			Fields: map[string]string{"salt": salt, "hash": bankHash(req.Password, salt)},
+		})
+	})
+	svcutil.Handle(srv, "Login", func(ctx *rpc.Ctx, req *LoginReq) (*LoginResp, error) {
+		doc, found, err := db.Get(ctx, "credentials", req.Username)
+		if err != nil {
+			return nil, err
+		}
+		if !found || bankHash(req.Password, doc.Fields["salt"]) != doc.Fields["hash"] {
+			return nil, rpc.Errorf(rpc.CodeUnauthorized, "authentication: bad credentials")
+		}
+		token := bankRandomHex(16)
+		if err := mc.Set(ctx, "tok:"+token, []byte(req.Username), 30*time.Minute); err != nil {
+			return nil, err
+		}
+		return &LoginResp{Token: token}, nil
+	})
+	svcutil.Handle(srv, "Verify", func(ctx *rpc.Ctx, req *VerifyTokenReq) (*VerifyTokenResp, error) {
+		v, found, err := mc.Get(ctx, "tok:"+req.Token)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return &VerifyTokenResp{}, nil
+		}
+		return &VerifyTokenResp{Username: string(v), Valid: true}, nil
+	})
+}
+
+func bankHash(password, salt string) string {
+	sum := sha256.Sum256([]byte(salt + "|" + password))
+	return hex.EncodeToString(sum[:])
+}
+
+func bankRandomHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b) //nolint:errcheck
+	return hex.EncodeToString(b)
+}
+
+// ACLCheckReq asks whether user may act on an account.
+type ACLCheckReq struct {
+	Username  string
+	AccountID string
+	Action    string // "debit" | "read"
+}
+
+// ACLCheckResp reports the decision.
+type ACLCheckResp struct {
+	Allowed bool
+	Reason  string
+}
+
+// registerACL installs the ACL service: debits require ownership of the
+// source account; reads require ownership too (no cross-customer
+// statements). Mismanaging this dependency is exactly the kind of
+// single-edge failure Section 6 of the paper studies.
+func registerACL(srv *rpc.Server, posting svcutil.Caller) {
+	svcutil.Handle(srv, "Check", func(ctx *rpc.Ctx, req *ACLCheckReq) (*ACLCheckResp, error) {
+		var acct AccountResp
+		if err := posting.Call(ctx, "Get", AccountReq{ID: req.AccountID}, &acct); err != nil {
+			return nil, err
+		}
+		if !acct.Found {
+			return &ACLCheckResp{Allowed: false, Reason: "no such account"}, nil
+		}
+		if acct.Account.Owner != req.Username {
+			return &ACLCheckResp{Allowed: false, Reason: "not the account owner"}, nil
+		}
+		return &ACLCheckResp{Allowed: true}, nil
+	})
+}
+
+// PreferencesReq reads or writes user preferences.
+type PreferencesReq struct {
+	Username string
+	Set      map[string]string // nil = read-only
+}
+
+// PreferencesResp returns the current preferences.
+type PreferencesResp struct{ Prefs map[string]string }
+
+// registerUserPreferences installs the userPreferences service.
+func registerUserPreferences(srv *rpc.Server, db svcutil.DB) {
+	svcutil.Handle(srv, "Access", func(ctx *rpc.Ctx, req *PreferencesReq) (*PreferencesResp, error) {
+		if req.Username == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "userPreferences: username required")
+		}
+		doc, found, err := db.Get(ctx, "preferences", req.Username)
+		if err != nil {
+			return nil, err
+		}
+		prefs := map[string]string{}
+		if found {
+			prefs = doc.Fields
+		}
+		if req.Set != nil {
+			for k, v := range req.Set {
+				prefs[k] = v
+			}
+			if err := db.Put(ctx, "preferences", docstore.Doc{ID: req.Username, Fields: prefs}); err != nil {
+				return nil, err
+			}
+		}
+		return &PreferencesResp{Prefs: prefs}, nil
+	})
+}

@@ -1,0 +1,213 @@
+package banking
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/docstore"
+	"dsb/internal/kv"
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// SettlementAccount receives credit-card payments; it is opened at boot.
+const settlementOwner = "__bank__"
+
+// Config sizes the deployment.
+type Config struct {
+	Clock func() time.Time
+}
+
+// Banking is a running Banking System deployment.
+type Banking struct {
+	App      *core.App
+	Frontend *rest.Client
+
+	Auth     svcutil.Caller
+	Customer svcutil.Caller
+	Posting  svcutil.Caller
+	Payments svcutil.Caller
+	Cards    svcutil.Caller
+
+	// SettlementAccountID is the bank-owned account card payments land in.
+	SettlementAccountID string
+}
+
+// New boots the Banking System.
+func New(app *core.App, cfg Config) (*Banking, error) {
+	for _, name := range []string{"db-customers", "db-accounts", "db-credentials", "db-activity", "db-cards", "db-portfolios", "db-preferences"} {
+		store := docstore.NewStore()
+		if _, err := app.StartRPC("bank."+name, func(s *rpc.Server) {
+			docstore.RegisterService(s, store)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range []string{"mc-customers", "mc-sessions"} {
+		cache := kv.New(0)
+		if _, err := app.StartRPC("bank."+name, func(s *rpc.Server) {
+			kv.RegisterService(s, cache)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	infoDB, err := newBankInfoDB()
+	if err != nil {
+		return nil, err
+	}
+
+	cl := func(caller, target string) (svcutil.Caller, error) {
+		return app.RPC("bank."+caller, "bank."+target)
+	}
+	must := func(c svcutil.Caller, err error) svcutil.Caller {
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+
+	b := &Banking{App: app}
+
+	type stage struct {
+		name     string
+		register func(*rpc.Server)
+	}
+	stages := []stage{
+		{"customerInfo", func(s *rpc.Server) {
+			registerCustomerInfo(s, svcutil.DB{C: must(cl("customerInfo", "db-customers"))}, svcutil.KV{C: must(cl("customerInfo", "mc-customers"))})
+		}},
+		{"authentication", func(s *rpc.Server) {
+			registerAuthentication(s, svcutil.DB{C: must(cl("authentication", "db-credentials"))}, svcutil.KV{C: must(cl("authentication", "mc-sessions"))})
+		}},
+		{"transactionPosting", func(s *rpc.Server) {
+			registerTransactionPosting(s, svcutil.DB{C: must(cl("transactionPosting", "db-accounts"))}, cfg.Clock)
+		}},
+		{"acl", func(s *rpc.Server) {
+			registerACL(s, must(cl("acl", "transactionPosting")))
+		}},
+		{"customerActivity", func(s *rpc.Server) {
+			registerCustomerActivity(s, svcutil.DB{C: must(cl("customerActivity", "db-activity"))}, cfg.Clock)
+		}},
+		{"payments", func(s *rpc.Server) {
+			registerPayments(s, paymentsDeps{
+				auth:     must(cl("payments", "authentication")),
+				acl:      must(cl("payments", "acl")),
+				posting:  must(cl("payments", "transactionPosting")),
+				activity: must(cl("payments", "customerActivity")),
+			})
+		}},
+		{"personalLending", func(s *rpc.Server) {
+			registerPersonalLending(s, must(cl("personalLending", "authentication")), must(cl("personalLending", "customerInfo")))
+		}},
+		{"businessLending", func(s *rpc.Server) {
+			registerBusinessLending(s, must(cl("businessLending", "authentication")))
+		}},
+		{"mortgages", func(s *rpc.Server) {
+			registerMortgages(s, must(cl("mortgages", "authentication")), must(cl("mortgages", "customerInfo")))
+		}},
+		{"wealthMgmt", func(s *rpc.Server) {
+			registerWealthMgmt(s, must(cl("wealthMgmt", "authentication")), svcutil.DB{C: must(cl("wealthMgmt", "db-portfolios"))})
+		}},
+		{"offerBanners", func(s *rpc.Server) { registerOfferBanners(s, nil) }},
+		{"bankInfo", func(s *rpc.Server) { registerBankInfo(s, infoDB) }},
+		{"userPreferences", func(s *rpc.Server) {
+			registerUserPreferences(s, svcutil.DB{C: must(cl("userPreferences", "db-preferences"))})
+		}},
+	}
+	for _, st := range stages {
+		if _, err := app.StartRPC("bank."+st.name, st.register); err != nil {
+			return nil, fmt.Errorf("banking: start %s: %w", st.name, err)
+		}
+	}
+
+	// Open the settlement account before the card service needs it.
+	posting, err := app.RPC("boot", "bank.transactionPosting")
+	if err != nil {
+		return nil, err
+	}
+	var settle OpenAccountResp
+	if err := posting.Call(context.Background(), "Open", OpenAccountReq{Owner: settlementOwner, Kind: KindDeposit}, &settle); err != nil {
+		return nil, err
+	}
+	b.SettlementAccountID = settle.Account.ID
+
+	if _, err := app.StartRPC("bank.creditCard", func(s *rpc.Server) {
+		registerCreditCard(s,
+			must(cl("creditCard", "authentication")),
+			must(cl("creditCard", "customerInfo")),
+			must(cl("creditCard", "transactionPosting")),
+			must(cl("creditCard", "acl")),
+			svcutil.DB{C: must(cl("creditCard", "db-cards"))},
+			b.SettlementAccountID)
+	}); err != nil {
+		return nil, err
+	}
+
+	if _, err := app.StartREST("bank.frontend", func(s *rest.Server) {
+		registerFrontend(s, bankFrontendDeps{
+			auth:      must(cl("frontend", "authentication")),
+			customer:  must(cl("frontend", "customerInfo")),
+			posting:   must(cl("frontend", "transactionPosting")),
+			payments:  must(cl("frontend", "payments")),
+			personal:  must(cl("frontend", "personalLending")),
+			business:  must(cl("frontend", "businessLending")),
+			mortgages: must(cl("frontend", "mortgages")),
+			cards:     must(cl("frontend", "creditCard")),
+			wealth:    must(cl("frontend", "wealthMgmt")),
+			offers:    must(cl("frontend", "offerBanners")),
+			info:      must(cl("frontend", "bankInfo")),
+			activity:  must(cl("frontend", "customerActivity")),
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	if b.Frontend, err = app.REST("client", "bank.frontend"); err != nil {
+		return nil, err
+	}
+	if b.Auth, err = app.RPC("client", "bank.authentication"); err != nil {
+		return nil, err
+	}
+	if b.Customer, err = app.RPC("client", "bank.customerInfo"); err != nil {
+		return nil, err
+	}
+	if b.Posting, err = app.RPC("client", "bank.transactionPosting"); err != nil {
+		return nil, err
+	}
+	if b.Payments, err = app.RPC("client", "bank.payments"); err != nil {
+		return nil, err
+	}
+	if b.Cards, err = app.RPC("client", "bank.creditCard"); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Onboard enrolls a customer with credentials, profile, and a deposit
+// account, returning (token, accountID).
+func (b *Banking) Onboard(username string, incomeCents, openingCents int64) (string, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Auth.Call(ctx, "Enroll", EnrollReq{Username: username, Password: "pw-" + username}, nil); err != nil {
+		return "", "", err
+	}
+	if err := b.Customer.Call(ctx, "Put", PutCustomerReq{Customer: Customer{
+		Username: username, FullName: username, AnnualIncomeCents: incomeCents, Segment: "retail",
+	}}, nil); err != nil {
+		return "", "", err
+	}
+	var login LoginResp
+	if err := b.Auth.Call(ctx, "Login", LoginReq{Username: username, Password: "pw-" + username}, &login); err != nil {
+		return "", "", err
+	}
+	var acct OpenAccountResp
+	if err := b.Posting.Call(ctx, "Open", OpenAccountReq{Owner: username, Kind: KindDeposit, InitialCents: openingCents}, &acct); err != nil {
+		return "", "", err
+	}
+	return login.Token, acct.Account.ID, nil
+}
+
+func rpcUnauthorized() error { return rpc.Errorf(rpc.CodeUnauthorized, "invalid token") }

@@ -1,0 +1,81 @@
+// Package banking implements the suite's secure Banking System (Figure 7
+// of the paper): authentication and ACL checks in front of payments,
+// account management (deposit and investment accounts), credit cards,
+// personal and business lending, mortgages, and wealth management, over
+// memcached/MongoDB-equivalent tiers plus a relational BankInfoDB holding
+// branch and representative data. The payments path preserves a
+// double-entry invariant: the sum of all account balances never changes
+// under internal transfers.
+package banking
+
+// Customer is a bank customer profile.
+type Customer struct {
+	Username          string
+	FullName          string
+	AnnualIncomeCents int64
+	Segment           string // "retail", "premium", "business"
+}
+
+// Account is one deposit or investment account.
+type Account struct {
+	ID           string
+	Owner        string
+	Kind         string // "deposit" | "investment"
+	BalanceCents int64
+}
+
+// Account kinds.
+const (
+	KindDeposit    = "deposit"
+	KindInvestment = "investment"
+)
+
+// LedgerEntry is one posted leg of a transfer.
+type LedgerEntry struct {
+	TxnID       string
+	AccountID   string
+	DeltaCents  int64
+	PostedAt    int64
+	Description string
+}
+
+// Activity is a customer activity-log record.
+type Activity struct {
+	Username string
+	Kind     string
+	Detail   string
+	At       int64
+}
+
+// Card is a credit card account.
+type Card struct {
+	Number       string
+	Owner        string
+	LimitCents   int64
+	BalanceCents int64 // amount owed
+}
+
+// LoanDecision is the outcome of a lending application.
+type LoanDecision struct {
+	Approved     bool
+	Reason       string
+	AmountCents  int64
+	RateBps      int64 // annual rate in basis points
+	TermMonths   int64
+	MonthlyCents int64
+}
+
+// Offer is a marketing banner.
+type Offer struct {
+	ID      string
+	Segment string
+	Text    string
+}
+
+// Branch is a BankInfoDB row projected into a typed record.
+type Branch struct {
+	ID    string
+	City  string
+	Rep   string
+	Phone string
+}

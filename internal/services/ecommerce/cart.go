@@ -1,0 +1,155 @@
+package ecommerce
+
+import (
+	"fmt"
+
+	"dsb/internal/codec"
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// CartAddReq adds quantity of an item to a user's cart.
+type CartAddReq struct {
+	Username string
+	ItemID   string
+	Quantity int64
+}
+
+// CartReq identifies a user's cart.
+type CartReq struct{ Username string }
+
+// CartResp returns the cart lines.
+type CartResp struct{ Lines []CartLine }
+
+// registerCart installs the cart service (Java tier in Figure 6): a
+// per-user line list in its document store.
+func registerCart(srv *rpc.Server, db svcutil.DB) {
+	load := func(ctx *rpc.Ctx, user string) ([]CartLine, error) {
+		doc, found, err := db.Get(ctx, "carts", user)
+		if err != nil || !found {
+			return nil, err
+		}
+		var lines []CartLine
+		if err := codec.Unmarshal(doc.Body, &lines); err != nil {
+			return nil, fmt.Errorf("cart: corrupt cart %s: %w", user, err)
+		}
+		return lines, nil
+	}
+	store := func(ctx *rpc.Ctx, user string, lines []CartLine) error {
+		body, err := codec.Marshal(lines)
+		if err != nil {
+			return err
+		}
+		return db.Put(ctx, "carts", docstore.Doc{ID: user, Body: body})
+	}
+
+	svcutil.Handle(srv, "Add", func(ctx *rpc.Ctx, req *CartAddReq) (*CartResp, error) {
+		if req.Username == "" || req.ItemID == "" || req.Quantity <= 0 {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "cart: invalid add")
+		}
+		lines, err := load(ctx, req.Username)
+		if err != nil {
+			return nil, err
+		}
+		merged := false
+		for i := range lines {
+			if lines[i].ItemID == req.ItemID {
+				lines[i].Quantity += req.Quantity
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			lines = append(lines, CartLine{ItemID: req.ItemID, Quantity: req.Quantity})
+		}
+		if err := store(ctx, req.Username, lines); err != nil {
+			return nil, err
+		}
+		return &CartResp{Lines: lines}, nil
+	})
+
+	svcutil.Handle(srv, "Remove", func(ctx *rpc.Ctx, req *CartAddReq) (*CartResp, error) {
+		lines, err := load(ctx, req.Username)
+		if err != nil {
+			return nil, err
+		}
+		for i := range lines {
+			if lines[i].ItemID == req.ItemID {
+				lines[i].Quantity -= req.Quantity
+				if lines[i].Quantity <= 0 {
+					lines = append(lines[:i], lines[i+1:]...)
+				}
+				break
+			}
+		}
+		if err := store(ctx, req.Username, lines); err != nil {
+			return nil, err
+		}
+		return &CartResp{Lines: lines}, nil
+	})
+
+	svcutil.Handle(srv, "Get", func(ctx *rpc.Ctx, req *CartReq) (*CartResp, error) {
+		lines, err := load(ctx, req.Username)
+		if err != nil {
+			return nil, err
+		}
+		return &CartResp{Lines: lines}, nil
+	})
+
+	svcutil.Handle(srv, "Clear", func(ctx *rpc.Ctx, req *CartReq) (*struct{}, error) {
+		return nil, store(ctx, req.Username, nil)
+	})
+}
+
+// WishlistAddReq adds an item to a user's wishlist.
+type WishlistAddReq struct {
+	Username string
+	ItemID   string
+}
+
+// WishlistReq identifies a user's wishlist.
+type WishlistReq struct{ Username string }
+
+// WishlistResp returns wishlist item IDs.
+type WishlistResp struct{ ItemIDs []string }
+
+// registerWishlist installs the wishlist service (Java tier; the paper
+// calls out its near-zero i-cache footprint as typical of trivially simple
+// microservices).
+func registerWishlist(srv *rpc.Server, db svcutil.DB) {
+	svcutil.Handle(srv, "Add", func(ctx *rpc.Ctx, req *WishlistAddReq) (*struct{}, error) {
+		if req.Username == "" || req.ItemID == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "wishlist: invalid add")
+		}
+		doc, _, err := db.Get(ctx, "wishlists", req.Username)
+		if err != nil {
+			return nil, err
+		}
+		var ids []string
+		if doc.Body != nil {
+			codec.Unmarshal(doc.Body, &ids) //nolint:errcheck
+		}
+		for _, id := range ids {
+			if id == req.ItemID {
+				return nil, nil
+			}
+		}
+		body, err := codec.Marshal(append(ids, req.ItemID))
+		if err != nil {
+			return nil, err
+		}
+		return nil, db.Put(ctx, "wishlists", docstore.Doc{ID: req.Username, Body: body})
+	})
+	svcutil.Handle(srv, "Get", func(ctx *rpc.Ctx, req *WishlistReq) (*WishlistResp, error) {
+		doc, found, err := db.Get(ctx, "wishlists", req.Username)
+		if err != nil || !found {
+			return &WishlistResp{}, err
+		}
+		var ids []string
+		if err := codec.Unmarshal(doc.Body, &ids); err != nil {
+			return nil, err
+		}
+		return &WishlistResp{ItemIDs: ids}, nil
+	})
+}

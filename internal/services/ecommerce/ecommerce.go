@@ -1,0 +1,202 @@
+package ecommerce
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/docstore"
+	"dsb/internal/kv"
+	"dsb/internal/mq"
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+var errUnauthorized = rpc.Errorf(rpc.CodeUnauthorized, "invalid token")
+
+func errNotFound(what string) error { return rpc.NotFoundf("no such resource %q", what) }
+
+// Config sizes the deployment.
+type Config struct {
+	// Clock overrides time for deterministic tests.
+	Clock func() time.Time
+}
+
+// Ecommerce is a running deployment.
+type Ecommerce struct {
+	App      *core.App
+	Frontend *rest.Client
+
+	Catalogue svcutil.Caller
+	Orders    svcutil.Caller
+	User      svcutil.Caller
+	Cart      svcutil.Caller
+
+	qm *queueMaster
+}
+
+// New boots the E-commerce application.
+func New(app *core.App, cfg Config) (*Ecommerce, error) {
+	for _, name := range []string{"db-catalogue", "db-carts", "db-orders", "db-accounts", "db-invoices", "db-wishlists"} {
+		store := docstore.NewStore()
+		if _, err := app.StartRPC("ecom."+name, func(s *rpc.Server) {
+			docstore.RegisterService(s, store)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range []string{"mc-catalogue", "mc-accounts"} {
+		cache := kv.New(0)
+		if _, err := app.StartRPC("ecom."+name, func(s *rpc.Server) {
+			kv.RegisterService(s, cache)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	cl := func(caller, target string) (svcutil.Caller, error) {
+		return app.RPC("ecom."+caller, "ecom."+target)
+	}
+	must := func(c svcutil.Caller, err error) svcutil.Caller {
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+
+	broker := mq.NewBroker()
+	ec := &Ecommerce{App: app}
+
+	type stage struct {
+		name     string
+		register func(*rpc.Server)
+	}
+	stages := []stage{
+		{"catalogue", func(s *rpc.Server) {
+			registerCatalogue(s, svcutil.DB{C: must(cl("catalogue", "db-catalogue"))}, svcutil.KV{C: must(cl("catalogue", "mc-catalogue"))})
+		}},
+		{"accountInfo", func(s *rpc.Server) {
+			registerAccountInfo(s, svcutil.DB{C: must(cl("accountInfo", "db-accounts"))}, svcutil.KV{C: must(cl("accountInfo", "mc-accounts"))})
+		}},
+		{"search", func(s *rpc.Server) { registerSearch(s, must(cl("search", "catalogue"))) }},
+		{"discounts", func(s *rpc.Server) { registerDiscounts(s, must(cl("discounts", "catalogue")), nil) }},
+		{"cart", func(s *rpc.Server) {
+			registerCart(s, svcutil.DB{C: must(cl("cart", "db-carts"))})
+		}},
+		{"wishlist", func(s *rpc.Server) {
+			registerWishlist(s, svcutil.DB{C: must(cl("wishlist", "db-wishlists"))})
+		}},
+		{"shipping", registerShipping},
+		{"authorization", func(s *rpc.Server) {
+			registerAuthorization(s, must(cl("authorization", "accountInfo")))
+		}},
+		{"payment", func(s *rpc.Server) {
+			registerPayment(s, must(cl("payment", "authorization")), must(cl("payment", "accountInfo")))
+		}},
+		{"transactionID", func(s *rpc.Server) { registerTransactionID(s, cfg.Clock) }},
+		{"invoicing", func(s *rpc.Server) {
+			registerInvoicing(s, svcutil.DB{C: must(cl("invoicing", "db-invoices"))}, cfg.Clock)
+		}},
+		{"queueMaster", func(s *rpc.Server) {
+			ec.qm = registerQueueMaster(s, broker, svcutil.DB{C: must(cl("queueMaster", "db-orders"))}, must(cl("queueMaster", "catalogue")))
+		}},
+		{"orders", func(s *rpc.Server) {
+			registerOrders(s, ordersDeps{
+				user:        must(cl("orders", "accountInfo")),
+				cart:        must(cl("orders", "cart")),
+				catalogue:   must(cl("orders", "catalogue")),
+				shipping:    must(cl("orders", "shipping")),
+				discounts:   must(cl("orders", "discounts")),
+				payment:     must(cl("orders", "payment")),
+				transaction: must(cl("orders", "transactionID")),
+				invoicing:   must(cl("orders", "invoicing")),
+				queueMaster: must(cl("orders", "queueMaster")),
+				db:          svcutil.DB{C: must(cl("orders", "db-orders"))},
+				now:         cfg.Clock,
+			})
+		}},
+		{"recommender", func(s *rpc.Server) {
+			registerRecommender(s, must(cl("recommender", "orders")), must(cl("recommender", "catalogue")))
+		}},
+	}
+	for _, st := range stages {
+		if _, err := app.StartRPC("ecom."+st.name, st.register); err != nil {
+			return nil, fmt.Errorf("ecommerce: start %s: %w", st.name, err)
+		}
+	}
+
+	if _, err := app.StartREST("ecom.frontend", func(s *rest.Server) {
+		registerFrontend(s, frontendDeps{
+			user:        must(cl("frontend", "accountInfo")),
+			catalogue:   must(cl("frontend", "catalogue")),
+			search:      must(cl("frontend", "search")),
+			cart:        must(cl("frontend", "cart")),
+			wishlist:    must(cl("frontend", "wishlist")),
+			orders:      must(cl("frontend", "orders")),
+			recommender: must(cl("frontend", "recommender")),
+			discounts:   must(cl("frontend", "discounts")),
+			shipping:    must(cl("frontend", "shipping")),
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	var err error
+	if ec.Frontend, err = app.REST("client", "ecom.frontend"); err != nil {
+		return nil, err
+	}
+	if ec.Catalogue, err = app.RPC("client", "ecom.catalogue"); err != nil {
+		return nil, err
+	}
+	if ec.Orders, err = app.RPC("client", "ecom.orders"); err != nil {
+		return nil, err
+	}
+	if ec.User, err = app.RPC("client", "ecom.accountInfo"); err != nil {
+		return nil, err
+	}
+	if ec.Cart, err = app.RPC("client", "ecom.cart"); err != nil {
+		return nil, err
+	}
+	return ec, nil
+}
+
+// SeedItems loads the inventory.
+func (ec *Ecommerce) SeedItems(items []Item) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, it := range items {
+		if err := ec.Catalogue.Call(ctx, "Add", AddItemReq{Item: it}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitForOrder polls until the order leaves the queued state or the
+// timeout elapses, returning the final order.
+func (ec *Ecommerce) WaitForOrder(id string, timeout time.Duration) (Order, error) {
+	deadline := time.Now().Add(timeout)
+	ctx := context.Background()
+	for {
+		var resp GetOrderResp
+		if err := ec.Orders.Call(ctx, "Get", GetOrderReq{ID: id}, &resp); err != nil {
+			return Order{}, err
+		}
+		if resp.Found && resp.Order.Status != StatusQueued {
+			return resp.Order, nil
+		}
+		if time.Now().After(deadline) {
+			return resp.Order, fmt.Errorf("ecommerce: order %s still %s after %v", id, resp.Order.Status, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close stops the queueMaster consumer; call before closing the app.
+func (ec *Ecommerce) Close() {
+	if ec.qm != nil {
+		ec.qm.Close()
+	}
+}

@@ -1,0 +1,200 @@
+package ecommerce
+
+import (
+	"dsb/internal/rest"
+	"dsb/internal/svcutil"
+)
+
+// REST bodies for the node.js-style front-end.
+
+// CredentialsBody registers or logs in.
+type CredentialsBody struct {
+	Username string `json:"username"`
+	Password string `json:"password"`
+}
+
+// CartBody mutates the caller's cart.
+type CartBody struct {
+	Token    string `json:"token"`
+	ItemID   string `json:"item_id"`
+	Quantity int64  `json:"quantity"`
+}
+
+// OrderBody places an order.
+type OrderBody struct {
+	Token    string `json:"token"`
+	Shipping string `json:"shipping"`
+}
+
+// WishBody adds to the wishlist.
+type WishBody struct {
+	Token  string `json:"token"`
+	ItemID string `json:"item_id"`
+}
+
+type frontendDeps struct {
+	user        svcutil.Caller
+	catalogue   svcutil.Caller
+	search      svcutil.Caller
+	cart        svcutil.Caller
+	wishlist    svcutil.Caller
+	orders      svcutil.Caller
+	recommender svcutil.Caller
+	discounts   svcutil.Caller
+	shipping    svcutil.Caller
+}
+
+// registerFrontend installs the REST front door (the node.js front-end of
+// Figure 6).
+func registerFrontend(srv *rest.Server, d frontendDeps) {
+	authed := func(ctx *rest.Ctx, token string) (string, error) {
+		var auth VerifyTokenResp
+		if err := d.user.Call(ctx, "VerifyToken", VerifyTokenReq{Token: token}, &auth); err != nil {
+			return "", err
+		}
+		if !auth.Valid {
+			return "", errUnauthorized
+		}
+		return auth.Username, nil
+	}
+
+	srv.Handle("POST /register", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req CredentialsBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, d.user.Call(ctx, "Register", RegisterUserReq{Username: req.Username, Password: req.Password, BalanceCents: 50000}, nil)
+	})
+	srv.Handle("POST /login", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req CredentialsBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		var resp LoginResp
+		if err := d.user.Call(ctx, "Login", LoginReq{Username: req.Username, Password: req.Password}, &resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+
+	srv.Handle("GET /catalogue", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp ItemsResp
+		if err := d.catalogue.Call(ctx, "List", ListItemsReq{Tag: ctx.Query("tag"), Limit: 50}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Items, nil
+	})
+	srv.Handle("GET /catalogue/{id}", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp GetItemResp
+		if err := d.catalogue.Call(ctx, "Get", GetItemReq{ID: ctx.PathValue("id")}, &resp); err != nil {
+			return nil, err
+		}
+		if !resp.Found {
+			return nil, errNotFound(ctx.PathValue("id"))
+		}
+		return resp.Item, nil
+	})
+	srv.Handle("GET /search", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp ItemsResp
+		if err := d.search.Call(ctx, "Query", SearchReq{Query: ctx.Query("q"), Limit: 10}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Items, nil
+	})
+
+	srv.Handle("POST /cart", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req CartBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		user, err := authed(ctx, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		var resp CartResp
+		if err := d.cart.Call(ctx, "Add", CartAddReq{Username: user, ItemID: req.ItemID, Quantity: req.Quantity}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Lines, nil
+	})
+	srv.Handle("GET /cart", func(ctx *rest.Ctx, body []byte) (any, error) {
+		user, err := authed(ctx, ctx.Query("token"))
+		if err != nil {
+			return nil, err
+		}
+		var resp CartResp
+		if err := d.cart.Call(ctx, "Get", CartReq{Username: user}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Lines, nil
+	})
+
+	srv.Handle("POST /wishlist", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req WishBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		user, err := authed(ctx, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d.wishlist.Call(ctx, "Add", WishlistAddReq{Username: user, ItemID: req.ItemID}, nil)
+	})
+	srv.Handle("GET /wishlist", func(ctx *rest.Ctx, body []byte) (any, error) {
+		user, err := authed(ctx, ctx.Query("token"))
+		if err != nil {
+			return nil, err
+		}
+		var resp WishlistResp
+		if err := d.wishlist.Call(ctx, "Get", WishlistReq{Username: user}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.ItemIDs, nil
+	})
+
+	srv.Handle("POST /orders", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req OrderBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		var resp PlaceOrderResp
+		if err := d.orders.Call(ctx, "Place", PlaceOrderReq{Token: req.Token, Shipping: req.Shipping}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Order, nil
+	})
+	srv.Handle("GET /orders/{id}", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp GetOrderResp
+		if err := d.orders.Call(ctx, "Get", GetOrderReq{ID: ctx.PathValue("id")}, &resp); err != nil {
+			return nil, err
+		}
+		if !resp.Found {
+			return nil, errNotFound(ctx.PathValue("id"))
+		}
+		return resp.Order, nil
+	})
+	srv.Handle("GET /shipping", func(ctx *rest.Ctx, body []byte) (any, error) {
+		weight := int64(0)
+		for _, c := range ctx.Query("weight") {
+			if c >= '0' && c <= '9' {
+				weight = weight*10 + int64(c-'0')
+			}
+		}
+		var resp ShippingQuoteResp
+		if err := d.shipping.Call(ctx, "Quote", ShippingQuoteReq{WeightGram: weight}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Options, nil
+	})
+	srv.Handle("GET /recommend", func(ctx *rest.Ctx, body []byte) (any, error) {
+		user, err := authed(ctx, ctx.Query("token"))
+		if err != nil {
+			return nil, err
+		}
+		var resp ItemsResp
+		if err := d.recommender.Call(ctx, "Recommend", RecommendItemsReq{Username: user, Limit: 5}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Items, nil
+	})
+}

@@ -1,0 +1,329 @@
+package ecommerce
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// ShippingQuoteReq quotes shipping for a weight.
+type ShippingQuoteReq struct{ WeightGram int64 }
+
+// ShippingQuoteResp returns the available options, cheapest first.
+type ShippingQuoteResp struct{ Options []ShippingOption }
+
+// registerShipping installs the shipping service: weight-banded pricing
+// with standard/express/overnight methods.
+func registerShipping(srv *rpc.Server) {
+	svcutil.Handle(srv, "Quote", func(ctx *rpc.Ctx, req *ShippingQuoteReq) (*ShippingQuoteResp, error) {
+		if req.WeightGram < 0 {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "shipping: negative weight")
+		}
+		// Base + per-kg pricing per method.
+		perKg := (req.WeightGram + 999) / 1000
+		return &ShippingQuoteResp{Options: []ShippingOption{
+			{Method: "standard", CostCents: 300 + 50*perKg, Days: 5},
+			{Method: "express", CostCents: 700 + 90*perKg, Days: 2},
+			{Method: "overnight", CostCents: 1500 + 150*perKg, Days: 1},
+		}}, nil
+	})
+}
+
+// AuthorizePaymentReq authorizes a charge against an account.
+type AuthorizePaymentReq struct {
+	Username    string
+	AmountCents int64
+}
+
+// AuthorizePaymentResp returns the authorization code.
+type AuthorizePaymentResp struct{ AuthCode string }
+
+// registerPayment installs the payment service, which consults the
+// authorization tier and debits the account.
+func registerPayment(srv *rpc.Server, authorization, accountInfo svcutil.Caller) {
+	svcutil.Handle(srv, "Charge", func(ctx *rpc.Ctx, req *AuthorizePaymentReq) (*AuthorizePaymentResp, error) {
+		var auth AuthorizePaymentResp
+		if err := authorization.Call(ctx, "Authorize", *req, &auth); err != nil {
+			return nil, err
+		}
+		if err := accountInfo.Call(ctx, "Debit", *req, nil); err != nil {
+			return nil, err
+		}
+		return &auth, nil
+	})
+}
+
+// registerAuthorization installs the authorization tier: balance check and
+// per-order risk ceiling, returning a deterministic auth code.
+func registerAuthorization(srv *rpc.Server, accountInfo svcutil.Caller) {
+	var seq atomic.Uint64
+	svcutil.Handle(srv, "Authorize", func(ctx *rpc.Ctx, req *AuthorizePaymentReq) (*AuthorizePaymentResp, error) {
+		if req.AmountCents <= 0 {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "authorization: non-positive amount")
+		}
+		if req.AmountCents > 500000 {
+			return nil, rpc.Errorf(rpc.CodeUnauthorized, "authorization: amount above risk ceiling")
+		}
+		var bal BalanceResp
+		if err := accountInfo.Call(ctx, "Balance", AccountReq{Username: req.Username}, &bal); err != nil {
+			return nil, err
+		}
+		if bal.BalanceCents < req.AmountCents {
+			return nil, rpc.Errorf(rpc.CodeUnauthorized, "authorization: insufficient funds")
+		}
+		return &AuthorizePaymentResp{AuthCode: fmt.Sprintf("auth-%06d", seq.Add(1))}, nil
+	})
+}
+
+// TransactionIDResp returns a globally unique transaction identifier.
+type TransactionIDResp struct{ ID string }
+
+// registerTransactionID installs the transactionID service.
+func registerTransactionID(srv *rpc.Server, now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	var seq atomic.Uint64
+	svcutil.Handle(srv, "Next", func(ctx *rpc.Ctx, req *struct{}) (*TransactionIDResp, error) {
+		return &TransactionIDResp{ID: fmt.Sprintf("txn-%d-%06d", now().UnixMilli(), seq.Add(1))}, nil
+	})
+}
+
+// InvoiceReq issues an invoice for an order.
+type InvoiceReq struct {
+	OrderID    string
+	Username   string
+	TotalCents int64
+}
+
+// InvoiceResp returns the invoice.
+type InvoiceResp struct{ Invoice Invoice }
+
+// registerInvoicing installs the invoicing service.
+func registerInvoicing(srv *rpc.Server, db svcutil.DB, now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	var seq atomic.Uint64
+	svcutil.Handle(srv, "Issue", func(ctx *rpc.Ctx, req *InvoiceReq) (*InvoiceResp, error) {
+		inv := Invoice{
+			ID:         fmt.Sprintf("inv-%06d", seq.Add(1)),
+			OrderID:    req.OrderID,
+			Username:   req.Username,
+			TotalCents: req.TotalCents,
+			IssuedAt:   now().UnixNano(),
+		}
+		body, err := codec.Marshal(inv)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Put(ctx, "invoices", docstore.Doc{ID: inv.ID, Fields: map[string]string{"order": inv.OrderID}, Body: body}); err != nil {
+			return nil, err
+		}
+		return &InvoiceResp{Invoice: inv}, nil
+	})
+}
+
+// PlaceOrderReq places the caller's cart as an order.
+type PlaceOrderReq struct {
+	Token    string
+	Shipping string // "standard" | "express" | "overnight"
+}
+
+// PlaceOrderResp returns the queued order.
+type PlaceOrderResp struct{ Order Order }
+
+// GetOrderReq fetches an order by ID.
+type GetOrderReq struct{ ID string }
+
+// GetOrderResp returns the order.
+type GetOrderResp struct {
+	Order Order
+	Found bool
+}
+
+// OrdersByUserReq lists a user's orders.
+type OrdersByUserReq struct{ Username string }
+
+// OrdersResp returns orders.
+type OrdersResp struct{ Orders []Order }
+
+// ordersDeps are the tiers the orders orchestrator fans out to.
+type ordersDeps struct {
+	user        svcutil.Caller
+	cart        svcutil.Caller
+	catalogue   svcutil.Caller
+	shipping    svcutil.Caller
+	discounts   svcutil.Caller
+	payment     svcutil.Caller
+	transaction svcutil.Caller
+	invoicing   svcutil.Caller
+	queueMaster svcutil.Caller
+	db          svcutil.DB
+	now         func() time.Time
+}
+
+// registerOrders installs the orders orchestrator — the longest path in the
+// application (1–2 orders of magnitude slower than catalogue browsing, per
+// Section 3.8): authenticate, price the cart, quote shipping, apply
+// discounts, authorize and charge payment, issue the transaction ID and
+// invoice, enqueue the order for serialized commit, and clear the cart.
+func registerOrders(srv *rpc.Server, deps ordersDeps) {
+	if deps.now == nil {
+		deps.now = time.Now
+	}
+	var seq atomic.Uint64
+
+	svcutil.Handle(srv, "Place", func(ctx *rpc.Ctx, req *PlaceOrderReq) (*PlaceOrderResp, error) {
+		var auth VerifyTokenResp
+		if err := deps.user.Call(ctx, "VerifyToken", VerifyTokenReq{Token: req.Token}, &auth); err != nil {
+			return nil, err
+		}
+		if !auth.Valid {
+			return nil, rpc.Errorf(rpc.CodeUnauthorized, "orders: invalid token")
+		}
+		var cart CartResp
+		if err := deps.cart.Call(ctx, "Get", CartReq{Username: auth.Username}, &cart); err != nil {
+			return nil, err
+		}
+		if len(cart.Lines) == 0 {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "orders: cart is empty")
+		}
+
+		// Price items and total weight.
+		var itemsCents, weight int64
+		for _, line := range cart.Lines {
+			var item GetItemResp
+			if err := deps.catalogue.Call(ctx, "Get", GetItemReq{ID: line.ItemID}, &item); err != nil {
+				return nil, err
+			}
+			if !item.Found {
+				return nil, rpc.NotFoundf("orders: item %q vanished", line.ItemID)
+			}
+			if item.Item.Stock < line.Quantity {
+				return nil, rpc.Errorf(rpc.CodeConflict, "orders: %s out of stock", line.ItemID)
+			}
+			itemsCents += item.Item.PriceCents * line.Quantity
+			weight += item.Item.WeightGram * line.Quantity
+		}
+
+		// Shipping quote and method selection.
+		var quote ShippingQuoteResp
+		if err := deps.shipping.Call(ctx, "Quote", ShippingQuoteReq{WeightGram: weight}, &quote); err != nil {
+			return nil, err
+		}
+		var shipping *ShippingOption
+		for i := range quote.Options {
+			if quote.Options[i].Method == req.Shipping {
+				shipping = &quote.Options[i]
+			}
+		}
+		if shipping == nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "orders: unknown shipping method %q", req.Shipping)
+		}
+
+		// Discounts.
+		var discount DiscountResp
+		if err := deps.discounts.Call(ctx, "Quote", DiscountReq{Lines: cart.Lines}, &discount); err != nil {
+			return nil, err
+		}
+		total := itemsCents - discount.DiscountCents + shipping.CostCents
+		if total < 0 {
+			total = 0
+		}
+
+		// Payment: authorize + charge.
+		var authz AuthorizePaymentResp
+		if err := deps.payment.Call(ctx, "Charge", AuthorizePaymentReq{Username: auth.Username, AmountCents: total}, &authz); err != nil {
+			return nil, err
+		}
+		var txn TransactionIDResp
+		if err := deps.transaction.Call(ctx, "Next", struct{}{}, &txn); err != nil {
+			return nil, err
+		}
+
+		order := Order{
+			ID:            fmt.Sprintf("ord-%d-%06d", deps.now().UnixMilli(), seq.Add(1)),
+			Username:      auth.Username,
+			Lines:         cart.Lines,
+			ItemsCents:    itemsCents,
+			DiscountCents: discount.DiscountCents,
+			ShippingCents: shipping.CostCents,
+			TotalCents:    total,
+			Shipping:      shipping.Method,
+			TransactionID: txn.ID,
+			Status:        StatusQueued,
+			CreatedAt:     deps.now().UnixNano(),
+		}
+		var inv InvoiceResp
+		if err := deps.invoicing.Call(ctx, "Issue", InvoiceReq{OrderID: order.ID, Username: order.Username, TotalCents: total}, &inv); err != nil {
+			return nil, err
+		}
+		order.InvoiceID = inv.Invoice.ID
+
+		if err := storeOrder(ctx, deps.db, order); err != nil {
+			return nil, err
+		}
+		// Hand off to queueMaster for serialized commit, then clear cart.
+		if err := deps.queueMaster.Call(ctx, "Enqueue", GetOrderReq{ID: order.ID}, nil); err != nil {
+			return nil, err
+		}
+		if err := deps.cart.Call(ctx, "Clear", CartReq{Username: auth.Username}, nil); err != nil {
+			return nil, err
+		}
+		return &PlaceOrderResp{Order: order}, nil
+	})
+
+	svcutil.Handle(srv, "Get", func(ctx *rpc.Ctx, req *GetOrderReq) (*GetOrderResp, error) {
+		order, found, err := loadOrder(ctx, deps.db, req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return &GetOrderResp{Order: order, Found: found}, nil
+	})
+
+	svcutil.Handle(srv, "ByUser", func(ctx *rpc.Ctx, req *OrdersByUserReq) (*OrdersResp, error) {
+		docs, err := deps.db.Find(ctx, "orders", "user", req.Username, 100)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Order, 0, len(docs))
+		for _, d := range docs {
+			var o Order
+			if codec.Unmarshal(d.Body, &o) == nil {
+				out = append(out, o)
+			}
+		}
+		return &OrdersResp{Orders: out}, nil
+	})
+}
+
+func storeOrder(ctx *rpc.Ctx, db svcutil.DB, o Order) error {
+	body, err := codec.Marshal(o)
+	if err != nil {
+		return err
+	}
+	return db.Put(ctx, "orders", docstore.Doc{
+		ID:     o.ID,
+		Fields: map[string]string{"user": o.Username, "status": o.Status},
+		Nums:   map[string]int64{"ts": o.CreatedAt},
+		Body:   body,
+	})
+}
+
+func loadOrder(ctx *rpc.Ctx, db svcutil.DB, id string) (Order, bool, error) {
+	doc, found, err := db.Get(ctx, "orders", id)
+	if err != nil || !found {
+		return Order{}, false, err
+	}
+	var o Order
+	if err := codec.Unmarshal(doc.Body, &o); err != nil {
+		return Order{}, false, fmt.Errorf("orders: corrupt order %s: %w", id, err)
+	}
+	return o, true, nil
+}

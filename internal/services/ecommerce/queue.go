@@ -1,0 +1,87 @@
+package ecommerce
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dsb/internal/mq"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// registerQueueMaster installs the queueMaster service: Enqueue publishes
+// the order ID to the orderQueue broker, and a single consumer goroutine
+// receives, validates stock, decrements inventory, and marks each order
+// committed — strictly in publication order. The single consumer is the
+// point the paper identifies as constraining queueMaster's scalability at
+// high load.
+type queueMaster struct {
+	queue     *mq.Queue
+	db        svcutil.DB
+	catalogue svcutil.Caller
+	wg        sync.WaitGroup
+}
+
+func registerQueueMaster(srv *rpc.Server, broker *mq.Broker, db svcutil.DB, catalogue svcutil.Caller) *queueMaster {
+	qm := &queueMaster{queue: broker.Queue("orderQueue"), db: db, catalogue: catalogue}
+	svcutil.Handle(srv, "Enqueue", func(ctx *rpc.Ctx, req *GetOrderReq) (*struct{}, error) {
+		if req.ID == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "queueMaster: order ID required")
+		}
+		_, err := qm.queue.Publish([]byte(req.ID))
+		return nil, err
+	})
+	svcutil.Handle(srv, "Depth", func(ctx *rpc.Ctx, req *struct{}) (*struct{ Depth int64 }, error) {
+		return &struct{ Depth int64 }{Depth: int64(qm.queue.Len() + qm.queue.InFlight())}, nil
+	})
+	qm.wg.Add(1)
+	go qm.consume()
+	return qm
+}
+
+// consume is the serialized commit loop.
+func (qm *queueMaster) consume() {
+	defer qm.wg.Done()
+	for {
+		msg, ok := qm.queue.Receive(30 * time.Second)
+		if !ok {
+			return
+		}
+		qm.commit(string(msg.Body))
+		qm.queue.Ack(msg.ID)
+	}
+}
+
+func (qm *queueMaster) commit(orderID string) {
+	ctx := &rpc.Ctx{Context: context.Background(), Method: "commit", Service: "ecom.queueMaster"}
+	order, found, err := loadOrder(ctx, qm.db, orderID)
+	if err != nil || !found {
+		return
+	}
+	if order.Status != StatusQueued {
+		return // already processed (redelivery)
+	}
+	status := StatusCommitted
+	var decremented []CartLine
+	for _, line := range order.Lines {
+		err := qm.catalogue.Call(ctx, "AdjustStock", AdjustStockReq{ItemID: line.ItemID, Delta: -line.Quantity}, nil)
+		if err != nil {
+			status = StatusRejected
+			// Roll back the lines already taken.
+			for _, d := range decremented {
+				qm.catalogue.Call(ctx, "AdjustStock", AdjustStockReq{ItemID: d.ItemID, Delta: d.Quantity}, nil) //nolint:errcheck
+			}
+			break
+		}
+		decremented = append(decremented, line)
+	}
+	order.Status = status
+	storeOrder(ctx, qm.db, order) //nolint:errcheck // terminal status write is best-effort on teardown
+}
+
+// Close stops the consumer after draining in-flight work.
+func (qm *queueMaster) Close() {
+	qm.queue.Close()
+	qm.wg.Wait()
+}

@@ -1,0 +1,63 @@
+// Package ecommerce implements the suite's E-commerce site (Figure 6 of
+// the paper), modeled on the Sockshop application: a REST front-end over a
+// catalogue, cart, wishlist, discounts, search, and recommender, with an
+// order pipeline — login, shipping selection, payment authorization,
+// transaction IDs, invoicing — that serializes committed orders through
+// queueMaster and the orderQueue message broker, the scalability
+// constraint Section 7 of the paper attributes to this application.
+package ecommerce
+
+// Item is a catalogue product.
+type Item struct {
+	ID         string
+	Name       string
+	Tags       []string
+	PriceCents int64
+	WeightGram int64
+	Stock      int64
+}
+
+// CartLine is one item and quantity in a cart or order.
+type CartLine struct {
+	ItemID   string
+	Quantity int64
+}
+
+// ShippingOption is one quoted shipping method.
+type ShippingOption struct {
+	Method    string
+	CostCents int64
+	Days      int64
+}
+
+// Order is a placed order through its lifecycle.
+type Order struct {
+	ID            string
+	Username      string
+	Lines         []CartLine
+	ItemsCents    int64
+	DiscountCents int64
+	ShippingCents int64
+	TotalCents    int64
+	Shipping      string
+	TransactionID string
+	InvoiceID     string
+	Status        string // "queued" then "committed" or "rejected"
+	CreatedAt     int64
+}
+
+// Order statuses.
+const (
+	StatusQueued    = "queued"
+	StatusCommitted = "committed"
+	StatusRejected  = "rejected"
+)
+
+// Invoice is the billing record for an order.
+type Invoice struct {
+	ID         string
+	OrderID    string
+	Username   string
+	TotalCents int64
+	IssuedAt   int64
+}

@@ -1,0 +1,199 @@
+package media
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dsb/internal/blobstore"
+	"dsb/internal/core"
+	"dsb/internal/docstore"
+	"dsb/internal/kv"
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// Config sizes the deployment.
+type Config struct {
+	// MovieDBShards and MovieDBReplicas shape the MySQL-equivalent cluster
+	// (defaults 2 and 2).
+	MovieDBShards, MovieDBReplicas int
+	// Clock overrides time for deterministic tests.
+	Clock func() time.Time
+}
+
+// Media is a running Media Service deployment.
+type Media struct {
+	App       *core.App
+	Frontend  *rest.Client
+	Streaming *rest.Client
+	Films     *blobstore.Store // movie files, written by SeedMovie
+
+	MovieDB       svcutil.Caller
+	ComposeReview svcutil.Caller
+	User          svcutil.Caller
+	Rent          svcutil.Caller
+}
+
+// New boots the Media Service.
+func New(app *core.App, cfg Config) (*Media, error) {
+	if cfg.MovieDBShards <= 0 {
+		cfg.MovieDBShards = 2
+	}
+	if cfg.MovieDBReplicas <= 0 {
+		cfg.MovieDBReplicas = 2
+	}
+
+	// Storage tiers.
+	movieCluster, err := newMovieCluster(cfg.MovieDBShards, cfg.MovieDBReplicas)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"db-reviews", "db-users", "db-plots", "db-rentals"} {
+		store := docstore.NewStore()
+		if _, err := app.StartRPC("media."+name, func(s *rpc.Server) {
+			docstore.RegisterService(s, store)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range []string{"mc-reviews", "mc-users"} {
+		cache := kv.New(0)
+		if _, err := app.StartRPC("media."+name, func(s *rpc.Server) {
+			kv.RegisterService(s, cache)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	cl := func(caller, target string) (svcutil.Caller, error) {
+		return app.RPC("media."+caller, "media."+target)
+	}
+	must := func(c svcutil.Caller, err error) svcutil.Caller {
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	type stage struct {
+		name     string
+		register func(*rpc.Server)
+	}
+	stages := []stage{
+		{"movieDB", func(s *rpc.Server) { registerMovieDB(s, movieCluster) }},
+		{"plot", func(s *rpc.Server) {
+			registerPlot(s, svcutil.DB{C: must(cl("plot", "db-plots"))})
+		}},
+		{"user", func(s *rpc.Server) {
+			registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))})
+		}},
+		{"movieID", func(s *rpc.Server) {
+			registerMovieID(s, must(cl("movieID", "movieDB")))
+		}},
+		{"rating", registerRating},
+		{"reviewStorage", func(s *rpc.Server) {
+			registerReviewStorage(s, svcutil.DB{C: must(cl("reviewStorage", "db-reviews"))}, svcutil.KV{C: must(cl("reviewStorage", "mc-reviews"))})
+		}},
+		{"movieReview", func(s *rpc.Server) {
+			registerMovieReview(s, must(cl("movieReview", "reviewStorage")), must(cl("movieReview", "movieDB")))
+		}},
+		{"userReview", func(s *rpc.Server) {
+			registerUserReview(s, must(cl("userReview", "reviewStorage")))
+		}},
+		{"composeReview", func(s *rpc.Server) {
+			registerComposeReview(s, composeReviewDeps{
+				user:        must(cl("composeReview", "user")),
+				movieID:     must(cl("composeReview", "movieID")),
+				rating:      must(cl("composeReview", "rating")),
+				movieReview: must(cl("composeReview", "movieReview")),
+				now:         cfg.Clock,
+			})
+		}},
+		{"rent", func(s *rpc.Server) {
+			registerRent(s, must(cl("rent", "user")), svcutil.DB{C: must(cl("rent", "db-rentals"))}, cfg.Clock)
+		}},
+		{"recommender", func(s *rpc.Server) {
+			registerRecommender(s, must(cl("recommender", "user")), must(cl("recommender", "userReview")), must(cl("recommender", "movieDB")))
+		}},
+	}
+	for _, st := range stages {
+		if _, err := app.StartRPC("media."+st.name, st.register); err != nil {
+			return nil, fmt.Errorf("media: start %s: %w", st.name, err)
+		}
+	}
+
+	// Streaming tier (nginx-hls) with its NFS-equivalent blob store.
+	films := blobstore.New()
+	if _, err := app.StartREST("media.streaming", func(s *rest.Server) {
+		registerStreaming(s, films, must(cl("streaming", "rent")))
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := app.StartREST("media.frontend", func(s *rest.Server) {
+		registerFrontend(s, frontendDeps{
+			user:          must(cl("frontend", "user")),
+			movieID:       must(cl("frontend", "movieID")),
+			movieDB:       must(cl("frontend", "movieDB")),
+			plot:          must(cl("frontend", "plot")),
+			composeReview: must(cl("frontend", "composeReview")),
+			movieReview:   must(cl("frontend", "movieReview")),
+			userReview:    must(cl("frontend", "userReview")),
+			rent:          must(cl("frontend", "rent")),
+			recommender:   must(cl("frontend", "recommender")),
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	m := &Media{App: app, Films: films}
+	if m.Frontend, err = app.REST("client", "media.frontend"); err != nil {
+		return nil, err
+	}
+	if m.Streaming, err = app.REST("client", "media.streaming"); err != nil {
+		return nil, err
+	}
+	if m.MovieDB, err = app.RPC("client", "media.movieDB"); err != nil {
+		return nil, err
+	}
+	if m.ComposeReview, err = app.RPC("client", "media.composeReview"); err != nil {
+		return nil, err
+	}
+	if m.User, err = app.RPC("client", "media.user"); err != nil {
+		return nil, err
+	}
+	if m.Rent, err = app.RPC("client", "media.rent"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SeedMovie inserts a movie (metadata, plot, cast) and stores its file in
+// the blob store for streaming.
+func (m *Media) SeedMovie(movie Movie, plot string, cast []CastMember, file []byte) error {
+	ctx, cancel := contextWithTimeout()
+	defer cancel()
+	if movie.PlotID == "" {
+		movie.PlotID = "plot-" + movie.ID
+	}
+	if err := m.MovieDB.Call(ctx, "Add", AddMovieReq{Movie: movie, Cast: cast}, nil); err != nil {
+		return err
+	}
+	plotClient, err := m.App.RPC("seeder", "media.plot")
+	if err != nil {
+		return err
+	}
+	if err := plotClient.Call(ctx, "Put", PutPlotReq{PlotID: movie.PlotID, Text: plot}, nil); err != nil {
+		return err
+	}
+	if len(file) > 0 {
+		if _, err := m.Films.Put(movie.ID, file); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func contextWithTimeout() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}

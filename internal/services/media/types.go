@@ -1,0 +1,45 @@
+// Package media implements the suite's Media Service (Figure 5 of the
+// paper): browsing movie information, composing reviews, renting movies
+// with payment authentication, and HTTP-live-streaming the rented files.
+// Movie metadata lives in a sharded, replicated relational database (the
+// MovieDB MySQL cluster); reviews live in a document store with a cache in
+// front; movie files live in the NFS-equivalent blob store and are served
+// in chunks by the nginx-hls streaming tier.
+package media
+
+// Movie is a row in MovieDB projected into a typed record.
+type Movie struct {
+	ID        string
+	Title     string
+	Year      int64
+	Genre     string
+	PlotID    string
+	AvgRating float64
+	NumRating int64
+}
+
+// CastMember links an actor to a movie.
+type CastMember struct {
+	MovieID string
+	Actor   string
+	Role    string
+}
+
+// Review is one user review of a movie.
+type Review struct {
+	ID        string
+	MovieID   string
+	Username  string
+	Text      string
+	Rating    int64 // 0..10
+	CreatedAt int64 // unix nanoseconds
+}
+
+// Rental is a streaming lease for a rented movie.
+type Rental struct {
+	Username   string
+	MovieID    string
+	Token      string
+	ExpiresAt  int64 // unix nanoseconds
+	PriceCents int64
+}

@@ -1,0 +1,166 @@
+package socialnetwork
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// ComposePostReq creates a new post (or repost) for an authenticated user.
+type ComposePostReq struct {
+	Token string
+	Text  string
+	// Images and Videos carry raw attachment bytes.
+	Images [][]byte
+	Videos [][]byte
+	// RepostOf, when set, makes this a repost of an existing post: the
+	// original is read, quoted, and rebroadcast — the longest-latency query
+	// type in the application (Section 3.8 of the paper).
+	RepostOf string
+}
+
+// ComposePostResp returns the stored post.
+type ComposePostResp struct{ Post Post }
+
+// composeDeps are the downstream tiers composePost orchestrates.
+type composeDeps struct {
+	user     svcutil.Caller
+	uniqueID svcutil.Caller
+	text     svcutil.Caller
+	media    svcutil.Caller
+	storage  svcutil.Caller
+	timeline svcutil.Caller
+	search   svcutil.Caller
+	readPost svcutil.Caller
+	now      func() time.Time
+}
+
+// registerComposePost installs the composePost orchestrator: token
+// verification, then ID generation, text processing, and media uploads in
+// parallel (as in the original service), then the store, and finally
+// timeline fan-out and search indexing in parallel.
+func registerComposePost(srv *rpc.Server, deps composeDeps) {
+	if deps.now == nil {
+		deps.now = time.Now
+	}
+	svcutil.Handle(srv, "Compose", func(ctx *rpc.Ctx, req *ComposePostReq) (*ComposePostResp, error) {
+		var auth VerifyTokenResp
+		if err := deps.user.Call(ctx, "VerifyToken", VerifyTokenReq{Token: req.Token}, &auth); err != nil {
+			return nil, err
+		}
+		if !auth.Valid {
+			return nil, rpc.Errorf(rpc.CodeUnauthorized, "composePost: invalid token")
+		}
+
+		text := req.Text
+		if req.RepostOf != "" {
+			var orig ReadPostsResp
+			if err := deps.readPost.Call(ctx, "Read", ReadPostsReq{IDs: []string{req.RepostOf}}, &orig); err != nil {
+				return nil, err
+			}
+			if len(orig.Posts) == 0 {
+				return nil, rpc.NotFoundf("composePost: repost target %q", req.RepostOf)
+			}
+			o := orig.Posts[0]
+			text = strings.TrimSpace("RT @" + o.Author + ": " + o.Text + " " + req.Text)
+		}
+		if strings.TrimSpace(text) == "" && len(req.Images)+len(req.Videos) == 0 {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "composePost: empty post")
+		}
+
+		// Phase 1: unique ID, text processing, and media uploads in parallel.
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+			idResp   UniqueIDResp
+			txtResp  TextProcessResp
+			mediaIDs []string
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := deps.uniqueID.Call(ctx, "Next", UniqueIDReq{}, &idResp); err != nil {
+				fail(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := deps.text.Call(ctx, "Process", TextProcessReq{Text: text}, &txtResp); err != nil {
+				fail(err)
+			}
+		}()
+		upload := func(kind string, data []byte) {
+			defer wg.Done()
+			var mr UploadMediaResp
+			if err := deps.media.Call(ctx, "Upload", UploadMediaReq{Kind: kind, Data: data}, &mr); err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			mediaIDs = append(mediaIDs, mr.Media.ID)
+			mu.Unlock()
+		}
+		for _, img := range req.Images {
+			wg.Add(1)
+			go upload(MediaImage, img)
+		}
+		for _, vid := range req.Videos {
+			wg.Add(1)
+			go upload(MediaVideo, vid)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		post := Post{
+			ID:        idResp.ID,
+			Author:    auth.Username,
+			Text:      txtResp.Text,
+			Mentions:  txtResp.Mentions,
+			URLs:      txtResp.URLs,
+			MediaIDs:  mediaIDs,
+			CreatedAt: deps.now().UnixNano(),
+		}
+		if err := deps.storage.Call(ctx, "Store", StorePostReq{Post: post}, nil); err != nil {
+			return nil, err
+		}
+
+		// Phase 2: fan-out and indexing in parallel.
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			err := deps.timeline.Call(ctx, "Append", AppendTimelineReq{
+				Author: post.Author, PostID: post.ID, Ts: post.CreatedAt,
+			}, nil)
+			if err != nil {
+				fail(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := deps.search.Call(ctx, "Index", IndexPostReq{PostID: post.ID, Text: post.Text}, nil); err != nil {
+				fail(err)
+			}
+		}()
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if err := deps.user.Call(ctx, "BumpStat", BumpStatReq{Username: post.Author, Stat: "posts", Delta: 1}, nil); err != nil {
+			return nil, err
+		}
+		return &ComposePostResp{Post: post}, nil
+	})
+}

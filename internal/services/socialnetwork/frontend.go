@@ -1,0 +1,218 @@
+package socialnetwork
+
+import (
+	"encoding/base64"
+
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// REST request/response bodies for the front door. Media attachments are
+// base64 strings, as an http client would send them.
+
+// PostBody is the POST /posts request.
+type PostBody struct {
+	Token    string   `json:"token"`
+	Text     string   `json:"text"`
+	Images   []string `json:"images,omitempty"`
+	Videos   []string `json:"videos,omitempty"`
+	RepostOf string   `json:"repost_of,omitempty"`
+}
+
+// CredentialsBody is the register/login request.
+type CredentialsBody struct {
+	Username string `json:"username"`
+	Password string `json:"password"`
+}
+
+// FollowBody is the POST /follow request.
+type FollowBody struct {
+	Token    string `json:"token"`
+	Followee string `json:"followee"`
+}
+
+// BlockBody is the POST /block request.
+type BlockBody struct {
+	Token  string `json:"token"`
+	Target string `json:"target"`
+}
+
+// FavoriteBody is the POST /favorite request.
+type FavoriteBody struct {
+	Token  string `json:"token"`
+	PostID string `json:"post_id"`
+}
+
+// frontendDeps are the tiers the front door fans out to.
+type frontendDeps struct {
+	compose      svcutil.Caller
+	readTimeline svcutil.Caller
+	readPost     svcutil.Caller
+	user         svcutil.Caller
+	graph        svcutil.Caller
+	blocked      svcutil.Caller
+	search       svcutil.Caller
+	ads          svcutil.Caller
+	recommender  svcutil.Caller
+	favorite     svcutil.Caller
+}
+
+// registerFrontend installs the REST API — the nginx/php-fpm tier of
+// Figure 4. Every handler authenticates where needed and translates
+// between JSON and the downstream RPC types.
+func registerFrontend(srv *rest.Server, d frontendDeps) {
+	authed := func(ctx *rest.Ctx, token string) (string, error) {
+		var auth VerifyTokenResp
+		if err := d.user.Call(ctx, "VerifyToken", VerifyTokenReq{Token: token}, &auth); err != nil {
+			return "", err
+		}
+		if !auth.Valid {
+			return "", rpc.Errorf(rpc.CodeUnauthorized, "invalid token")
+		}
+		return auth.Username, nil
+	}
+
+	srv.Handle("POST /register", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req CredentialsBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		var resp RegisterResp
+		if err := d.user.Call(ctx, "Register", RegisterReq{Username: req.Username, Password: req.Password}, &resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+
+	srv.Handle("POST /login", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req CredentialsBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		var resp LoginResp
+		if err := d.user.Call(ctx, "Login", LoginReq{Username: req.Username, Password: req.Password}, &resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+
+	srv.Handle("POST /posts", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req PostBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		rpcReq := ComposePostReq{Token: req.Token, Text: req.Text, RepostOf: req.RepostOf}
+		for _, b64 := range req.Images {
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, rpc.Errorf(rpc.CodeBadRequest, "bad image encoding: %v", err)
+			}
+			rpcReq.Images = append(rpcReq.Images, data)
+		}
+		for _, b64 := range req.Videos {
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, rpc.Errorf(rpc.CodeBadRequest, "bad video encoding: %v", err)
+			}
+			rpcReq.Videos = append(rpcReq.Videos, data)
+		}
+		var resp ComposePostResp
+		if err := d.compose.Call(ctx, "Compose", rpcReq, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Post, nil
+	})
+
+	srv.Handle("GET /timeline/{user}", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp ReadTimelineResp
+		err := d.readTimeline.Call(ctx, "Read", ReadTimelineReq{User: ctx.PathValue("user"), Limit: 20}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Posts, nil
+	})
+
+	srv.Handle("GET /posts/{id}", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp ReadPostsResp
+		if err := d.readPost.Call(ctx, "Read", ReadPostsReq{IDs: []string{ctx.PathValue("id")}}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Posts) == 0 {
+			return nil, rpc.NotFoundf("no post %q", ctx.PathValue("id"))
+		}
+		return resp.Posts[0], nil
+	})
+
+	srv.Handle("POST /follow", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req FollowBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		follower, err := authed(ctx, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d.graph.Call(ctx, "Follow", FollowReq{Follower: follower, Followee: req.Followee}, nil)
+	})
+
+	srv.Handle("POST /block", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req BlockBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		user, err := authed(ctx, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d.blocked.Call(ctx, "Block", BlockReq{User: user, Target: req.Target}, nil)
+	})
+
+	srv.Handle("POST /favorite", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var req FavoriteBody
+		if err := rest.DecodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		user, err := authed(ctx, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		var resp FavoriteCountResp
+		if err := d.favorite.Call(ctx, "Favorite", FavoriteReq{User: user, PostID: req.PostID}, &resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+
+	srv.Handle("GET /search", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp SearchResp
+		if err := d.search.Call(ctx, "Query", SearchReq{Query: ctx.Query("q"), Limit: 10}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Hits, nil
+	})
+
+	srv.Handle("GET /user/{name}", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp InfoResp
+		if err := d.user.Call(ctx, "Info", InfoReq{Username: ctx.PathValue("name")}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Info, nil
+	})
+
+	srv.Handle("GET /recommend/{user}", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp RecommendResp
+		if err := d.recommender.Call(ctx, "Recommend", RecommendReq{User: ctx.PathValue("user"), Limit: 5}, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Users, nil
+	})
+
+	srv.Handle("GET /ads", func(ctx *rest.Ctx, body []byte) (any, error) {
+		var resp AdsResp
+		if err := d.ads.Call(ctx, "Suggest", AdsReq{Context: ctx.Query("q")}, &resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+}

@@ -1,0 +1,128 @@
+package socialnetwork
+
+import (
+	"fmt"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// StorePostReq persists a composed post.
+type StorePostReq struct{ Post Post }
+
+// ReadPostReq fetches one post.
+type ReadPostReq struct{ ID string }
+
+// ReadPostResp returns the post if found.
+type ReadPostResp struct {
+	Post  Post
+	Found bool
+}
+
+// ReadPostsReq batch-fetches posts by ID.
+type ReadPostsReq struct{ IDs []string }
+
+// ReadPostsResp returns found posts, preserving request order.
+type ReadPostsResp struct{ Posts []Post }
+
+const postCacheTTL = 10 * time.Minute
+
+// registerPostStorage installs the postsStorage service: the system of
+// record for posts, with a lookaside cache in front — the memcached/
+// MongoDB pair of Figure 4.
+func registerPostStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+	svcutil.Handle(srv, "Store", func(ctx *rpc.Ctx, req *StorePostReq) (*struct{}, error) {
+		p := req.Post
+		if p.ID == "" || p.Author == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "postStorage: post needs ID and author")
+		}
+		body, err := codec.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		doc := docstore.Doc{
+			ID:     p.ID,
+			Fields: map[string]string{"author": p.Author},
+			Nums:   map[string]int64{"ts": p.CreatedAt},
+			Body:   body,
+		}
+		if err := db.Put(ctx, "posts", doc); err != nil {
+			return nil, err
+		}
+		// Write-through so immediate timeline reads hit the cache.
+		mc.Set(ctx, "post:"+p.ID, body, postCacheTTL) //nolint:errcheck // cache fill is best-effort
+		return nil, nil
+	})
+
+	readOne := func(ctx *rpc.Ctx, id string) (Post, bool, error) {
+		if v, found, err := mc.Get(ctx, "post:"+id); err == nil && found {
+			var p Post
+			if err := codec.Unmarshal(v, &p); err == nil {
+				return p, true, nil
+			}
+		}
+		doc, found, err := db.Get(ctx, "posts", id)
+		if err != nil || !found {
+			return Post{}, false, err
+		}
+		var p Post
+		if err := codec.Unmarshal(doc.Body, &p); err != nil {
+			return Post{}, false, fmt.Errorf("postStorage: corrupt post %s: %w", id, err)
+		}
+		mc.Set(ctx, "post:"+id, doc.Body, postCacheTTL) //nolint:errcheck
+		return p, true, nil
+	}
+
+	svcutil.Handle(srv, "Read", func(ctx *rpc.Ctx, req *ReadPostReq) (*ReadPostResp, error) {
+		p, found, err := readOne(ctx, req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return &ReadPostResp{Post: p, Found: found}, nil
+	})
+
+	svcutil.Handle(srv, "ReadBatch", func(ctx *rpc.Ctx, req *ReadPostsReq) (*ReadPostsResp, error) {
+		out := make([]Post, 0, len(req.IDs))
+		for _, id := range req.IDs {
+			p, found, err := readOne(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				out = append(out, p)
+			}
+		}
+		return &ReadPostsResp{Posts: out}, nil
+	})
+
+	svcutil.Handle(srv, "AuthorPosts", func(ctx *rpc.Ctx, req *InfoReq) (*ReadPostsResp, error) {
+		docs, err := db.Find(ctx, "posts", "author", req.Username, 100)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Post, 0, len(docs))
+		for _, d := range docs {
+			var p Post
+			if err := codec.Unmarshal(d.Body, &p); err != nil {
+				continue
+			}
+			out = append(out, p)
+		}
+		return &ReadPostsResp{Posts: out}, nil
+	})
+}
+
+// registerReadPost installs the readPost service, the batching layer
+// between timelines and post storage (distinct tiers in Figure 4).
+func registerReadPost(srv *rpc.Server, storage svcutil.Caller) {
+	svcutil.Handle(srv, "Read", func(ctx *rpc.Ctx, req *ReadPostsReq) (*ReadPostsResp, error) {
+		var resp ReadPostsResp
+		if err := storage.Call(ctx, "ReadBatch", ReadPostsReq{IDs: req.IDs}, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	})
+}

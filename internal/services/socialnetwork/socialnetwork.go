@@ -1,0 +1,203 @@
+package socialnetwork
+
+import (
+	"fmt"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/docstore"
+	"dsb/internal/kv"
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// Config sizes the deployment.
+type Config struct {
+	// SearchShards is the number of index partitions (default 3).
+	SearchShards int
+	// CacheBytes bounds each cache tier (default 64 MiB).
+	CacheBytes int64
+	// Clock overrides time for deterministic tests.
+	Clock func() time.Time
+}
+
+// SocialNetwork is a running deployment: the REST front door plus direct
+// RPC clients for tests and load generators.
+type SocialNetwork struct {
+	App      *core.App
+	Frontend *rest.Client
+
+	// Direct tier clients, exposed for tests and benchmarks.
+	Compose      svcutil.Caller
+	ReadTimeline svcutil.Caller
+	User         svcutil.Caller
+	Graph        svcutil.Caller
+	Search       svcutil.Caller
+}
+
+// New boots the full Social Network on the given app: storage tiers first,
+// then leaf services, then orchestrators, then the front door.
+func New(app *core.App, cfg Config) (*SocialNetwork, error) {
+	if cfg.SearchShards <= 0 {
+		cfg.SearchShards = 3
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+
+	// Storage tiers: one cache and/or document store per backend group,
+	// each its own microservice, as in Figure 4.
+	stores := []string{"db-posts", "db-timeline", "db-graph", "db-users", "db-urls", "db-media", "db-favorites"}
+	for _, name := range stores {
+		store := docstore.NewStore()
+		if _, err := app.StartRPC("social."+name, func(s *rpc.Server) {
+			docstore.RegisterService(s, store)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	caches := []string{"mc-posts", "mc-timeline", "mc-users", "mc-urls", "mc-favorites"}
+	for _, name := range caches {
+		cache := kv.New(cfg.CacheBytes)
+		if _, err := app.StartRPC("social."+name, func(s *rpc.Server) {
+			kv.RegisterService(s, cache)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	cl := func(caller, target string) (svcutil.Caller, error) {
+		return app.RPC("social."+caller, "social."+target)
+	}
+	must := func(c svcutil.Caller, err error) svcutil.Caller {
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	// Boot order respects the dependency graph, so every client resolves.
+	var boot []func() error
+	start := func(name string, register func(*rpc.Server)) {
+		boot = append(boot, func() error {
+			_, err := app.StartRPC("social."+name, register)
+			return err
+		})
+	}
+
+	start("uniqueID", func(s *rpc.Server) { registerUniqueID(s, 1, cfg.Clock) })
+	start("user", func(s *rpc.Server) {
+		registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))})
+	})
+	start("urlShorten", func(s *rpc.Server) {
+		registerURLShorten(s, svcutil.DB{C: must(cl("urlShorten", "db-urls"))}, svcutil.KV{C: must(cl("urlShorten", "mc-urls"))})
+	})
+	start("userTag", func(s *rpc.Server) {
+		registerUserTag(s, must(cl("userTag", "user")))
+	})
+	start("text", func(s *rpc.Server) {
+		registerText(s, must(cl("text", "urlShorten")), must(cl("text", "userTag")))
+	})
+	start("media", func(s *rpc.Server) {
+		registerMedia(s, svcutil.DB{C: must(cl("media", "db-media"))}, must(cl("media", "uniqueID")))
+	})
+	start("socialGraph", func(s *rpc.Server) {
+		registerSocialGraph(s, svcutil.DB{C: must(cl("socialGraph", "db-graph"))}, must(cl("socialGraph", "user")))
+	})
+	start("blockedUsers", func(s *rpc.Server) {
+		registerBlockedUsers(s, svcutil.DB{C: must(cl("blockedUsers", "db-graph"))})
+	})
+	start("postStorage", func(s *rpc.Server) {
+		registerPostStorage(s, svcutil.DB{C: must(cl("postStorage", "db-posts"))}, svcutil.KV{C: must(cl("postStorage", "mc-posts"))})
+	})
+	start("readPost", func(s *rpc.Server) {
+		registerReadPost(s, must(cl("readPost", "postStorage")))
+	})
+	start("writeTimeline", func(s *rpc.Server) {
+		registerWriteTimeline(s, must(cl("writeTimeline", "socialGraph")),
+			svcutil.DB{C: must(cl("writeTimeline", "db-timeline"))},
+			svcutil.KV{C: must(cl("writeTimeline", "mc-timeline"))})
+	})
+	start("readTimeline", func(s *rpc.Server) {
+		registerReadTimeline(s,
+			svcutil.DB{C: must(cl("readTimeline", "db-timeline"))},
+			svcutil.KV{C: must(cl("readTimeline", "mc-timeline"))},
+			must(cl("readTimeline", "readPost")), must(cl("readTimeline", "blockedUsers")))
+	})
+	for i := 0; i < cfg.SearchShards; i++ {
+		name := fmt.Sprintf("search-index%d", i)
+		start(name, registerSearchShard)
+	}
+	start("search", func(s *rpc.Server) {
+		shards := make([]svcutil.Caller, cfg.SearchShards)
+		for i := range shards {
+			shards[i] = must(cl("search", fmt.Sprintf("search-index%d", i)))
+		}
+		registerSearch(s, shards)
+	})
+	start("ads", func(s *rpc.Server) { registerAds(s, nil) })
+	start("recommender", func(s *rpc.Server) {
+		registerRecommender(s, must(cl("recommender", "socialGraph")))
+	})
+	start("favorite", func(s *rpc.Server) {
+		registerFavorite(s, svcutil.DB{C: must(cl("favorite", "db-favorites"))}, svcutil.KV{C: must(cl("favorite", "mc-favorites"))})
+	})
+	start("composePost", func(s *rpc.Server) {
+		registerComposePost(s, composeDeps{
+			user:     must(cl("composePost", "user")),
+			uniqueID: must(cl("composePost", "uniqueID")),
+			text:     must(cl("composePost", "text")),
+			media:    must(cl("composePost", "media")),
+			storage:  must(cl("composePost", "postStorage")),
+			timeline: must(cl("composePost", "writeTimeline")),
+			search:   must(cl("composePost", "search")),
+			readPost: must(cl("composePost", "readPost")),
+			now:      cfg.Clock,
+		})
+	})
+	for _, b := range boot {
+		if err := b(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Front door (nginx tier).
+	if _, err := app.StartREST("social.frontend", func(s *rest.Server) {
+		registerFrontend(s, frontendDeps{
+			compose:      must(cl("frontend", "composePost")),
+			readTimeline: must(cl("frontend", "readTimeline")),
+			readPost:     must(cl("frontend", "readPost")),
+			user:         must(cl("frontend", "user")),
+			graph:        must(cl("frontend", "socialGraph")),
+			blocked:      must(cl("frontend", "blockedUsers")),
+			search:       must(cl("frontend", "search")),
+			ads:          must(cl("frontend", "ads")),
+			recommender:  must(cl("frontend", "recommender")),
+			favorite:     must(cl("frontend", "favorite")),
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	sn := &SocialNetwork{App: app}
+	var err error
+	if sn.Frontend, err = app.REST("client", "social.frontend"); err != nil {
+		return nil, err
+	}
+	if sn.Compose, err = app.RPC("client", "social.composePost"); err != nil {
+		return nil, err
+	}
+	if sn.ReadTimeline, err = app.RPC("client", "social.readTimeline"); err != nil {
+		return nil, err
+	}
+	if sn.User, err = app.RPC("client", "social.user"); err != nil {
+		return nil, err
+	}
+	if sn.Graph, err = app.RPC("client", "social.socialGraph"); err != nil {
+		return nil, err
+	}
+	if sn.Search, err = app.RPC("client", "social.search"); err != nil {
+		return nil, err
+	}
+	return sn, nil
+}

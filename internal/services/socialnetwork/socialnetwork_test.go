@@ -1,0 +1,359 @@
+package socialnetwork
+
+import (
+	"context"
+	"encoding/base64"
+	"strings"
+	"testing"
+
+	"dsb/internal/core"
+	"dsb/internal/rpc"
+)
+
+// boot creates a full deployment and registers + logs in the given users,
+// returning their tokens.
+func boot(t *testing.T, users ...string) (*SocialNetwork, map[string]string) {
+	t.Helper()
+	app := core.NewApp("social-test", core.Options{})
+	t.Cleanup(func() { app.Close() })
+	sn, err := New(app, Config{SearchShards: 2})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	ctx := context.Background()
+	tokens := make(map[string]string, len(users))
+	for _, u := range users {
+		if err := sn.User.Call(ctx, "Register", RegisterReq{Username: u, Password: "pw-" + u}, nil); err != nil {
+			t.Fatalf("register %s: %v", u, err)
+		}
+		var lr LoginResp
+		if err := sn.User.Call(ctx, "Login", LoginReq{Username: u, Password: "pw-" + u}, &lr); err != nil {
+			t.Fatalf("login %s: %v", u, err)
+		}
+		tokens[u] = lr.Token
+	}
+	return sn, tokens
+}
+
+func compose(t *testing.T, sn *SocialNetwork, token, text string) Post {
+	t.Helper()
+	var resp ComposePostResp
+	if err := sn.Compose.Call(context.Background(), "Compose", ComposePostReq{Token: token, Text: text}, &resp); err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	return resp.Post
+}
+
+func timeline(t *testing.T, sn *SocialNetwork, user string) []Post {
+	t.Helper()
+	var resp ReadTimelineResp
+	if err := sn.ReadTimeline.Call(context.Background(), "Read", ReadTimelineReq{User: user, Limit: 50}, &resp); err != nil {
+		t.Fatalf("timeline %s: %v", user, err)
+	}
+	return resp.Posts
+}
+
+func TestPostReachesFollowersTimeline(t *testing.T) {
+	sn, tokens := boot(t, "alice", "bob", "carol")
+	ctx := context.Background()
+	// bob and carol follow alice.
+	for _, f := range []string{"bob", "carol"} {
+		if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: f, Followee: "alice"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := compose(t, sn, tokens["alice"], "hello world from alice")
+
+	for _, reader := range []string{"alice", "bob", "carol"} {
+		posts := timeline(t, sn, reader)
+		if len(posts) != 1 || posts[0].ID != post.ID {
+			t.Fatalf("%s timeline = %+v", reader, posts)
+		}
+	}
+	// A non-follower sees nothing.
+	if posts := timeline(t, sn, "carol"); posts[0].Author != "alice" {
+		t.Fatalf("author = %s", posts[0].Author)
+	}
+	sn2, _ := boot(t, "dave")
+	_ = sn2
+}
+
+func TestTimelineNewestFirst(t *testing.T) {
+	sn, tokens := boot(t, "alice", "bob")
+	ctx := context.Background()
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := compose(t, sn, tokens["alice"], "first post")
+	second := compose(t, sn, tokens["alice"], "second post")
+	posts := timeline(t, sn, "bob")
+	if len(posts) != 2 || posts[0].ID != second.ID || posts[1].ID != first.ID {
+		t.Fatalf("order wrong: %+v", posts)
+	}
+}
+
+func TestComposeRequiresAuth(t *testing.T) {
+	sn, _ := boot(t, "alice")
+	err := sn.Compose.Call(context.Background(), "Compose", ComposePostReq{Token: "bogus", Text: "x"}, nil)
+	if !rpc.IsCode(err, rpc.CodeUnauthorized) {
+		t.Fatalf("want unauthorized, got %v", err)
+	}
+}
+
+func TestMentionsAndURLs(t *testing.T) {
+	sn, tokens := boot(t, "alice", "bob")
+	post := compose(t, sn, tokens["alice"], "hey @bob @ghost check https://example.com/very/long/path")
+	if len(post.Mentions) != 1 || post.Mentions[0] != "bob" {
+		t.Fatalf("mentions = %v (ghost must be dropped)", post.Mentions)
+	}
+	if len(post.URLs) != 1 || !strings.HasPrefix(post.URLs[0], shortPrefix) {
+		t.Fatalf("urls = %v", post.URLs)
+	}
+	if strings.Contains(post.Text, "example.com") {
+		t.Fatalf("text not rewritten: %q", post.Text)
+	}
+	if !strings.Contains(post.Text, post.URLs[0]) {
+		t.Fatalf("short url missing from text: %q", post.Text)
+	}
+}
+
+func TestRepostQuotesOriginal(t *testing.T) {
+	sn, tokens := boot(t, "alice", "bob")
+	orig := compose(t, sn, tokens["alice"], "original thought")
+	var resp ComposePostResp
+	err := sn.Compose.Call(context.Background(), "Compose",
+		ComposePostReq{Token: tokens["bob"], Text: "so true", RepostOf: orig.ID}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Post.Text, "RT @alice: original thought") {
+		t.Fatalf("repost text = %q", resp.Post.Text)
+	}
+	// Repost of a missing post fails cleanly.
+	err = sn.Compose.Call(context.Background(), "Compose",
+		ComposePostReq{Token: tokens["bob"], Text: "x", RepostOf: "nope"}, nil)
+	if !rpc.IsCode(err, rpc.CodeNotFound) {
+		t.Fatalf("want not found, got %v", err)
+	}
+}
+
+func TestSearchFindsPosts(t *testing.T) {
+	sn, tokens := boot(t, "alice")
+	compose(t, sn, tokens["alice"], "kubernetes cluster scaling tricks")
+	compose(t, sn, tokens["alice"], "my coffee brewing notes")
+	var resp SearchResp
+	if err := sn.Search.Call(context.Background(), "Query", SearchReq{Query: "coffee brewing"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 1 {
+		t.Fatalf("hits = %+v", resp.Hits)
+	}
+	if err := sn.Search.Call(context.Background(), "Query", SearchReq{Query: "kubernetes"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 1 {
+		t.Fatalf("kubernetes hits = %+v", resp.Hits)
+	}
+}
+
+func TestBlockedAuthorFiltered(t *testing.T) {
+	sn, tokens := boot(t, "alice", "bob", "troll")
+	ctx := context.Background()
+	for _, a := range []string{"alice", "troll"} {
+		if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: a}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compose(t, sn, tokens["alice"], "nice content")
+	compose(t, sn, tokens["troll"], "bad content")
+	if posts := timeline(t, sn, "bob"); len(posts) != 2 {
+		t.Fatalf("pre-block timeline = %d posts", len(posts))
+	}
+	// Block via the REST front door (exercises auth path).
+	if err := sn.Frontend.Do(ctx, "POST", "/block", BlockBody{Token: tokens["bob"], Target: "troll"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	posts := timeline(t, sn, "bob")
+	if len(posts) != 1 || posts[0].Author != "alice" {
+		t.Fatalf("post-block timeline = %+v", posts)
+	}
+}
+
+func TestFollowUpdatesCounts(t *testing.T) {
+	sn, _ := boot(t, "alice", "bob")
+	ctx := context.Background()
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var info InfoResp
+	if err := sn.User.Call(ctx, "Info", InfoReq{Username: "alice"}, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Info.Followers != 1 {
+		t.Fatalf("alice followers = %d", info.Info.Followers)
+	}
+	if err := sn.Graph.Call(ctx, "Unfollow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.User.Call(ctx, "Info", InfoReq{Username: "alice"}, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Info.Followers != 0 {
+		t.Fatalf("post-unfollow followers = %d", info.Info.Followers)
+	}
+	// Self-follow rejected.
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "alice", Followee: "alice"}, nil); !rpc.IsCode(err, rpc.CodeBadRequest) {
+		t.Fatalf("self-follow: %v", err)
+	}
+}
+
+func TestRecommenderFriendsOfFriends(t *testing.T) {
+	sn, _ := boot(t, "alice", "bob", "carol", "dave")
+	ctx := context.Background()
+	// alice -> bob, carol; bob -> dave; carol -> dave.
+	follows := [][2]string{{"alice", "bob"}, {"alice", "carol"}, {"bob", "dave"}, {"carol", "dave"}}
+	for _, f := range follows {
+		if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: f[0], Followee: f[1]}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rec RecommendResp
+	var recClient = sn.App
+	_ = recClient
+	c, err := sn.App.RPC("test", "social.recommender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(ctx, "Recommend", RecommendReq{User: "alice", Limit: 5}, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Users) != 1 || rec.Users[0] != "dave" {
+		t.Fatalf("recommendations = %v, want [dave]", rec.Users)
+	}
+}
+
+func TestFrontendEndToEnd(t *testing.T) {
+	sn, _ := boot(t)
+	ctx := context.Background()
+	fe := sn.Frontend
+
+	// Register + login over REST.
+	if err := fe.Do(ctx, "POST", "/register", CredentialsBody{Username: "eve", Password: "s3cret"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var login LoginResp
+	if err := fe.Do(ctx, "POST", "/login", CredentialsBody{Username: "eve", Password: "s3cret"}, &login); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong password rejected.
+	if err := fe.Do(ctx, "POST", "/login", CredentialsBody{Username: "eve", Password: "wrong"}, nil); !rpc.IsCode(err, rpc.CodeUnauthorized) {
+		t.Fatalf("bad login: %v", err)
+	}
+
+	// Post with an image attachment.
+	img := base64.StdEncoding.EncodeToString(make([]byte, 4096))
+	var post Post
+	if err := fe.Do(ctx, "POST", "/posts", PostBody{Token: login.Token, Text: "coffee time", Images: []string{img}}, &post); err != nil {
+		t.Fatal(err)
+	}
+	if post.Author != "eve" || len(post.MediaIDs) != 1 {
+		t.Fatalf("post = %+v", post)
+	}
+
+	// Read it back by ID and via timeline.
+	var got Post
+	if err := fe.Do(ctx, "GET", "/posts/"+post.ID, nil, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != post.ID {
+		t.Fatalf("got = %+v", got)
+	}
+	var tl []Post
+	if err := fe.Do(ctx, "GET", "/timeline/eve", nil, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 1 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+
+	// Search, ads, favorite, user info.
+	var hits []SearchHit
+	if err := fe.Do(ctx, "GET", "/search?q=coffee", nil, &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("search hits = %+v", hits)
+	}
+	var ad AdsResp
+	if err := fe.Do(ctx, "GET", "/ads?q=coffee+time", nil, &ad); err != nil {
+		t.Fatal(err)
+	}
+	if !ad.Found || ad.Ad.Keyword != "coffee" {
+		t.Fatalf("ad = %+v", ad)
+	}
+	var fav FavoriteCountResp
+	if err := fe.Do(ctx, "POST", "/favorite", FavoriteBody{Token: login.Token, PostID: post.ID}, &fav); err != nil {
+		t.Fatal(err)
+	}
+	if fav.Count != 1 {
+		t.Fatalf("favorite count = %d", fav.Count)
+	}
+	// Favoriting twice stays at 1 (idempotent per user).
+	if err := fe.Do(ctx, "POST", "/favorite", FavoriteBody{Token: login.Token, PostID: post.ID}, &fav); err != nil {
+		t.Fatal(err)
+	}
+	if fav.Count != 1 {
+		t.Fatalf("double favorite count = %d", fav.Count)
+	}
+	var info UserInfo
+	if err := fe.Do(ctx, "GET", "/user/eve", nil, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Posts != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestTraceCoversComposePath(t *testing.T) {
+	sn, tokens := boot(t, "alice")
+	compose(t, sn, tokens["alice"], "trace me please")
+	sn.App.FlushTraces()
+	// Find the compose trace: it must include spans from composePost,
+	// text, uniqueID, postStorage, writeTimeline, and search.
+	want := []string{"social.composePost", "social.text", "social.uniqueID", "social.postStorage", "social.writeTimeline", "social.search"}
+	found := map[string]bool{}
+	for _, id := range sn.App.Traces.TraceIDs() {
+		for _, span := range sn.App.Traces.Spans(id) {
+			found[span.Service] = true
+		}
+	}
+	for _, svc := range want {
+		if !found[svc] {
+			t.Fatalf("no span from %s; services seen: %v", svc, found)
+		}
+	}
+}
+
+func TestVideoUploadLimit(t *testing.T) {
+	sn, tokens := boot(t, "alice")
+	err := sn.Compose.Call(context.Background(), "Compose", ComposePostReq{
+		Token:  tokens["alice"],
+		Text:   "big video",
+		Videos: [][]byte{make([]byte, maxVideoBytes+1)},
+	}, nil)
+	if !rpc.IsCode(err, rpc.CodeBadRequest) {
+		t.Fatalf("oversize video: %v", err)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	sn, _ := boot(t, "alice")
+	err := sn.User.Call(context.Background(), "Register", RegisterReq{Username: "alice", Password: "x"}, nil)
+	if !rpc.IsCode(err, rpc.CodeConflict) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package socialnetwork
+
+import (
+	"strings"
+
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// TextProcessReq carries the raw post text.
+type TextProcessReq struct{ Text string }
+
+// TextProcessResp carries the rewritten text and extracted entities.
+type TextProcessResp struct {
+	Text     string
+	Mentions []string
+	URLs     []string
+}
+
+// registerText installs the text-processing service: it extracts @mentions
+// (verified against the user service via userTag) and links (shortened via
+// urlShorten), and rewrites the post text with the shortened forms.
+func registerText(srv *rpc.Server, shorten, tag svcutil.Caller) {
+	svcutil.Handle(srv, "Process", func(ctx *rpc.Ctx, req *TextProcessReq) (*TextProcessResp, error) {
+		if len(req.Text) > 4096 {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "text: post exceeds 4096 chars")
+		}
+		tokens := strings.Fields(req.Text)
+		var mentions, urls []string
+		for _, tok := range tokens {
+			switch {
+			case strings.HasPrefix(tok, "@") && len(tok) > 1:
+				mentions = append(mentions, strings.TrimRight(tok[1:], ".,!?;:"))
+			case strings.HasPrefix(tok, "http://"), strings.HasPrefix(tok, "https://"):
+				urls = append(urls, tok)
+			}
+		}
+
+		// Verify mentions against real accounts.
+		if len(mentions) > 0 {
+			var vr UserTagResp
+			if err := tag.Call(ctx, "Verify", UserTagReq{Usernames: mentions}, &vr); err != nil {
+				return nil, err
+			}
+			mentions = vr.Valid
+		}
+
+		// Shorten every URL and substitute into the text.
+		out := req.Text
+		shortened := make([]string, 0, len(urls))
+		for _, u := range urls {
+			var sr ShortenResp
+			if err := shorten.Call(ctx, "Shorten", ShortenReq{URL: u}, &sr); err != nil {
+				return nil, err
+			}
+			shortened = append(shortened, sr.Short)
+			out = strings.Replace(out, u, sr.Short, 1)
+		}
+		return &TextProcessResp{Text: out, Mentions: mentions, URLs: shortened}, nil
+	})
+}
+
+// UserTagReq asks which of the given usernames exist.
+type UserTagReq struct{ Usernames []string }
+
+// UserTagResp returns the verified subset, in request order.
+type UserTagResp struct{ Valid []string }
+
+// registerUserTag installs the mention-verification service, which defers
+// existence checks to the user service.
+func registerUserTag(srv *rpc.Server, user svcutil.Caller) {
+	svcutil.Handle(srv, "Verify", func(ctx *rpc.Ctx, req *UserTagReq) (*UserTagResp, error) {
+		var er ExistsResp
+		if err := user.Call(ctx, "Exists", ExistsReq{Usernames: req.Usernames}, &er); err != nil {
+			return nil, err
+		}
+		return &UserTagResp{Valid: er.Existing}, nil
+	})
+}

@@ -1,0 +1,142 @@
+package socialnetwork
+
+import (
+	"fmt"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// AppendTimelineReq broadcasts a new post to its audience.
+type AppendTimelineReq struct {
+	Author string
+	PostID string
+	Ts     int64
+}
+
+// ReadTimelineReq fetches a user's home timeline.
+type ReadTimelineReq struct {
+	User  string
+	Limit int64
+}
+
+// ReadTimelineResp returns posts, newest first, with blocked authors
+// filtered out.
+type ReadTimelineResp struct{ Posts []Post }
+
+// timelineCap bounds stored timelines, like production fan-out caps.
+const timelineCap = 1000
+
+const timelineCacheTTL = time.Minute
+
+// registerWriteTimeline installs the writeTimeline service: on every new
+// post it fetches the author's followers from the social graph and
+// prepends the post ID to each follower's home timeline and to the
+// author's own, invalidating cache entries — write-path fan-out, the most
+// expensive query in the application (the paper's repost/composePost
+// observations hinge on it).
+func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV) {
+	svcutil.Handle(srv, "Append", func(ctx *rpc.Ctx, req *AppendTimelineReq) (*struct{}, error) {
+		if req.Author == "" || req.PostID == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "writeTimeline: author and post required")
+		}
+		var followers NeighborsResp
+		if err := graph.Call(ctx, "Followers", NeighborsReq{User: req.Author}, &followers); err != nil {
+			return nil, err
+		}
+		audience := append(followers.Users, req.Author)
+		for _, user := range audience {
+			if err := prependTimeline(ctx, db, user, req.PostID); err != nil {
+				return nil, err
+			}
+			mc.Delete(ctx, "tl:"+user) //nolint:errcheck // invalidation is best-effort
+		}
+		return nil, nil
+	})
+}
+
+func prependTimeline(ctx *rpc.Ctx, db svcutil.DB, user, postID string) error {
+	key := "tl:" + user
+	doc, found, err := db.Get(ctx, "timelines", key)
+	var ids []string
+	if err != nil {
+		return err
+	}
+	if found {
+		if err := codec.Unmarshal(doc.Body, &ids); err != nil {
+			return fmt.Errorf("writeTimeline: corrupt timeline %s: %w", user, err)
+		}
+	}
+	ids = append([]string{postID}, ids...)
+	if len(ids) > timelineCap {
+		ids = ids[:timelineCap]
+	}
+	body, err := codec.Marshal(ids)
+	if err != nil {
+		return err
+	}
+	return db.Put(ctx, "timelines", docstore.Doc{ID: key, Body: body})
+}
+
+// registerReadTimeline installs the readTimeline service: cache-first
+// timeline ID lookup, batched post hydration via readPost, and block-list
+// filtering via blockedUsers.
+func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPost, blocked svcutil.Caller) {
+	svcutil.Handle(srv, "Read", func(ctx *rpc.Ctx, req *ReadTimelineReq) (*ReadTimelineResp, error) {
+		if req.User == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "readTimeline: user required")
+		}
+		limit := int(req.Limit)
+		if limit <= 0 || limit > timelineCap {
+			limit = 20
+		}
+		key := "tl:" + req.User
+		var ids []string
+		if v, found, err := mc.Get(ctx, key); err == nil && found {
+			codec.Unmarshal(v, &ids) //nolint:errcheck // cache miss path below covers corruption
+		}
+		if ids == nil {
+			doc, found, err := db.Get(ctx, "timelines", key)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				if err := codec.Unmarshal(doc.Body, &ids); err != nil {
+					return nil, fmt.Errorf("readTimeline: corrupt timeline %s: %w", req.User, err)
+				}
+				mc.Set(ctx, key, doc.Body, timelineCacheTTL) //nolint:errcheck
+			}
+		}
+		if len(ids) > limit {
+			ids = ids[:limit]
+		}
+		if len(ids) == 0 {
+			return &ReadTimelineResp{}, nil
+		}
+		var posts ReadPostsResp
+		if err := readPost.Call(ctx, "Read", ReadPostsReq{IDs: ids}, &posts); err != nil {
+			return nil, err
+		}
+		var bl BlockedListResp
+		if err := blocked.Call(ctx, "List", BlockedListReq{User: req.User}, &bl); err != nil {
+			return nil, err
+		}
+		if len(bl.Users) == 0 {
+			return &ReadTimelineResp{Posts: posts.Posts}, nil
+		}
+		blockedSet := make(map[string]bool, len(bl.Users))
+		for _, u := range bl.Users {
+			blockedSet[u] = true
+		}
+		out := posts.Posts[:0]
+		for _, p := range posts.Posts {
+			if !blockedSet[p.Author] {
+				out = append(out, p)
+			}
+		}
+		return &ReadTimelineResp{Posts: out}, nil
+	})
+}

@@ -1,0 +1,52 @@
+// Package socialnetwork implements the suite's flagship application: a
+// broadcast-style social network with uni-directional follow relationships,
+// mirroring Figure 4 of the paper. A REST front door (the nginx tier)
+// fans out over Thrift-style RPCs to ~30 microservices: post composition
+// (unique IDs, text processing, URL shortening, user tags, media), post
+// storage, write/read timelines, the social graph, login/user info,
+// full-text search over index shards, ads, a follow recommender, favorites,
+// and blocked users — each stateful tier backed by its own cache
+// ("memcached") and document store ("MongoDB") microservices.
+package socialnetwork
+
+// Post is the stored post record shared by storage, timelines, and search.
+type Post struct {
+	ID        string
+	Author    string
+	Text      string   // processed text, with URLs shortened
+	Mentions  []string // verified @user tags
+	URLs      []string // shortened URLs
+	MediaIDs  []string // attached media object IDs
+	CreatedAt int64    // unix nanoseconds
+}
+
+// MediaKind discriminates image and video attachments.
+const (
+	MediaImage = "image"
+	MediaVideo = "video"
+)
+
+// Media is an uploaded attachment's metadata.
+type Media struct {
+	ID       string
+	Kind     string
+	Bytes    int64
+	Hash     uint64 // perceptual hash for images, checksum for video
+	Duration int64  // video only, nanoseconds
+}
+
+// UserInfo is the public profile record.
+type UserInfo struct {
+	Username  string
+	Followers int64
+	Followees int64
+	Posts     int64
+}
+
+// Ad is one advertisement.
+type Ad struct {
+	ID       string
+	Keyword  string
+	Text     string
+	BidCents int64
+}

@@ -1,0 +1,59 @@
+package socialnetwork
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// ShortenReq carries a full URL.
+type ShortenReq struct{ URL string }
+
+// ShortenResp carries the shortened form.
+type ShortenResp struct{ Short string }
+
+// ResolveReq looks up a short URL.
+type ResolveReq struct{ Short string }
+
+// ResolveResp returns the original URL.
+type ResolveResp struct{ URL string }
+
+const shortPrefix = "http://dsb.ly/"
+
+// registerURLShorten installs the URL shortener: content-addressed short
+// codes (so shortening is idempotent), persisted in its document store with
+// a cache in front for resolution.
+func registerURLShorten(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+	svcutil.Handle(srv, "Shorten", func(ctx *rpc.Ctx, req *ShortenReq) (*ShortenResp, error) {
+		if req.URL == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "urlShorten: empty URL")
+		}
+		sum := sha256.Sum256([]byte(req.URL))
+		code := hex.EncodeToString(sum[:5])
+		if err := db.Put(ctx, "urls", docstore.Doc{ID: code, Body: []byte(req.URL)}); err != nil {
+			return nil, err
+		}
+		return &ShortenResp{Short: shortPrefix + code}, nil
+	})
+	svcutil.Handle(srv, "Resolve", func(ctx *rpc.Ctx, req *ResolveReq) (*ResolveResp, error) {
+		code := req.Short
+		if len(code) > len(shortPrefix) && code[:len(shortPrefix)] == shortPrefix {
+			code = code[len(shortPrefix):]
+		}
+		if v, found, err := mc.Get(ctx, "url:"+code); err == nil && found {
+			return &ResolveResp{URL: string(v)}, nil
+		}
+		doc, found, err := db.Get(ctx, "urls", code)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, rpc.NotFoundf("urlShorten: unknown code %q", code)
+		}
+		mc.Set(ctx, "url:"+code, doc.Body, 0) //nolint:errcheck // cache fill is best-effort
+		return &ResolveResp{URL: string(doc.Body)}, nil
+	})
+}

@@ -1,0 +1,169 @@
+package socialnetwork
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"dsb/internal/docstore"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// RegisterReq creates an account.
+type RegisterReq struct{ Username, Password string }
+
+// RegisterResp confirms creation.
+type RegisterResp struct{ Username string }
+
+// LoginReq authenticates a user.
+type LoginReq struct{ Username, Password string }
+
+// LoginResp returns a session token.
+type LoginResp struct{ Token string }
+
+// VerifyTokenReq validates a session token.
+type VerifyTokenReq struct{ Token string }
+
+// VerifyTokenResp returns the logged-in username.
+type VerifyTokenResp struct {
+	Username string
+	Valid    bool
+}
+
+// ExistsReq asks which usernames exist.
+type ExistsReq struct{ Usernames []string }
+
+// ExistsResp returns the existing subset, in request order.
+type ExistsResp struct{ Existing []string }
+
+// InfoReq fetches a profile.
+type InfoReq struct{ Username string }
+
+// InfoResp returns the profile.
+type InfoResp struct{ Info UserInfo }
+
+// BumpStatReq adjusts a profile counter (posts/followers/followees).
+type BumpStatReq struct {
+	Username string
+	Stat     string
+	Delta    int64
+}
+
+const tokenTTL = time.Hour
+
+// registerUser installs the login/userInfo service: account registration
+// with salted password hashes, token-based sessions kept in the cache tier
+// with a TTL, existence checks for mention verification, and profile
+// counters.
+func registerUser(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+	svcutil.Handle(srv, "Register", func(ctx *rpc.Ctx, req *RegisterReq) (*RegisterResp, error) {
+		if req.Username == "" || req.Password == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "user: username and password required")
+		}
+		if _, found, err := db.Get(ctx, "users", req.Username); err != nil {
+			return nil, err
+		} else if found {
+			return nil, rpc.Errorf(rpc.CodeConflict, "user: %q taken", req.Username)
+		}
+		salt := randomHex(8)
+		doc := docstore.Doc{
+			ID: req.Username,
+			Fields: map[string]string{
+				"salt": salt,
+				"hash": hashPassword(req.Password, salt),
+			},
+			Nums: map[string]int64{"posts": 0, "followers": 0, "followees": 0},
+		}
+		if err := db.Put(ctx, "users", doc); err != nil {
+			return nil, err
+		}
+		return &RegisterResp{Username: req.Username}, nil
+	})
+
+	svcutil.Handle(srv, "Login", func(ctx *rpc.Ctx, req *LoginReq) (*LoginResp, error) {
+		doc, found, err := db.Get(ctx, "users", req.Username)
+		if err != nil {
+			return nil, err
+		}
+		if !found || hashPassword(req.Password, doc.Fields["salt"]) != doc.Fields["hash"] {
+			return nil, rpc.Errorf(rpc.CodeUnauthorized, "user: bad credentials")
+		}
+		token := randomHex(16)
+		if err := mc.Set(ctx, "tok:"+token, []byte(req.Username), tokenTTL); err != nil {
+			return nil, err
+		}
+		return &LoginResp{Token: token}, nil
+	})
+
+	svcutil.Handle(srv, "VerifyToken", func(ctx *rpc.Ctx, req *VerifyTokenReq) (*VerifyTokenResp, error) {
+		v, found, err := mc.Get(ctx, "tok:"+req.Token)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return &VerifyTokenResp{}, nil
+		}
+		return &VerifyTokenResp{Username: string(v), Valid: true}, nil
+	})
+
+	svcutil.Handle(srv, "Exists", func(ctx *rpc.Ctx, req *ExistsReq) (*ExistsResp, error) {
+		var out []string
+		for _, u := range req.Usernames {
+			if _, found, err := db.Get(ctx, "users", u); err != nil {
+				return nil, err
+			} else if found {
+				out = append(out, u)
+			}
+		}
+		return &ExistsResp{Existing: out}, nil
+	})
+
+	svcutil.Handle(srv, "Info", func(ctx *rpc.Ctx, req *InfoReq) (*InfoResp, error) {
+		doc, found, err := db.Get(ctx, "users", req.Username)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, rpc.NotFoundf("user: no user %q", req.Username)
+		}
+		return &InfoResp{Info: UserInfo{
+			Username:  req.Username,
+			Followers: doc.Nums["followers"],
+			Followees: doc.Nums["followees"],
+			Posts:     doc.Nums["posts"],
+		}}, nil
+	})
+
+	svcutil.Handle(srv, "BumpStat", func(ctx *rpc.Ctx, req *BumpStatReq) (*struct{}, error) {
+		switch req.Stat {
+		case "posts", "followers", "followees":
+		default:
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "user: unknown stat %q", req.Stat)
+		}
+		doc, found, err := db.Get(ctx, "users", req.Username)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, rpc.NotFoundf("user: no user %q", req.Username)
+		}
+		doc.Nums[req.Stat] += req.Delta
+		if err := db.Put(ctx, "users", doc); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+}
+
+func hashPassword(password, salt string) string {
+	sum := sha256.Sum256([]byte(salt + ":" + password))
+	return hex.EncodeToString(sum[:])
+}
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b) //nolint:errcheck // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b)
+}

@@ -1,0 +1,163 @@
+package swarm
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+)
+
+// frameSide is the synthetic camera resolution (frameSide² grayscale
+// bytes per frame).
+const frameSide = 32
+
+// stockObjects maps labels to pattern generators. Each pattern is a
+// distinctive grayscale shape, so the average-hash classifier has real
+// structure to discriminate.
+var stockObjects = map[string]func(x, y int) byte{
+	"landing-pad": func(x, y int) byte { // concentric rings
+		cx, cy := x-frameSide/2, y-frameSide/2
+		d := cx*cx + cy*cy
+		if (d/32)%2 == 0 {
+			return 220
+		}
+		return 30
+	},
+	"vehicle": func(x, y int) byte { // bright horizontal slab
+		if y > frameSide/3 && y < 2*frameSide/3 {
+			return 200
+		}
+		return 40
+	},
+	"antenna": func(x, y int) byte { // vertical line + crossbar
+		if x > frameSide/2-2 && x < frameSide/2+2 {
+			return 230
+		}
+		if y < 5 {
+			return 180
+		}
+		return 25
+	},
+	"solar-panel": func(x, y int) byte { // diagonal stripes
+		if (x+y)%8 < 4 {
+			return 190
+		}
+		return 60
+	},
+	"water-tank": func(x, y int) byte { // bright disc
+		cx, cy := x-frameSide/2, y-frameSide/2
+		if cx*cx+cy*cy < (frameSide/3)*(frameSide/3) {
+			return 240
+		}
+		return 20
+	},
+}
+
+// StockLabels returns the known object labels, sorted.
+func StockLabels() []string {
+	out := make([]string, 0, len(stockObjects))
+	for l := range stockObjects {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderObject produces a clean frame of the labeled object.
+func RenderObject(label string) []byte {
+	gen, ok := stockObjects[label]
+	if !ok {
+		gen = func(x, y int) byte { return 0 }
+	}
+	frame := make([]byte, frameSide*frameSide)
+	for y := 0; y < frameSide; y++ {
+		for x := 0; x < frameSide; x++ {
+			frame[y*frameSide+x] = gen(x, y)
+		}
+	}
+	return frame
+}
+
+// CaptureFrame renders what the camera sees at p: the target's object with
+// sensor noise, or textured ground when there is nothing to see.
+func CaptureFrame(w *World, p Point, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, uint64(p.X)<<32|uint64(uint32(p.Y))))
+	var frame []byte
+	if label, ok := w.Targets[p]; ok {
+		frame = RenderObject(label)
+	} else {
+		frame = make([]byte, frameSide*frameSide)
+		for i := range frame {
+			frame[i] = byte(80 + rng.IntN(40)) // ground texture
+		}
+	}
+	// Additive sensor noise.
+	for i := range frame {
+		n := rng.IntN(17) - 8
+		v := int(frame[i]) + n
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		frame[i] = byte(v)
+	}
+	return frame
+}
+
+// frameHash is the 64-bit average hash of a frame (8x8 block means
+// thresholded at the global mean).
+func frameHash(frame []byte) uint64 {
+	if len(frame) != frameSide*frameSide {
+		return 0
+	}
+	cell := frameSide / 8
+	var sums [64]uint64
+	for y := 0; y < frameSide; y++ {
+		for x := 0; x < frameSide; x++ {
+			sums[(y/cell)*8+x/cell] += uint64(frame[y*frameSide+x])
+		}
+	}
+	var total uint64
+	for _, s := range sums {
+		total += s
+	}
+	mean := total / 64
+	var h uint64
+	for _, s := range sums {
+		h <<= 1
+		if s > mean {
+			h |= 1
+		}
+	}
+	return h
+}
+
+// StockDB is the image-recognition reference database (StockImageDB in
+// Figure 8): label -> reference hash.
+type StockDB struct {
+	hashes map[string]uint64
+}
+
+// NewStockDB hashes every stock object.
+func NewStockDB() *StockDB {
+	db := &StockDB{hashes: make(map[string]uint64, len(stockObjects))}
+	for label := range stockObjects {
+		db.hashes[label] = frameHash(RenderObject(label))
+	}
+	return db
+}
+
+// Recognize classifies a frame: the stock object with the smallest hash
+// Hamming distance wins if it is within the confidence threshold.
+func (db *StockDB) Recognize(frame []byte) (label string, confident bool) {
+	h := frameHash(frame)
+	best, bestDist := "", 65
+	for l, ref := range db.hashes {
+		d := bits.OnesCount64(h ^ ref)
+		if d < bestDist || (d == bestDist && l < best) {
+			best, bestDist = l, d
+		}
+	}
+	return best, bestDist <= 12
+}

@@ -1,0 +1,153 @@
+package swarm
+
+import (
+	"fmt"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/docstore"
+	"dsb/internal/lb"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+	"dsb/internal/trace"
+)
+
+// Config shapes the deployment.
+type Config struct {
+	// Placement selects Swarm-Edge or Swarm-Cloud.
+	Placement Placement
+	// Drones is the fleet size (default 4).
+	Drones int
+	// WorldSize is the grid side (default 32).
+	WorldSize int64
+	// WifiRTT is the injected cloud↔edge round-trip (default 2ms in tests;
+	// the paper's drones saw tens of ms over a shared router).
+	WifiRTT time.Duration
+	// Seed drives world generation and camera noise.
+	Seed uint64
+}
+
+// Swarm is a running deployment: the fleet plus cloud services.
+type Swarm struct {
+	App       *core.App
+	World     *World
+	Drones    []*Drone
+	Telemetry *docstore.Store
+	Placement Placement
+}
+
+// New boots the Swarm service in the requested placement. Cloud services
+// (constructRoute, telemetry DBs) always sit behind the wifi hop; the
+// compute tiers (obstacleAvoidance, imageRecognition) run on-drone for
+// Edge and behind the wifi hop for Cloud.
+func New(app *core.App, cfg Config) (*Swarm, error) {
+	if cfg.Drones <= 0 {
+		cfg.Drones = 4
+	}
+	if cfg.WorldSize <= 0 {
+		cfg.WorldSize = 32
+	}
+	if cfg.WifiRTT <= 0 {
+		cfg.WifiRTT = 2 * time.Millisecond
+	}
+	world := NewWorld(cfg.WorldSize, cfg.Seed)
+	telemetryStore := docstore.NewStore()
+	stock := NewStockDB()
+
+	// Cloud services.
+	if _, err := app.StartRPC("swarm.constructRoute", func(s *rpc.Server) {
+		registerConstructRoute(s, world)
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := app.StartRPC("swarm.telemetry", func(s *rpc.Server) {
+		registerTelemetry(s, telemetryStore, nil)
+	}); err != nil {
+		return nil, err
+	}
+	// Compute tiers exist once; placement decides which side of the wifi
+	// hop the *callers* are on.
+	if _, err := app.StartRPC("swarm.obstacleAvoidance", registerObstacleAvoidance); err != nil {
+		return nil, err
+	}
+	if _, err := app.StartRPC("swarm.imageRecognition", func(s *rpc.Server) {
+		registerImageRecognition(s, stock)
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := app.StartRPC("swarm.log", registerLog); err != nil {
+		return nil, err
+	}
+
+	sw := &Swarm{App: app, World: world, Telemetry: telemetryStore, Placement: cfg.Placement}
+	for i := 0; i < cfg.Drones; i++ {
+		droneID := fmt.Sprintf("drone-%02d", i)
+		clients, err := wireClients(app, droneID, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sw.Drones = append(sw.Drones, &Drone{
+			ID:      droneID,
+			World:   world,
+			Pos:     Point{0, 0},
+			Seed:    cfg.Seed + uint64(i),
+			Clients: clients,
+		})
+	}
+	return sw, nil
+}
+
+// wireClients builds a drone's service handles. Calls that cross the
+// cloud↔edge boundary get a DelayInterceptor of half the wifi RTT in each
+// direction (applied once per call, covering the round trip).
+func wireClients(app *core.App, droneID string, cfg Config) (Clients, error) {
+	wifi := func(target string) (svcutil.Caller, error) {
+		return wiredRPC(app, droneID, target, cfg.WifiRTT)
+	}
+	local := func(target string) (svcutil.Caller, error) {
+		return app.RPC(droneID, target)
+	}
+
+	var c Clients
+	var err error
+	if c.Route, err = wifi("swarm.constructRoute"); err != nil {
+		return c, err
+	}
+	if c.Telemetry, err = wifi("swarm.telemetry"); err != nil {
+		return c, err
+	}
+	if c.Log, err = local("swarm.log"); err != nil {
+		return c, err
+	}
+	compute := local
+	if cfg.Placement == Cloud {
+		compute = wifi
+	}
+	if c.Avoid, err = compute("swarm.obstacleAvoidance"); err != nil {
+		return c, err
+	}
+	if c.Recognize, err = compute("swarm.imageRecognition"); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// wiredRPC builds a traced, wifi-delayed balanced client. It mirrors
+// core.App.RPC but inserts the delay interceptor ahead of the exchange.
+func wiredRPC(app *core.App, caller, target string, rtt time.Duration) (svcutil.Caller, error) {
+	addrs, err := app.Registry.MustLookup(target)
+	if err != nil {
+		return nil, err
+	}
+	opts := []rpc.ClientOption{rpc.WithInterceptor(rpc.DelayInterceptor(rtt))}
+	if app.Tracer != nil {
+		// Tracing wraps the delay so spans include the wifi time, exactly
+		// like a real client-observed latency.
+		opts = append([]rpc.ClientOption{rpc.WithInterceptor(trace.ClientInterceptor(app.Tracer, caller))}, opts...)
+	}
+	return lb.New(app.Net, target, addrs, &lb.RoundRobin{}, opts...), nil
+}
+
+// PlaceObstacle injects a dynamic obstacle (for avoidance/replan tests and
+// failure injection). Placing one on a target removes the target.
+func (s *Swarm) PlaceObstacle(p Point) { s.World.set(p, CellObstacle) }

@@ -1,0 +1,150 @@
+// Package swarm implements the suite's IoT swarm-coordination service
+// (Figure 8 of the paper): programmable drones flying a grid world,
+// performing image recognition and obstacle avoidance, in two placements —
+// Swarm-Edge, where motion planning, recognition, and avoidance run on the
+// drones and the cloud only constructs routes and archives sensor data, and
+// Swarm-Cloud, where the drones only stream sensors and every decision is
+// made in the cloud across a simulated wifi hop.
+package swarm
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Cell contents in the world grid.
+const (
+	CellFree     = 0
+	CellObstacle = 1
+	CellTarget   = 2
+)
+
+// Point is a grid coordinate.
+type Point struct{ X, Y int64 }
+
+// World is the shared 2D environment drones fly through.
+type World struct {
+	Size    int64
+	grid    []byte
+	Targets map[Point]string // target position -> object label
+}
+
+// NewWorld generates a deterministic world: obstacle density ~15%, plus
+// labeled targets drawn from the stock-object set.
+func NewWorld(size int64, seed uint64) *World {
+	if size < 8 {
+		size = 8
+	}
+	w := &World{Size: size, grid: make([]byte, size*size), Targets: make(map[Point]string)}
+	rng := rand.New(rand.NewPCG(seed, 0xD20E))
+	for i := range w.grid {
+		if rng.Float64() < 0.15 {
+			w.grid[i] = CellObstacle
+		}
+	}
+	// Clear a border and the conventional start corner so missions are
+	// never born stuck.
+	for i := int64(0); i < size; i++ {
+		w.set(Point{i, 0}, CellFree)
+		w.set(Point{0, i}, CellFree)
+		w.set(Point{i, size - 1}, CellFree)
+		w.set(Point{size - 1, i}, CellFree)
+	}
+	labels := StockLabels()
+	for i := 0; i < len(labels) && int64(i) < size/4; i++ {
+		for {
+			p := Point{rng.Int64N(size), rng.Int64N(size)}
+			if w.At(p) == CellFree && (p != Point{0, 0}) {
+				w.set(p, CellTarget)
+				w.Targets[p] = labels[i]
+				break
+			}
+		}
+	}
+	return w
+}
+
+func (w *World) idx(p Point) int64 { return p.Y*w.Size + p.X }
+
+// In reports whether p lies inside the world.
+func (w *World) In(p Point) bool {
+	return p.X >= 0 && p.Y >= 0 && p.X < w.Size && p.Y < w.Size
+}
+
+// At returns the cell content at p (obstacle if out of bounds).
+func (w *World) At(p Point) byte {
+	if !w.In(p) {
+		return CellObstacle
+	}
+	return w.grid[w.idx(p)]
+}
+
+func (w *World) set(p Point, v byte) {
+	if w.In(p) {
+		if w.grid[w.idx(p)] == CellTarget {
+			delete(w.Targets, p)
+		}
+		w.grid[w.idx(p)] = v
+	}
+}
+
+// neighbors are 4-connected moves.
+var moves = []Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// Route computes a shortest obstacle-free path from src to dst with BFS,
+// excluding src and including dst. Returns an error when unreachable.
+func (w *World) Route(src, dst Point) ([]Point, error) {
+	if !w.In(src) || !w.In(dst) {
+		return nil, fmt.Errorf("swarm: route endpoints out of world")
+	}
+	if w.At(dst) == CellObstacle {
+		return nil, fmt.Errorf("swarm: destination blocked")
+	}
+	if src == dst {
+		return nil, nil
+	}
+	prev := make(map[Point]Point, 256)
+	visited := map[Point]bool{src: true}
+	queue := []Point{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, m := range moves {
+			next := Point{cur.X + m.X, cur.Y + m.Y}
+			if visited[next] || w.At(next) == CellObstacle {
+				continue
+			}
+			visited[next] = true
+			prev[next] = cur
+			if next == dst {
+				// Reconstruct.
+				var path []Point
+				for p := dst; p != src; p = prev[p] {
+					path = append(path, p)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, fmt.Errorf("swarm: no route from %v to %v", src, dst)
+}
+
+// Proximity returns the 3x3 obstacle neighborhood around p, the input to
+// obstacle avoidance (a synthetic ultrasonic array).
+func (w *World) Proximity(p Point) [9]byte {
+	var out [9]byte
+	i := 0
+	for dy := int64(-1); dy <= 1; dy++ {
+		for dx := int64(-1); dx <= 1; dx++ {
+			if w.At(Point{p.X + dx, p.Y + dy}) == CellObstacle {
+				out[i] = 1
+			}
+			i++
+		}
+	}
+	return out
+}

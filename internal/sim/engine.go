@@ -1,0 +1,93 @@
+// Package sim is the discrete-event simulator that executes the suite's
+// dependency graphs as queueing networks over modeled hardware. Every
+// service instance is a multi-worker station whose workers are held for a
+// request's full residence — compute plus downstream calls — reproducing
+// the synchronous-RPC semantics that make backpressure and cascading QoS
+// violations emerge exactly as Section 6 of the paper describes. Message
+// hops pass through per-machine kernel/NIC stations whose cost comes from
+// the archsim network model, so network processing queues up at high load
+// (Fig 15) and shrinks under FPGA offload (Fig 16).
+//
+// The simulator is deterministic: virtual time, seeded arrivals, and FIFO
+// event ordering for equal timestamps.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is the event loop with a virtual clock.
+type Sim struct {
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+}
+
+// New returns a simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// After schedules fn to run d from now. Negative d means now.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: s.now + d, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event; false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.heap).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes all events up to and including time until, leaving the
+// clock at until even if the queue drains early.
+func (s *Sim) Run(until time.Duration) {
+	for len(s.heap) > 0 && s.heap[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Drain runs every remaining event (bounded by maxEvents as a runaway
+// guard) and returns whether the queue fully drained.
+func (s *Sim) Drain(maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if !s.Step() {
+			return true
+		}
+	}
+	return len(s.heap) == 0
+}

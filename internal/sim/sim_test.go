@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dsb/internal/archsim"
+	"dsb/internal/graph"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(10*time.Millisecond, func() { order = append(order, 2) })
+	s.After(5*time.Millisecond, func() { order = append(order, 1) })
+	s.After(10*time.Millisecond, func() { order = append(order, 3) }) // FIFO at equal time
+	s.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(2*time.Second, func() { fired = true })
+	s.Run(time.Second)
+	if fired {
+		t.Fatal("future event fired early")
+	}
+	s.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event never fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.After(0, tick)
+	if !s.Drain(1000) {
+		t.Fatal("drain incomplete")
+	}
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestStationConcurrencyLimit(t *testing.T) {
+	s := New()
+	st := NewStation(s, "x", 2)
+	var maxBusy int
+	probe := func() {
+		if st.busy > maxBusy {
+			maxBusy = st.busy
+		}
+	}
+	for i := 0; i < 6; i++ {
+		st.Use(10*time.Millisecond, func() {})
+		s.After(time.Millisecond, probe)
+	}
+	s.Run(time.Second)
+	if maxBusy > 2 {
+		t.Fatalf("maxBusy = %d", maxBusy)
+	}
+	// 6 jobs × 10ms on 2 workers = 30ms makespan.
+	s2 := New()
+	st2 := NewStation(s2, "y", 2)
+	var lastDone time.Duration
+	for i := 0; i < 6; i++ {
+		st2.Use(10*time.Millisecond, func() { lastDone = s2.Now() })
+	}
+	s2.Run(time.Second)
+	if lastDone != 30*time.Millisecond {
+		t.Fatalf("makespan = %v", lastDone)
+	}
+}
+
+func TestStationFIFO(t *testing.T) {
+	s := New()
+	st := NewStation(s, "x", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		st.Use(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run(time.Second)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	s := New()
+	st := NewStation(s, "x", 1)
+	st.SampleReset()
+	st.Use(500*time.Millisecond, func() {})
+	s.Run(time.Second)
+	util := st.Utilization()
+	if util < 0.49 || util > 0.51 {
+		t.Fatalf("util = %f, want ~0.5", util)
+	}
+	st.SampleReset()
+	s.Run(2 * time.Second)
+	if got := st.Utilization(); got != 0 {
+		t.Fatalf("idle window util = %f", got)
+	}
+}
+
+func TestStationSetWorkersUnblocks(t *testing.T) {
+	s := New()
+	st := NewStation(s, "x", 1)
+	done := 0
+	for i := 0; i < 4; i++ {
+		st.Use(10*time.Millisecond, func() { done++ })
+	}
+	s.Run(5 * time.Millisecond) // first job running, 3 queued
+	st.SetWorkers(4)
+	s.Run(time.Second)
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	s := New()
+	st := NewStation(s, "x", 1)
+	st.Acquire(func(release func()) {
+		release()
+		defer func() {
+			if recover() == nil {
+				t.Error("double release not caught")
+			}
+		}()
+		release()
+	})
+	s.Drain(100)
+}
+
+// deploy boots a small social-network deployment for tests.
+func deploy(t *testing.T, app *graph.App, cfg Config) *Deployment {
+	t.Helper()
+	s := New()
+	cfg.App = app
+	d, err := NewDeployment(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSingleRequestLatencyComposition(t *testing.T) {
+	d := deploy(t, graph.Memcached(), Config{Seed: 1})
+	var lat time.Duration
+	var netNs float64
+	d.Inject(func(l time.Duration, n float64) { lat, netNs = l, n })
+	if !d.Sim.Drain(100000) {
+		t.Fatal("request did not finish")
+	}
+	// memcached baseline: ~186µs end to end, ~20% network (Fig 3 targets).
+	if lat < 100*time.Microsecond || lat > 400*time.Microsecond {
+		t.Fatalf("memcached latency = %v", lat)
+	}
+	share := netNs / float64(lat)
+	if share < 0.08 || share > 0.40 {
+		t.Fatalf("memcached network share = %f", share)
+	}
+}
+
+func TestSocialNetworkLatencyAndNetworkShare(t *testing.T) {
+	d := deploy(t, graph.SocialNetwork(), Config{Seed: 2})
+	res := d.RunOpenLoop(50, 2*time.Second)
+	if res.Completed < 60 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	p50 := time.Duration(res.E2E.P50)
+	// Target ≈3.8ms (Fig 3); accept a generous band around it.
+	if p50 < 1500*time.Microsecond || p50 > 8*time.Millisecond {
+		t.Fatalf("social p50 = %v", p50)
+	}
+	if res.NetFrac < 0.20 || res.NetFrac > 0.55 {
+		t.Fatalf("social network fraction = %f, want ~0.36", res.NetFrac)
+	}
+	// Single-tier nginx has a much lower network share (Fig 3).
+	dn := deploy(t, graph.Nginx(), Config{Seed: 3})
+	rn := dn.RunOpenLoop(20, 2*time.Second)
+	if rn.NetFrac >= res.NetFrac {
+		t.Fatalf("nginx net frac %f >= social %f", rn.NetFrac, res.NetFrac)
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	// WorkerScale 1/8 provisions saturation near a few hundred QPS.
+	cfg := Config{Seed: 4, WorkerScale: 0.125}
+	low := deploy(t, graph.SocialNetwork(), cfg).RunOpenLoop(10, 2*time.Second)
+	high := deploy(t, graph.SocialNetwork(), cfg).RunOpenLoop(900, 2*time.Second)
+	if high.E2E.P99 <= low.E2E.P99 {
+		t.Fatalf("p99 low=%v high=%v", low.E2E.P99, high.E2E.P99)
+	}
+	// Network share grows as NIC queues build (Fig 15's high-load shift).
+	if high.NetFrac <= low.NetFrac {
+		t.Logf("warning: net frac did not grow: low=%f high=%f", low.NetFrac, high.NetFrac)
+	}
+}
+
+func TestFrequencyScalingSensitivity(t *testing.T) {
+	run := func(app *graph.App, freq float64) time.Duration {
+		plat := archsim.XeonPlatform
+		plat.FreqGHz = freq
+		d := deploy(t, app, Config{Seed: 5, Platform: plat})
+		res := d.RunOpenLoop(30, time.Second)
+		return time.Duration(res.E2E.P99)
+	}
+	// Social Network suffers more from low frequency than MongoDB, whose
+	// fixed I/O time dominates (Fig 12).
+	socialRatio := float64(run(graph.SocialNetwork(), 1.0)) / float64(run(graph.SocialNetwork(), 2.4))
+	mongoRatio := float64(run(graph.MongoDB(), 1.0)) / float64(run(graph.MongoDB(), 2.4))
+	if socialRatio <= mongoRatio {
+		t.Fatalf("freq sensitivity social=%f mongo=%f", socialRatio, mongoRatio)
+	}
+	if socialRatio < 1.5 {
+		t.Fatalf("social ratio = %f, want > 1.5", socialRatio)
+	}
+}
+
+func TestSlowServerDegradesTail(t *testing.T) {
+	d := deploy(t, graph.SocialNetwork(), Config{Seed: 6})
+	base := d.RunOpenLoop(50, time.Second)
+
+	d2 := deploy(t, graph.SocialNetwork(), Config{Seed: 6})
+	if err := d2.SetSlow("mongodb", 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	slowed := d2.RunOpenLoop(50, time.Second)
+	if slowed.E2E.P99 <= base.E2E.P99 {
+		t.Fatalf("slow server had no effect: %v vs %v", slowed.E2E.P99, base.E2E.P99)
+	}
+	if err := d2.SetSlow("nope", 0, 2); err == nil {
+		t.Fatal("SetSlow on unknown service accepted")
+	}
+}
+
+func TestScaleOutRelievesSaturation(t *testing.T) {
+	// Saturate the single-worker queueMaster, then scale it out.
+	app := graph.Ecommerce()
+	one := deploy(t, app, Config{Seed: 7}).RunOpenLoop(120, time.Second)
+	scaled := deploy(t, app, Config{Seed: 7, Replicas: map[string]int{"queueMaster": 8}}).RunOpenLoop(120, time.Second)
+	if scaled.E2E.P99 >= one.E2E.P99 {
+		t.Fatalf("scale-out did not help: %v vs %v", scaled.E2E.P99, one.E2E.P99)
+	}
+}
+
+func TestSwarmEdgeVsCloudLowLoad(t *testing.T) {
+	edgeCfg := Config{
+		Seed:         8,
+		EdgeServices: map[string]bool{"droneSensors": true, "cloudController": true, "imageRecognition": true, "obstacleAvoidance": true, "motionControl": true},
+		EdgePlatform: archsim.Platform{Core: archsim.Xeon, FreqGHz: 0.6, Cores: 4},
+		ClientEdge:   true,
+	}
+	edge := deploy(t, graph.SwarmEdge(), edgeCfg)
+	edgeRes := edge.RunOpenLoop(2, 4*time.Second)
+
+	cloud := deploy(t, graph.SwarmCloud(), Config{Seed: 8, ClientEdge: true})
+	cloudRes := cloud.RunOpenLoop(2, 4*time.Second)
+
+	// Image-recognition-dominated missions: the weak edge core loses even
+	// after paying the wifi hop (Fig 9, left vs third panel).
+	if cloudRes.E2E.P50 >= edgeRes.E2E.P50 {
+		t.Fatalf("cloud p50 %v >= edge p50 %v", time.Duration(cloudRes.E2E.P50), time.Duration(edgeRes.E2E.P50))
+	}
+}
+
+func TestUtilizationTracksLoad(t *testing.T) {
+	d := deploy(t, graph.SocialNetwork(), Config{Seed: 9})
+	d.SampleReset()
+	d.RunOpenLoop(200, time.Second)
+	util := d.Service("nginx").Utilization()
+	if util <= 0 || util > 1 {
+		t.Fatalf("nginx util = %f", util)
+	}
+	if d.Service("not-a-service") != nil {
+		t.Fatal("unknown service lookup should be nil")
+	}
+}
+
+// Conservation property: every issued request either completes or is
+// still in flight; after drain, issued == completed.
+func TestRequestConservation(t *testing.T) {
+	for _, qps := range []float64{5, 50, 500} {
+		d := deploy(t, graph.Banking(), Config{Seed: 10})
+		res := d.RunOpenLoop(qps, time.Second)
+		if res.Issued != res.Completed {
+			t.Fatalf("qps %f: issued %d != completed %d after drain", qps, res.Issued, res.Completed)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		return deploy(t, graph.MediaService(), Config{Seed: 42}).RunOpenLoop(40, time.Second)
+	}
+	a, b := run(), run()
+	if a.E2E != b.E2E || a.Completed != b.Completed || a.NetFrac != b.NetFrac {
+		t.Fatalf("sim not deterministic:\n%+v\n%+v", a.E2E, b.E2E)
+	}
+}

@@ -1,0 +1,115 @@
+// Package svcutil carries the small amount of shared plumbing the
+// application services use: typed RPC handler registration (the hand-written
+// half of what Thrift would generate) and typed clients for the cache and
+// document-store tiers.
+package svcutil
+
+import (
+	"context"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/docstore"
+	"dsb/internal/kv"
+	"dsb/internal/rpc"
+)
+
+// Caller is the client surface services use to talk to a downstream tier;
+// both *rpc.Client and *lb.Balanced satisfy it.
+type Caller interface {
+	Call(ctx context.Context, method string, req, resp any) error
+	Target() string
+}
+
+// Handle registers a typed handler: the payload is decoded into Req, and
+// the returned Resp is encoded as the reply. A nil Resp sends an empty
+// reply body.
+func Handle[Req, Resp any](srv *rpc.Server, method string, fn func(ctx *rpc.Ctx, req *Req) (*Resp, error)) {
+	srv.Handle(method, func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req Req
+		if len(payload) > 0 {
+			if err := codec.Unmarshal(payload, &req); err != nil {
+				return nil, rpc.Errorf(rpc.CodeBadRequest, "%s.%s: decode: %v", ctx.Service, method, err)
+			}
+		}
+		resp, err := fn(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		if resp == nil {
+			return nil, nil
+		}
+		return codec.Marshal(*resp)
+	})
+}
+
+// KV is a typed client for a cache tier exposed via kv.RegisterService.
+type KV struct{ C Caller }
+
+// Get fetches a key; found is false on miss.
+func (k KV) Get(ctx context.Context, key string) (value []byte, found bool, err error) {
+	var resp kv.GetResp
+	if err := k.C.Call(ctx, "Get", kv.GetReq{Key: key}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// Set stores a key with a TTL (0 = no expiry).
+func (k KV) Set(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	return k.C.Call(ctx, "Set", kv.SetReq{Key: key, Value: value, TTLNs: int64(ttl)}, nil)
+}
+
+// Delete removes a key (cache invalidation).
+func (k KV) Delete(ctx context.Context, key string) error {
+	var resp kv.DeleteResp
+	return k.C.Call(ctx, "Delete", kv.DeleteReq{Key: key}, &resp)
+}
+
+// Incr adjusts a counter and returns the new value.
+func (k KV) Incr(ctx context.Context, key string, delta int64) (int64, error) {
+	var resp kv.IncrResp
+	if err := k.C.Call(ctx, "Incr", kv.IncrReq{Key: key, Delta: delta}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// DB is a typed client for a document-store tier exposed via
+// docstore.RegisterService.
+type DB struct{ C Caller }
+
+// Put stores a document.
+func (d DB) Put(ctx context.Context, collection string, doc docstore.Doc) error {
+	return d.C.Call(ctx, "Put", docstore.PutReq{Collection: collection, Doc: doc}, nil)
+}
+
+// Get fetches a document by ID.
+func (d DB) Get(ctx context.Context, collection, id string) (docstore.Doc, bool, error) {
+	var resp docstore.GetResp
+	if err := d.C.Call(ctx, "Get", docstore.GetReq{Collection: collection, ID: id}, &resp); err != nil {
+		return docstore.Doc{}, false, err
+	}
+	return resp.Doc, resp.Found, nil
+}
+
+// Find queries an indexed string field.
+func (d DB) Find(ctx context.Context, collection, field, value string, limit int) ([]docstore.Doc, error) {
+	var resp docstore.FindResp
+	err := d.C.Call(ctx, "Find", docstore.FindReq{Collection: collection, Field: field, Value: value, Limit: int64(limit)}, &resp)
+	return resp.Docs, err
+}
+
+// FindRange queries an indexed numeric field, newest-first.
+func (d DB) FindRange(ctx context.Context, collection, field string, min, max int64, limit int) ([]docstore.Doc, error) {
+	var resp docstore.FindResp
+	err := d.C.Call(ctx, "FindRange", docstore.FindRangeReq{Collection: collection, Field: field, Min: min, Max: max, Limit: int64(limit)}, &resp)
+	return resp.Docs, err
+}
+
+// Delete removes a document.
+func (d DB) Delete(ctx context.Context, collection, id string) (bool, error) {
+	var resp docstore.DeleteResp
+	err := d.C.Call(ctx, "Delete", docstore.DeleteReq{Collection: collection, ID: id}, &resp)
+	return resp.Existed, err
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"context"
+	"strconv"
+
+	"dsb/internal/rest"
+	"dsb/internal/rpc"
+)
+
+// ClientInterceptor instruments outgoing RPC and REST calls: it opens a
+// client span as a child of the span in ctx, injects the span identity into
+// the call headers, and records the client-observed duration (which
+// includes network and kernel processing on both ends).
+func ClientInterceptor(t *Tracer, service string) rpc.ClientInterceptor {
+	return func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error {
+		parent, _ := FromContext(ctx)
+		span := t.StartSpan(service, method, KindClient, parent)
+		span.Context().Inject(headers)
+		span.Annotate("payload", strconv.Itoa(len(headers))) // header count as a cheap size proxy
+		err := invoke(NewContext(ctx, span.Context()))
+		span.SetError(err)
+		span.Finish()
+		return err
+	}
+}
+
+// ServerInterceptor instruments incoming RPC requests: it extracts the
+// parent span from headers, opens a server span, and stores the span
+// context in the request context so handlers' downstream calls nest
+// underneath it.
+func ServerInterceptor(t *Tracer) rpc.ServerInterceptor {
+	return func(ctx *rpc.Ctx, payload []byte, next rpc.Handler) ([]byte, error) {
+		parent, _ := Extract(ctx.Headers)
+		span := t.StartSpan(ctx.Service, ctx.Method, KindServer, parent)
+		if span != nil {
+			ctx.Context = NewContext(ctx.Context, span.Context())
+		}
+		resp, err := next(ctx, payload)
+		span.SetError(err)
+		span.Finish()
+		return resp, err
+	}
+}
+
+// RESTServerInterceptor is ServerInterceptor for REST services.
+func RESTServerInterceptor(t *Tracer) rest.Interceptor {
+	return func(ctx *rest.Ctx, body []byte, next rest.Handler) (any, error) {
+		headers := map[string]string{
+			HeaderTrace: ctx.Header(HeaderTrace),
+			HeaderSpan:  ctx.Header(HeaderSpan),
+		}
+		parent, _ := Extract(headers)
+		op := ctx.Request.Method + " " + ctx.Request.URL.Path
+		span := t.StartSpan(ctx.Service, op, KindServer, parent)
+		if span != nil {
+			ctx.Context = NewContext(ctx.Context, span.Context())
+		}
+		out, err := next(ctx, body)
+		span.SetError(err)
+		span.Finish()
+		return out, err
+	}
+}

@@ -1,0 +1,85 @@
+package dsb
+
+import (
+	"fmt"
+
+	"dsb/internal/core"
+	"dsb/internal/graph"
+	"dsb/internal/services/banking"
+	"dsb/internal/services/ecommerce"
+	"dsb/internal/services/media"
+	"dsb/internal/services/socialnetwork"
+	"dsb/internal/services/swarm"
+)
+
+// Version identifies the suite release.
+const Version = "1.0.0"
+
+// AppInfo describes one end-to-end application in the suite.
+type AppInfo struct {
+	// Name is the identifier used by cmd/dsbload and the experiments.
+	Name string
+	// Description summarizes the application's scope.
+	Description string
+	// Protocols lists the inter-service communication styles.
+	Protocols string
+}
+
+// Apps enumerates the suite's end-to-end applications, in paper order.
+func Apps() []AppInfo {
+	return []AppInfo{
+		{"social", "broadcast-style social network with uni-directional follows", "REST+RPC"},
+		{"media", "movie browsing, reviewing, renting, and streaming", "REST+RPC"},
+		{"ecommerce", "Sockshop-style store with a serialized order pipeline", "REST+RPC"},
+		{"banking", "payments, lending, mortgages, cards, wealth management", "RPC"},
+		{"swarm", "drone-swarm coordination, edge and cloud placements", "REST+RPC"},
+	}
+}
+
+// Boot starts the named application on a fresh in-memory deployment and
+// returns the composition root (close it when done) plus an app-specific
+// handle: *socialnetwork.SocialNetwork, *media.Media, *ecommerce.Ecommerce,
+// *banking.Banking, or *swarm.Swarm.
+func Boot(name string) (*core.App, any, error) {
+	app := core.NewApp(name, core.Options{})
+	var handle any
+	var err error
+	switch name {
+	case "social":
+		handle, err = socialnetwork.New(app, socialnetwork.Config{})
+	case "media":
+		handle, err = media.New(app, media.Config{})
+	case "ecommerce":
+		handle, err = ecommerce.New(app, ecommerce.Config{})
+	case "banking":
+		handle, err = banking.New(app, banking.Config{})
+	case "swarm":
+		handle, err = swarm.New(app, swarm.Config{})
+	default:
+		err = fmt.Errorf("dsb: unknown application %q", name)
+	}
+	if err != nil {
+		app.Close()
+		return nil, nil, err
+	}
+	return app, handle, nil
+}
+
+// Topology returns the simulation dependency graph for the named
+// application (the input to the evaluation stack).
+func Topology(name string) (*graph.App, error) {
+	switch name {
+	case "social":
+		return graph.SocialNetwork(), nil
+	case "media":
+		return graph.MediaService(), nil
+	case "ecommerce":
+		return graph.Ecommerce(), nil
+	case "banking":
+		return graph.Banking(), nil
+	case "swarm":
+		return graph.SwarmCloud(), nil
+	default:
+		return nil, fmt.Errorf("dsb: unknown application %q", name)
+	}
+}

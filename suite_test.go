@@ -1,0 +1,50 @@
+package dsb_test
+
+import (
+	"testing"
+
+	"dsb"
+	"dsb/internal/services/socialnetwork"
+)
+
+func TestAppsEnumeration(t *testing.T) {
+	apps := dsb.Apps()
+	if len(apps) != 5 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	for _, a := range apps {
+		if a.Name == "" || a.Description == "" || a.Protocols == "" {
+			t.Fatalf("incomplete app info: %+v", a)
+		}
+		if _, err := dsb.Topology(a.Name); err != nil {
+			t.Fatalf("topology %s: %v", a.Name, err)
+		}
+	}
+	if _, err := dsb.Topology("ghost"); err == nil {
+		t.Fatal("ghost topology resolved")
+	}
+}
+
+func TestBootEveryApp(t *testing.T) {
+	for _, info := range dsb.Apps() {
+		app, handle, err := dsb.Boot(info.Name)
+		if err != nil {
+			t.Fatalf("boot %s: %v", info.Name, err)
+		}
+		if handle == nil {
+			t.Fatalf("boot %s: nil handle", info.Name)
+		}
+		if len(app.Registry.Services()) == 0 {
+			t.Fatalf("boot %s: empty registry", info.Name)
+		}
+		if info.Name == "social" {
+			if _, ok := handle.(*socialnetwork.SocialNetwork); !ok {
+				t.Fatalf("social handle has type %T", handle)
+			}
+		}
+		app.Close()
+	}
+	if _, _, err := dsb.Boot("ghost"); err == nil {
+		t.Fatal("ghost app booted")
+	}
+}
