@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The call-path packages carry the concurrency-heavy code (connection
+# pools, hedges, breakers); run them under the race detector.
+race:
+	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/...
+
+check: vet race build test
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

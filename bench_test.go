@@ -58,3 +58,5 @@ func BenchmarkFig22cSlowServers(b *testing.B)       { runExperiment(b, "fig22c")
 
 func BenchmarkQueryDiversity(b *testing.B) { runExperiment(b, "querydiv") }
 func BenchmarkRPCvsREST(b *testing.B)      { runExperiment(b, "rpcrest") }
+
+func BenchmarkSlowServerResilience(b *testing.B) { runExperiment(b, "resilience") }

@@ -16,6 +16,7 @@ import (
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/trace"
+	"dsb/internal/transport"
 )
 
 // App owns the shared infrastructure of one running application: network,
@@ -26,9 +27,16 @@ type App struct {
 	Registry *registry.Registry
 	Tracer   *trace.Tracer
 	Traces   *trace.Store
+	// Resilience, when non-nil, is the tail-tolerance bundle installed on
+	// every load-balanced client the app wires (see Options.Resilience).
+	Resilience *transport.ResilienceConfig
+	// Transport exposes the resilience middleware counters (retries, hedge
+	// wins, breaker trips) when Resilience is enabled.
+	Transport *transport.Stats
 
 	collector *trace.Collector
 	instance  atomic.Uint64
+	clientMW  []transport.Middleware
 
 	mu      sync.Mutex
 	closers []io.Closer
@@ -45,11 +53,19 @@ type Options struct {
 	DisableTracing bool
 	// TraceBuffer sizes the collector channel (0 = default).
 	TraceBuffer int
+	// Resilience, when non-nil, installs the deadline-budget → retry →
+	// hedge stack on every load-balanced client the app wires, plus one
+	// circuit breaker per backend replica. Use transport.NewResilience()
+	// for the all-defaults bundle.
+	Resilience *transport.ResilienceConfig
+	// ClientMiddleware is appended to every client the app wires, between
+	// tracing and the resilience stack (fault injection hooks in here).
+	ClientMiddleware []transport.Middleware
 }
 
 // NewApp creates an application named name.
 func NewApp(name string, opts Options) *App {
-	a := &App{Name: name, Net: opts.Network, Registry: registry.New()}
+	a := &App{Name: name, Net: opts.Network, Registry: registry.New(), clientMW: opts.ClientMiddleware}
 	if a.Net == nil {
 		a.Net = rpc.NewMem()
 	}
@@ -57,6 +73,16 @@ func NewApp(name string, opts Options) *App {
 		a.Traces = trace.NewStore()
 		a.collector = trace.NewCollector(a.Traces, opts.TraceBuffer)
 		a.Tracer = trace.NewTracer(a.collector)
+	}
+	if opts.Resilience != nil {
+		a.Resilience = opts.Resilience
+		if a.Resilience.Stats == nil {
+			a.Resilience.Stats = &transport.Stats{}
+		}
+		if a.Resilience.Annotate == nil && a.Tracer != nil {
+			a.Resilience.Annotate = trace.Annotate
+		}
+		a.Transport = a.Resilience.Stats
 	}
 	return a
 }
@@ -113,15 +139,29 @@ func (a *App) instanceAddr(service string) string {
 
 // RPC returns a load-balanced, traced client from caller to every live
 // instance of target. The backend set follows registry changes, so scaling
-// target out or in redirects traffic without rewiring.
-func (a *App) RPC(caller, target string) (*lb.Balanced, error) {
+// target out or in redirects traffic without rewiring. The client's
+// middleware chain composes, outermost first: tracing, app-wide client
+// middleware, extra (per-wire middleware from the service config), and —
+// when Options.Resilience is set — the deadline-budget → retry → hedge
+// stack, with a circuit breaker per backend replica underneath.
+func (a *App) RPC(caller, target string, extra ...transport.Middleware) (*lb.Balanced, error) {
 	addrs, err := a.Registry.MustLookup(target)
 	if err != nil {
 		return nil, err
 	}
-	var opts []rpc.ClientOption
+	var mws []transport.Middleware
 	if a.Tracer != nil {
-		opts = append(opts, rpc.WithInterceptor(trace.ClientInterceptor(a.Tracer, caller)))
+		mws = append(mws, trace.ClientMiddleware(a.Tracer, caller))
+	}
+	mws = append(mws, a.clientMW...)
+	mws = append(mws, extra...)
+	opts := []lb.Option{}
+	if a.Resilience != nil {
+		mws = append(mws, a.Resilience.Stack()...)
+		opts = append(opts, lb.WithBackendMiddleware(a.Resilience.BackendFactory()))
+	}
+	if len(mws) > 0 {
+		opts = append(opts, lb.WithMiddleware(mws...))
 	}
 	bal := lb.New(a.Net, target, addrs, &lb.RoundRobin{}, opts...)
 	stop := make(chan struct{})
@@ -164,9 +204,14 @@ func (a *App) REST(caller, target string) (*rest.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	var opts []rest.ClientOption
+	var mws []transport.Middleware
 	if a.Tracer != nil {
-		opts = append(opts, rest.WithInterceptor(trace.ClientInterceptor(a.Tracer, caller)))
+		mws = append(mws, trace.ClientMiddleware(a.Tracer, caller))
+	}
+	mws = append(mws, a.clientMW...)
+	var opts []rest.ClientOption
+	if len(mws) > 0 {
+		opts = append(opts, rest.WithMiddleware(mws...))
 	}
 	c := rest.NewClient(a.Net, target, addrs[0], opts...)
 	a.track(c)

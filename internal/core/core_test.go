@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
 	"dsb/internal/codec"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
 // buildTwoTier boots backend (RPC) and frontend (REST) tiers where the
@@ -215,5 +217,105 @@ func TestInstanceFailureRecovery(t *testing.T) {
 		if who != "two" {
 			t.Fatalf("routed to dead instance: %q", who)
 		}
+	}
+}
+
+// TestDeadlineBudgetShrinksAcrossTwoHops drives a root→mid→leaf RPC chain
+// with the resilience budget enabled and asserts each tier observes a
+// strictly tighter deadline than its caller — the per-hop budget propagated
+// via the deadline header, end to end.
+func TestDeadlineBudgetShrinksAcrossTwoHops(t *testing.T) {
+	app := NewApp("budget", Options{
+		Resilience: &transport.ResilienceConfig{Budget: &transport.BudgetConfig{Fraction: 0.5}},
+	})
+	defer app.Close()
+
+	var mu sync.Mutex
+	deadlines := map[string]time.Time{}
+	record := func(name string, ctx context.Context) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Errorf("%s: no deadline on handler context", name)
+			return
+		}
+		mu.Lock()
+		deadlines[name] = dl
+		mu.Unlock()
+	}
+
+	if _, err := app.StartRPC("leaf", func(s *rpc.Server) {
+		s.Handle("Work", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			record("leaf", ctx)
+			return nil, nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := app.RPC("mid", "leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.StartRPC("mid", func(s *rpc.Server) {
+		s.Handle("Work", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			record("mid", ctx)
+			return nil, leaf.Call(ctx, "Work", nil, nil)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := app.RPC("root", "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rootDL := time.Now().Add(time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), rootDL)
+	defer cancel()
+	if err := mid.Call(ctx, "Work", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	midDL, leafDL := deadlines["mid"], deadlines["leaf"]
+	if !midDL.Before(rootDL) {
+		t.Fatalf("mid deadline %v not tighter than root %v", midDL, rootDL)
+	}
+	if !leafDL.Before(midDL) {
+		t.Fatalf("leaf deadline %v not tighter than mid %v", leafDL, midDL)
+	}
+	if app.Transport.DeadlineTruncated.Value() < 2 {
+		t.Fatalf("DeadlineTruncated = %d, want ≥2 (one per hop)", app.Transport.DeadlineTruncated.Value())
+	}
+}
+
+// TestResilienceFailsFastOnSpentBudget checks the fail-fast path: a call
+// entering the stack with (almost) no budget left is refused locally with
+// CodeDeadline, never reaching the wire.
+func TestResilienceFailsFastOnSpentBudget(t *testing.T) {
+	app := NewApp("spent", Options{Resilience: transport.NewResilience()})
+	defer app.Close()
+
+	reached := false
+	if _, err := app.StartRPC("leaf", func(s *rpc.Server) {
+		s.Handle("Work", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			reached = true
+			return nil, nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := app.RPC("root", "leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	err = leaf.Call(ctx, "Work", nil, nil)
+	if !rpc.IsCode(err, rpc.CodeDeadline) {
+		t.Fatalf("err = %v, want CodeDeadline", err)
+	}
+	if reached {
+		t.Fatal("doomed call reached the server")
 	}
 }

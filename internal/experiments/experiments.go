@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"fig22c", "Slow servers vs goodput", Fig22c},
 		{"querydiv", "Query diversity (Sec 3.8, live stack)", QueryDiversity},
 		{"rpcrest", "RPC vs REST microbenchmark (live stack)", RPCvsREST},
+		{"resilience", "Slow servers vs goodput with resilience (Fig 22c extension, live stack)", SlowServerResilience},
 	}
 }
 

@@ -3,17 +3,25 @@
 // of the suite's webservers, generalized to every tier-to-tier edge so that
 // scaled-out instances share traffic. Policies: round-robin, least
 // outstanding connections, and power-of-two-choices.
+//
+// Balanced is also where the per-target half of the resilience stack lives:
+// middleware installed with WithMiddleware (deadline budget, retry, hedge)
+// wraps the replica choice, so every retry or hedged attempt re-picks a
+// backend and can land on a different instance. Per-replica middleware
+// (the circuit breaker) is installed on each backend's client through the
+// WithBackendMiddleware factory.
 package lb
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
+	"dsb/internal/codec"
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
 // Policy selects a backend index given per-backend outstanding counts.
@@ -80,25 +88,62 @@ type backend struct {
 	outstanding atomic.Int64
 }
 
+func (be *backend) invoke(ctx context.Context, call *transport.Call) error {
+	be.outstanding.Add(1)
+	defer be.outstanding.Add(-1)
+	return be.client.Invoke(ctx, call)
+}
+
 // Balanced is a load-balanced RPC client over the instances of one target
 // service. Backends can be added and removed at runtime as instances scale
 // out and in.
 type Balanced struct {
-	network rpc.Network
-	target  string
-	policy  Policy
-	opts    []rpc.ClientOption
+	network    rpc.Network
+	target     string
+	policy     Policy
+	clientOpts []rpc.ClientOption
+	mws        []transport.Middleware
+	backendMW  func(addr string) []transport.Middleware
+	invoke     transport.Invoker
 
 	mu       sync.RWMutex
 	backends []*backend
 }
 
+// Option configures a Balanced client.
+type Option func(*Balanced)
+
+// WithClientOptions passes options (pool size, per-client middleware) down
+// to every backend's rpc.Client.
+func WithClientOptions(opts ...rpc.ClientOption) Option {
+	return func(b *Balanced) { b.clientOpts = append(b.clientOpts, opts...) }
+}
+
+// WithMiddleware appends per-target middleware around the replica choice:
+// each attempt the chain makes (a retry, a hedge) re-picks a backend. This
+// is where the deadline-budget → retry → hedge stack installs.
+func WithMiddleware(mws ...transport.Middleware) Option {
+	return func(b *Balanced) { b.mws = append(b.mws, mws...) }
+}
+
+// WithBackendMiddleware installs a factory producing per-replica middleware
+// for each backend address as it is added — the circuit breaker installs
+// here, one instance per replica, so a slow or dead instance is ejected
+// individually and its CodeUnavailable rejections fail over to peers.
+func WithBackendMiddleware(f func(addr string) []transport.Middleware) Option {
+	return func(b *Balanced) { b.backendMW = f }
+}
+
 // New creates a balanced client. addrs may be empty initially.
-func New(network rpc.Network, target string, addrs []string, policy Policy, opts ...rpc.ClientOption) *Balanced {
+func New(network rpc.Network, target string, addrs []string, policy Policy, opts ...Option) *Balanced {
 	if policy == nil {
 		policy = &RoundRobin{}
 	}
-	b := &Balanced{network: network, target: target, policy: policy, opts: opts}
+	b := &Balanced{network: network, target: target, policy: policy}
+	for _, o := range opts {
+		o(b)
+	}
+	b.invoke = transport.Build(b.invokeOnce, b.mws...)
 	for _, a := range addrs {
 		b.AddBackend(a)
 	}
@@ -118,11 +163,17 @@ func (b *Balanced) AddBackend(addr string) {
 			return
 		}
 	}
+	opts := b.clientOpts
+	if b.backendMW != nil {
+		if mws := b.backendMW(addr); len(mws) > 0 {
+			opts = append(opts[:len(opts):len(opts)], rpc.WithMiddleware(mws...))
+		}
+	}
 	next := make([]*backend, len(b.backends), len(b.backends)+1)
 	copy(next, b.backends)
 	b.backends = append(next, &backend{
 		addr:   addr,
-		client: rpc.NewClient(b.network, b.target, addr, b.opts...),
+		client: rpc.NewClient(b.network, b.target, addr, opts...),
 	})
 }
 
@@ -155,11 +206,41 @@ func (b *Balanced) Backends() []string {
 	return out
 }
 
-// Call invokes method on a backend chosen by the policy. Transport-level
-// failures (dial refused, connection lost) fail over once to the next
-// backend, so a dead instance doesn't surface to callers while the
-// registry catches up; application errors are returned as-is.
+// Call invokes method on a backend chosen by the policy, running the
+// balanced middleware chain around the choice. The request is encoded once,
+// up front, so retried and hedged attempts reuse the bytes.
 func (b *Balanced) Call(ctx context.Context, method string, req, resp any) error {
+	var payload []byte
+	if req != nil {
+		var err error
+		payload, err = codec.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("lb: marshal %s.%s: %w", b.target, method, err)
+		}
+	}
+	call := transport.NewCall(b.target, method, payload)
+	if err := b.invoke(ctx, call); err != nil {
+		return err
+	}
+	if resp != nil {
+		if err := codec.Unmarshal(call.Reply, resp); err != nil {
+			return fmt.Errorf("lb: unmarshal %s.%s reply: %w", b.target, method, err)
+		}
+	}
+	return nil
+}
+
+// Invoke runs the balanced middleware chain for a caller-built call.
+func (b *Balanced) Invoke(ctx context.Context, call *transport.Call) error {
+	return b.invoke(ctx, call)
+}
+
+// invokeOnce is the terminal invoker under the balanced middleware: pick a
+// replica and issue one attempt. Transport-level failures (dial refused,
+// connection lost, breaker rejection) fail over once to the next backend,
+// so a dead instance doesn't surface to callers while the registry catches
+// up; application errors are returned as-is.
+func (b *Balanced) invokeOnce(ctx context.Context, call *transport.Call) error {
 	b.mu.RLock()
 	backends := b.backends
 	b.mu.RUnlock()
@@ -172,31 +253,12 @@ func (b *Balanced) Call(ctx context.Context, method string, req, resp any) error
 	if idx < 0 || idx >= len(backends) {
 		return fmt.Errorf("lb: policy picked invalid backend %d/%d", idx, len(backends))
 	}
-	err := backends[idx].call(ctx, method, req, resp)
-	if err == nil || !isTransportError(err) || len(backends) < 2 || ctx.Err() != nil {
+	err := backends[idx].invoke(ctx, call)
+	if err == nil || !transport.Retryable(err) || len(backends) < 2 || ctx.Err() != nil {
 		return err
 	}
 	// One failover attempt on the neighboring backend.
-	return backends[(idx+1)%len(backends)].call(ctx, method, req, resp)
-}
-
-func (be *backend) call(ctx context.Context, method string, req, resp any) error {
-	be.outstanding.Add(1)
-	defer be.outstanding.Add(-1)
-	return be.client.Call(ctx, method, req, resp)
-}
-
-// isTransportError distinguishes connection-level failures (safe to retry
-// on another instance) from application errors (which must not be retried
-// here; idempotency is the application's concern).
-func isTransportError(err error) bool {
-	var e *rpc.Error
-	if errors.As(err, &e) {
-		// Coded errors were produced by a reachable server (or a local
-		// deadline, which retrying would only make worse).
-		return false
-	}
-	return true
+	return backends[(idx+1)%len(backends)].invoke(ctx, call)
 }
 
 // Close closes all backend clients.

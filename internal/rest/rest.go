@@ -19,10 +19,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
 // Ctx is the per-request server context for REST handlers.
@@ -103,6 +105,13 @@ func (s *Server) Handle(pattern string, h Handler) {
 			return
 		}
 		ctx := &Ctx{Context: r.Context(), Service: s.service, Request: r}
+		if v := r.Header.Get(transport.DeadlineHeader); v != "" {
+			if dl, ok := transport.ParseDeadline(v); ok {
+				var cancel context.CancelFunc
+				ctx.Context, cancel = context.WithDeadline(ctx.Context, dl)
+				defer cancel()
+			}
+		}
 		s.mu.Lock()
 		chain := s.interceptors
 		s.mu.Unlock()
@@ -190,21 +199,25 @@ func (s *Server) Close() error {
 	return s.hs.Close()
 }
 
-// Client issues REST calls to one service.
+// Client issues REST calls to one service. It runs the same
+// transport.Middleware chain as the RPC client — composed once at
+// construction — so tracing and the resilience layer instrument both
+// protocols identically.
 type Client struct {
-	target       string
-	base         string // e.g. "http://addr"
-	hc           *http.Client
-	interceptors []rpc.ClientInterceptor
+	target string
+	base   string // e.g. "http://addr"
+	hc     *http.Client
+	mws    []transport.Middleware
+	invoke transport.Invoker
 }
 
 // ClientOption configures a REST client.
 type ClientOption func(*Client)
 
-// WithInterceptor appends a client interceptor (same shape as the RPC
-// client's, so tracing instruments both identically).
-func WithInterceptor(i rpc.ClientInterceptor) ClientOption {
-	return func(c *Client) { c.interceptors = append(c.interceptors, i) }
+// WithMiddleware appends client middleware (the same chain type the RPC
+// client accepts); mws run in registration order, outermost first.
+func WithMiddleware(mws ...transport.Middleware) ClientOption {
+	return func(c *Client) { c.mws = append(c.mws, mws...) }
 }
 
 // WithMaxConns bounds connections to the host, reproducing HTTP/1
@@ -229,6 +242,7 @@ func NewClient(network rpc.Network, target, addr string, opts ...ClientOption) *
 	for _, o := range opts {
 		o(c)
 	}
+	c.invoke = transport.Build(c.exchangeCall, c.mws...)
 	return c
 }
 
@@ -236,44 +250,57 @@ func NewClient(network rpc.Network, target, addr string, opts ...ClientOption) *
 func (c *Client) Target() string { return c.target }
 
 // Do issues method (e.g. "POST") against path, JSON-encoding req (nil for
-// no body) and decoding the JSON response into resp (nil to discard).
+// no body) and decoding the JSON response into resp (nil to discard). The
+// call flows through the middleware chain as a transport.Call whose Method
+// is "VERB /path"; the reply body is decoded after the chain returns, so
+// hedged or retried attempts never race on resp.
 func (c *Client) Do(ctx context.Context, method, path string, req, resp any) error {
-	headers := make(map[string]string, 4)
-	invoke := func(ctx context.Context) error {
-		return c.exchange(ctx, method, path, headers, req, resp)
-	}
-	wrapped := invoke
-	op := method + " " + path
-	for i := len(c.interceptors) - 1; i >= 0; i-- {
-		ic, next := c.interceptors[i], wrapped
-		wrapped = func(ctx context.Context) error {
-			return ic(ctx, op, headers, next)
-		}
-	}
-	return wrapped(ctx)
-}
-
-func (c *Client) exchange(ctx context.Context, method, path string, headers map[string]string, req, resp any) error {
-	var body io.Reader
+	var payload []byte
 	if req != nil {
-		data, err := json.Marshal(req)
+		var err error
+		payload, err = json.Marshal(req)
 		if err != nil {
 			return fmt.Errorf("rest: marshal %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(data)
+	}
+	call := transport.NewCall(c.target, method+" "+path, payload)
+	if err := c.invoke(ctx, call); err != nil {
+		return err
+	}
+	if resp != nil && len(call.Reply) > 0 {
+		if err := json.Unmarshal(call.Reply, resp); err != nil {
+			return fmt.Errorf("rest: decode %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// exchangeCall is the terminal invoker: it stamps the deadline header and
+// performs the HTTP exchange, leaving the raw reply body in call.Reply.
+func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
+	method, path, _ := strings.Cut(call.Method, " ")
+	var body io.Reader
+	if call.Payload != nil {
+		body = bytes.NewReader(call.Payload)
 	}
 	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if req != nil {
+	if call.Payload != nil {
 		hr.Header.Set("Content-Type", "application/json")
 	}
-	for k, v := range headers {
+	if dl, ok := ctx.Deadline(); ok {
+		hr.Header.Set(transport.DeadlineHeader, transport.EncodeDeadline(dl))
+	}
+	for k, v := range call.Headers {
 		hr.Header.Set(k, v)
 	}
 	res, err := c.hc.Do(hr)
 	if err != nil {
+		if ctx.Err() != nil {
+			return transport.WrapCode(transport.CodeDeadline, ctx.Err(), "rest: %s %s: %v", method, c.target+path, ctx.Err())
+		}
 		return fmt.Errorf("rest: %s %s: %w", method, c.target+path, err)
 	}
 	defer res.Body.Close()
@@ -288,11 +315,11 @@ func (c *Client) exchange(ctx context.Context, method, path string, headers map[
 		}
 		return rpc.Errorf(rpc.CodeInternal, "%s %s: HTTP %d", method, path, res.StatusCode)
 	}
-	if resp != nil && res.StatusCode != http.StatusNoContent && len(data) > 0 {
-		if err := json.Unmarshal(data, resp); err != nil {
-			return fmt.Errorf("rest: decode %s %s: %w", method, path, err)
-		}
+	if res.StatusCode == http.StatusNoContent {
+		call.Reply = nil
+		return nil
 	}
+	call.Reply = data
 	return nil
 }
 

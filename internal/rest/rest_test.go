@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
 type item struct {
@@ -127,9 +128,11 @@ func TestHeaderPropagation(t *testing.T) {
 	n := rpc.NewMem()
 	addr, _ := startCatalogue(t, n)
 	c := NewClient(n, "catalogue", addr,
-		WithInterceptor(func(ctx context.Context, op string, headers map[string]string, invoke func(context.Context) error) error {
-			headers["x-req"] = "ping"
-			return invoke(ctx)
+		WithMiddleware(func(next transport.Invoker) transport.Invoker {
+			return func(ctx context.Context, call *transport.Call) error {
+				call.SetHeader("x-req", "ping")
+				return next(ctx, call)
+			}
 		}))
 	defer c.Close()
 	var out map[string]string

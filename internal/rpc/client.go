@@ -5,28 +5,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"dsb/internal/codec"
+	"dsb/internal/transport"
 )
-
-// ClientInterceptor wraps an outgoing call. headers may be mutated to
-// propagate context (the tracing layer injects span identity this way).
-// invoke performs the call; interceptors run in registration order,
-// outermost first.
-type ClientInterceptor func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error
 
 // Client issues RPCs to a single target address over a small pool of
 // multiplexed connections, mirroring how each DeathStarBench tier keeps
-// persistent Thrift connections to its downstream tiers.
+// persistent Thrift connections to its downstream tiers. Outgoing calls
+// flow through a transport.Middleware chain — the same chain type the REST
+// client accepts — composed once at construction, so an unadorned client
+// pays nothing per call for the abstraction.
 type Client struct {
-	network      Network
-	addr         string
-	target       string // service name, for errors and tracing
-	interceptors []ClientInterceptor
+	network Network
+	addr    string
+	target  string // service name, for errors and tracing
+	mws     []transport.Middleware
+	invoke  transport.Invoker // composed chain ending in exchangeCall
 
 	mu     sync.Mutex
 	conns  []*clientConn
@@ -46,9 +43,10 @@ func WithPoolSize(n int) ClientOption {
 	}
 }
 
-// WithInterceptor appends a client interceptor.
-func WithInterceptor(i ClientInterceptor) ClientOption {
-	return func(c *Client) { c.interceptors = append(c.interceptors, i) }
+// WithMiddleware appends client middleware; mws run in registration order,
+// outermost first, around the wire exchange.
+func WithMiddleware(mws ...transport.Middleware) ClientOption {
+	return func(c *Client) { c.mws = append(c.mws, mws...) }
 }
 
 // NewClient creates a client for the target service at addr. Connections
@@ -58,6 +56,7 @@ func NewClient(network Network, target, addr string, opts ...ClientOption) *Clie
 	for _, o := range opts {
 		o(c)
 	}
+	c.invoke = transport.Build(c.exchangeCall, c.mws...)
 	return c
 }
 
@@ -89,30 +88,35 @@ func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
 }
 
 // CallRaw invokes method with a pre-encoded payload and returns the raw
-// reply payload. Interceptors run around the transport exchange.
+// reply payload. The middleware chain runs around the transport exchange.
 func (c *Client) CallRaw(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	headers := make(map[string]string, 4)
-	if dl, ok := ctx.Deadline(); ok {
-		headers[deadlineHeader] = strconv.FormatInt(dl.UnixNano(), 10)
-	}
-	var reply []byte
-	invoke := func(ctx context.Context) error {
-		var err error
-		reply, err = c.exchange(ctx, method, headers, payload)
-		return err
-	}
-	wrapped := invoke
-	for i := len(c.interceptors) - 1; i >= 0; i-- {
-		ic, next := c.interceptors[i], wrapped
-		m := method
-		wrapped = func(ctx context.Context) error {
-			return ic(ctx, m, headers, next)
-		}
-	}
-	if err := wrapped(ctx); err != nil {
+	call := transport.NewCall(c.target, method, payload)
+	if err := c.invoke(ctx, call); err != nil {
 		return nil, err
 	}
-	return reply, nil
+	return call.Reply, nil
+}
+
+// Invoke runs the client's middleware chain for a caller-built call
+// descriptor, storing the reply in call.Reply. Load balancers use it so
+// their own middleware stack (retry, hedging) and this client's (tracing,
+// breaker) compose around one shared Call.
+func (c *Client) Invoke(ctx context.Context, call *transport.Call) error {
+	return c.invoke(ctx, call)
+}
+
+// exchangeCall is the terminal invoker: it stamps the deadline header from
+// the (possibly budget-shrunken) context and performs the wire exchange.
+func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
+	if dl, ok := ctx.Deadline(); ok {
+		call.SetHeader(transport.DeadlineHeader, transport.EncodeDeadline(dl))
+	}
+	reply, err := c.exchange(ctx, call.Method, call.Headers, call.Payload)
+	if err != nil {
+		return err
+	}
+	call.Reply = reply
+	return nil
 }
 
 func (c *Client) exchange(ctx context.Context, method string, headers map[string]string, payload []byte) ([]byte, error) {
@@ -137,28 +141,46 @@ func (c *Client) exchange(ctx context.Context, method string, headers map[string
 		return reply.payload, nil
 	case <-ctx.Done():
 		cc.abandon(seq)
-		return nil, Errorf(CodeDeadline, "call %s.%s: %v", c.target, method, ctx.Err())
+		return nil, transport.WrapCode(CodeDeadline, ctx.Err(), "call %s.%s: %v", c.target, method, ctx.Err())
 	}
 }
 
-// pick returns a live pooled connection, dialing if necessary.
+// pick returns a live pooled connection, dialing if necessary. The dial
+// happens outside the client lock — a slow or hung dial must not serialize
+// every other caller on the pool — with a re-check under the lock
+// afterwards so concurrent pickers of the same slot don't leak connections.
 func (c *Client) pick() (*clientConn, error) {
 	idx := int(c.next.Add(1)) % len(c.conns)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, errors.New("rpc: client closed")
 	}
 	cc := c.conns[idx]
+	c.mu.Unlock()
 	if cc != nil && !cc.dead() {
 		return cc, nil
 	}
+
 	conn, err := c.network.Dial(c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s (%s): %w", c.target, c.addr, err)
 	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("rpc: client closed")
+	}
+	if existing := c.conns[idx]; existing != nil && !existing.dead() {
+		// A concurrent caller re-dialed this slot first; use theirs.
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
 	cc = newClientConn(conn)
 	c.conns[idx] = cc
+	c.mu.Unlock()
 	return cc, nil
 }
 
@@ -273,21 +295,5 @@ func (cc *clientConn) readLoop(r *bufio.Reader) {
 		if ok {
 			ch <- f
 		}
-	}
-}
-
-// DelayInterceptor returns a client interceptor that sleeps for d before
-// each call, used in live mode to model a slow link (e.g. the cloud↔edge
-// wifi hop in the Swarm application).
-func DelayInterceptor(d time.Duration) ClientInterceptor {
-	return func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error {
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-		return invoke(ctx)
 	}
 }

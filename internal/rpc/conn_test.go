@@ -1,0 +1,242 @@
+package rpc
+
+// Death and recovery of pooled client connections: late replies for
+// abandoned calls, sends racing connection failure, and pool re-dial after
+// the peer goes away. All of these run under -race in `make check`.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/transport"
+)
+
+// startEchoAt boots a minimal echo server on a fixed address, so a
+// replacement can come up at the same place after a kill.
+func startEchoAt(t testing.TB, network Network, addr string) *Server {
+	t.Helper()
+	s := NewServer("echo")
+	s.Handle("Echo", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if _, err := s.Start(network, addr); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustMarshal(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := codec.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLateReplyAfterAbandonDiscarded abandons a call at its deadline while
+// the server is still working; the late reply must be discarded — not
+// delivered to the next call multiplexed on the same connection.
+func TestLateReplyAfterAbandonDiscarded(t *testing.T) {
+	n := NewMem()
+	s := NewServer("slow")
+	release := make(chan struct{})
+	s.Handle("Slow", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		<-release
+		return []byte("stale"), nil
+	})
+	s.Handle("Fast", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	addr, err := s.Start(n, "slow:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := NewClient(n, "slow", addr, WithPoolSize(1))
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = c.CallRaw(ctx, "Slow", nil)
+	if !IsCode(err, CodeDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want CodeDeadline wrapping DeadlineExceeded", err)
+	}
+	close(release) // the stale reply now lands on the shared connection
+
+	out, err := c.CallRaw(context.Background(), "Fast", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "fresh" {
+		t.Fatalf("reply = %q; the abandoned call's late reply leaked", out)
+	}
+}
+
+// TestConcurrentFailAndSend races sends against a connection failure; every
+// in-flight waiter must resolve (error or closed channel) and the pending
+// map must drain.
+func TestConcurrentFailAndSend(t *testing.T) {
+	client, server := net.Pipe()
+	go io.Copy(io.Discard, server) //nolint:errcheck // sink so writes complete
+	cc := newClientConn(client)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ch, _, err := cc.send(&frame{kind: kindRequest, method: "M"})
+				if err != nil {
+					return // connection already failed
+				}
+				select {
+				case _, ok := <-ch:
+					if ok {
+						t.Error("got a reply from a server that never replies")
+					}
+				case <-time.After(5 * time.Second):
+					t.Error("waiter never resolved after fail")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	cc.fail(errors.New("injected"))
+	wg.Wait()
+
+	if !cc.dead() {
+		t.Fatal("conn should be dead")
+	}
+	cc.mu.Lock()
+	pending := len(cc.pending)
+	cc.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("pending = %d after fail, want 0", pending)
+	}
+	server.Close()
+}
+
+// countingNetwork counts dials, to observe re-dial behaviour.
+type countingNetwork struct {
+	Network
+	dials atomic.Int64
+}
+
+func (n *countingNetwork) Dial(addr string) (net.Conn, error) {
+	n.dials.Add(1)
+	return n.Network.Dial(addr)
+}
+
+// TestPoolRedialAfterConnDeath kills the server out from under a pooled
+// connection and brings a replacement up on the same address; the pool must
+// notice the dead connection and re-dial.
+func TestPoolRedialAfterConnDeath(t *testing.T) {
+	mem := NewMem()
+	n := &countingNetwork{Network: mem}
+	s1 := startEchoAt(t, mem, "echo:0")
+	c := NewClient(n, "echo", "echo:0", WithPoolSize(1))
+	defer c.Close()
+
+	if _, err := c.CallRaw(context.Background(), "Echo", mustMarshal(t, echoReq{Text: "a", N: 1})); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	startEchoAt(t, mem, "echo:0")
+
+	// The pooled conn dies asynchronously; calls racing the death may fail
+	// once, but the pool must converge on the new server.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.CallRaw(context.Background(), "Echo", mustMarshal(t, echoReq{Text: "b", N: 1}))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered: %v", err)
+		}
+	}
+	if n.dials.Load() < 2 {
+		t.Fatalf("dials = %d, want ≥2 (one per server generation)", n.dials.Load())
+	}
+}
+
+// TestConcurrentRedialKeepsOneConn hammers a single-conn pool from many
+// goroutines right after its connection dies; every call must eventually
+// succeed and racing re-dials must not wedge the pool (losers close their
+// extra connection and adopt the winner's).
+func TestConcurrentRedialKeepsOneConn(t *testing.T) {
+	mem := NewMem()
+	n := &countingNetwork{Network: mem}
+	s1 := startEchoAt(t, mem, "echo:0")
+	c := NewClient(n, "echo", "echo:0", WithPoolSize(1))
+	defer c.Close()
+
+	if _, err := c.CallRaw(context.Background(), "Echo", mustMarshal(t, echoReq{Text: "warm", N: 1})); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	startEchoAt(t, mem, "echo:0")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				_, err := c.CallRaw(context.Background(), "Echo", mustMarshal(t, echoReq{Text: "x", N: 1}))
+				if err == nil {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("call never recovered: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestInvokeSharesComposedChain checks the chain is composed once at
+// construction: the same middleware state serves CallRaw and Invoke.
+func TestInvokeSharesComposedChain(t *testing.T) {
+	n := NewMem()
+	s := startEchoAt(t, n, "echo:1")
+	defer s.Close()
+
+	var seen atomic.Int64
+	c := NewClient(n, "echo", "echo:1", WithMiddleware(func(next transport.Invoker) transport.Invoker {
+		return func(ctx context.Context, call *transport.Call) error {
+			seen.Add(1)
+			return next(ctx, call)
+		}
+	}))
+	defer c.Close()
+
+	if _, err := c.CallRaw(context.Background(), "Echo", mustMarshal(t, echoReq{Text: "a", N: 1})); err != nil {
+		t.Fatal(err)
+	}
+	call := transport.NewCall("echo", "Echo", mustMarshal(t, echoReq{Text: "b", N: 2}))
+	if err := c.Invoke(context.Background(), call); err != nil {
+		t.Fatal(err)
+	}
+	if len(call.Reply) == 0 {
+		t.Fatal("Invoke left no reply")
+	}
+	if seen.Load() != 2 {
+		t.Fatalf("middleware ran %d times, want 2", seen.Load())
+	}
+}

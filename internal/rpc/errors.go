@@ -1,53 +1,40 @@
 package rpc
 
-import (
-	"errors"
-	"fmt"
-)
+import "dsb/internal/transport"
+
+// The coded error model lives in internal/transport so the shared
+// middleware stack can classify failures without importing a protocol
+// package; the rpc package aliases it for the services, which historically
+// speak rpc.Errorf / rpc.IsCode.
 
 // Well-known application error codes, mirroring the small set of RPC
 // failure classes the suite's services distinguish.
 const (
-	CodeInternal     = 1
-	CodeNotFound     = 2
-	CodeBadRequest   = 3
-	CodeUnauthorized = 4
-	CodeUnavailable  = 5 // overload / rate limited
-	CodeConflict     = 6
-	CodeDeadline     = 7
+	CodeInternal     = transport.CodeInternal
+	CodeNotFound     = transport.CodeNotFound
+	CodeBadRequest   = transport.CodeBadRequest
+	CodeUnauthorized = transport.CodeUnauthorized
+	CodeUnavailable  = transport.CodeUnavailable
+	CodeConflict     = transport.CodeConflict
+	CodeDeadline     = transport.CodeDeadline
 )
 
 // Error is an application-level error carried across the wire with a code.
-type Error struct {
-	Code int
-	Msg  string
-}
+type Error = transport.Error
 
 // Errorf constructs a coded error.
 func Errorf(code int, format string, args ...any) *Error {
-	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+	return transport.Errorf(code, format, args...)
 }
-
-// Error implements the error interface.
-func (e *Error) Error() string { return fmt.Sprintf("rpc error %d: %s", e.Code, e.Msg) }
 
 // ErrorCode extracts the application code from err, or CodeInternal when
 // err is not an *Error.
-func ErrorCode(err error) int {
-	var e *Error
-	if errors.As(err, &e) {
-		return e.Code
-	}
-	return CodeInternal
-}
+func ErrorCode(err error) int { return transport.ErrorCode(err) }
 
 // IsCode reports whether err carries the given application code.
-func IsCode(err error, code int) bool {
-	var e *Error
-	return errors.As(err, &e) && e.Code == code
-}
+func IsCode(err error, code int) bool { return transport.IsCode(err, code) }
 
 // NotFoundf is shorthand for the most common coded error in the services.
 func NotFoundf(format string, args ...any) *Error {
-	return Errorf(CodeNotFound, format, args...)
+	return transport.NotFoundf(format, args...)
 }

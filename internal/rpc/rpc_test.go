@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dsb/internal/codec"
+	"dsb/internal/transport"
 )
 
 type echoReq struct {
@@ -270,12 +271,14 @@ func TestInterceptorsOrderAndHeaders(t *testing.T) {
 	defer s.Close()
 
 	c := NewClient(n, "svc", addr,
-		WithInterceptor(func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error {
-			record("cli1-pre")
-			headers["tag"] = "v"
-			err := invoke(ctx)
-			record("cli1-post")
-			return err
+		WithMiddleware(func(next transport.Invoker) transport.Invoker {
+			return func(ctx context.Context, call *transport.Call) error {
+				record("cli1-pre")
+				call.SetHeader("tag", "v")
+				err := next(ctx, call)
+				record("cli1-post")
+				return err
+			}
 		}))
 	defer c.Close()
 	if err := c.Call(context.Background(), "M", nil, nil); err != nil {

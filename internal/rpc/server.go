@@ -6,14 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strconv"
 	"sync"
-	"time"
+
+	"dsb/internal/transport"
 )
 
 // deadlineHeader carries the absolute call deadline (unix nanoseconds) so
 // downstream tiers stop working on requests the client has abandoned.
-const deadlineHeader = "dsb-deadline"
+const deadlineHeader = transport.DeadlineHeader
 
 // Ctx is the per-request server context. It embeds a context.Context whose
 // deadline reflects the propagated client deadline.
@@ -210,10 +210,10 @@ func (s *Server) dispatch(conn net.Conn, w *bufio.Writer, writeMu *sync.Mutex, f
 		defer func() { <-s.sem }()
 	}
 	ctx := &Ctx{Context: context.Background(), Method: f.method, Service: s.service, Headers: f.headers}
-	if dl, ok := f.headers[deadlineHeader]; ok {
-		if ns, err := strconv.ParseInt(dl, 10, 64); err == nil {
+	if v, ok := f.headers[deadlineHeader]; ok {
+		if dl, ok := transport.ParseDeadline(v); ok {
 			var cancel context.CancelFunc
-			ctx.Context, cancel = context.WithDeadline(ctx.Context, time.Unix(0, ns))
+			ctx.Context, cancel = context.WithDeadline(ctx.Context, dl)
 			defer cancel()
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
+	"dsb/internal/transport"
 )
 
 var errUnauthorized = rpc.Errorf(rpc.CodeUnauthorized, "invalid token")
@@ -22,6 +23,10 @@ func errNotFound(what string) error { return rpc.NotFoundf("no such resource %q"
 type Config struct {
 	// Clock overrides time for deterministic tests.
 	Clock func() time.Time
+	// Middleware is installed on every inter-tier client wire (between
+	// tracing and the app's resilience stack): fault injection and
+	// per-experiment instrumentation hook in here.
+	Middleware []transport.Middleware
 }
 
 // Ecommerce is a running deployment.
@@ -57,7 +62,7 @@ func New(app *core.App, cfg Config) (*Ecommerce, error) {
 	}
 
 	cl := func(caller, target string) (svcutil.Caller, error) {
-		return app.RPC("ecom."+caller, "ecom."+target)
+		return app.RPC("ecom."+caller, "ecom."+target, cfg.Middleware...)
 	}
 	must := func(c svcutil.Caller, err error) svcutil.Caller {
 		if err != nil {

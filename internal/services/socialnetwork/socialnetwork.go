@@ -10,6 +10,7 @@ import (
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
+	"dsb/internal/transport"
 )
 
 // Config sizes the deployment.
@@ -20,6 +21,10 @@ type Config struct {
 	CacheBytes int64
 	// Clock overrides time for deterministic tests.
 	Clock func() time.Time
+	// Middleware is installed on every inter-tier client wire (between
+	// tracing and the app's resilience stack): fault injection and
+	// per-experiment instrumentation hook in here.
+	Middleware []transport.Middleware
 }
 
 // SocialNetwork is a running deployment: the REST front door plus direct
@@ -68,7 +73,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	}
 
 	cl := func(caller, target string) (svcutil.Caller, error) {
-		return app.RPC("social."+caller, "social."+target)
+		return app.RPC("social."+caller, "social."+target, cfg.Middleware...)
 	}
 	must := func(c svcutil.Caller, err error) svcutil.Caller {
 		if err != nil {

@@ -6,10 +6,9 @@ import (
 
 	"dsb/internal/core"
 	"dsb/internal/docstore"
-	"dsb/internal/lb"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
-	"dsb/internal/trace"
+	"dsb/internal/transport"
 )
 
 // Config shapes the deployment.
@@ -98,11 +97,13 @@ func New(app *core.App, cfg Config) (*Swarm, error) {
 }
 
 // wireClients builds a drone's service handles. Calls that cross the
-// cloud↔edge boundary get a DelayInterceptor of half the wifi RTT in each
-// direction (applied once per call, covering the round trip).
+// cloud↔edge boundary get a transport.Delay middleware of the wifi RTT
+// (applied once per call, covering the round trip).
 func wireClients(app *core.App, droneID string, cfg Config) (Clients, error) {
 	wifi := func(target string) (svcutil.Caller, error) {
-		return wiredRPC(app, droneID, target, cfg.WifiRTT)
+		// app.RPC puts tracing outermost, so spans include the wifi time,
+		// exactly like a real client-observed latency.
+		return app.RPC(droneID, target, transport.Delay(cfg.WifiRTT))
 	}
 	local := func(target string) (svcutil.Caller, error) {
 		return app.RPC(droneID, target)
@@ -130,22 +131,6 @@ func wireClients(app *core.App, droneID string, cfg Config) (Clients, error) {
 		return c, err
 	}
 	return c, nil
-}
-
-// wiredRPC builds a traced, wifi-delayed balanced client. It mirrors
-// core.App.RPC but inserts the delay interceptor ahead of the exchange.
-func wiredRPC(app *core.App, caller, target string, rtt time.Duration) (svcutil.Caller, error) {
-	addrs, err := app.Registry.MustLookup(target)
-	if err != nil {
-		return nil, err
-	}
-	opts := []rpc.ClientOption{rpc.WithInterceptor(rpc.DelayInterceptor(rtt))}
-	if app.Tracer != nil {
-		// Tracing wraps the delay so spans include the wifi time, exactly
-		// like a real client-observed latency.
-		opts = append([]rpc.ClientOption{rpc.WithInterceptor(trace.ClientInterceptor(app.Tracer, caller))}, opts...)
-	}
-	return lb.New(app.Net, target, addrs, &lb.RoundRobin{}, opts...), nil
 }
 
 // PlaceObstacle injects a dynamic obstacle (for avoidance/replan tests and

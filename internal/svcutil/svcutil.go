@@ -12,14 +12,14 @@ import (
 	"dsb/internal/docstore"
 	"dsb/internal/kv"
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
 // Caller is the client surface services use to talk to a downstream tier;
-// both *rpc.Client and *lb.Balanced satisfy it.
-type Caller interface {
-	Call(ctx context.Context, method string, req, resp any) error
-	Target() string
-}
+// both *rpc.Client and *lb.Balanced satisfy it. The definition now lives in
+// internal/transport, shared by every layer; this alias keeps the services'
+// historical import path working.
+type Caller = transport.Caller
 
 // Handle registers a typed handler: the payload is decoded into Req, and
 // the returned Resp is encoded as the reply. A nil Resp sends an empty

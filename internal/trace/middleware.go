@@ -6,35 +6,41 @@ import (
 
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
-// ClientInterceptor instruments outgoing RPC and REST calls: it opens a
-// client span as a child of the span in ctx, injects the span identity into
-// the call headers, and records the client-observed duration (which
-// includes network and kernel processing on both ends).
-func ClientInterceptor(t *Tracer, service string) rpc.ClientInterceptor {
-	return func(ctx context.Context, method string, headers map[string]string, invoke func(context.Context) error) error {
-		parent, _ := FromContext(ctx)
-		span := t.StartSpan(service, method, KindClient, parent)
-		span.Context().Inject(headers)
-		span.Annotate("payload", strconv.Itoa(len(headers))) // header count as a cheap size proxy
-		err := invoke(NewContext(ctx, span.Context()))
-		span.SetError(err)
-		span.Finish()
-		return err
+// ClientMiddleware instruments outgoing calls on the shared transport
+// chain, for RPC and REST clients alike: it opens a client span as a child
+// of the span in ctx, injects the span identity into the call headers, and
+// records the client-observed duration (which includes network and kernel
+// processing on both ends). The live span rides in the context, so inner
+// middleware (retry, hedge, breaker) can annotate it.
+func ClientMiddleware(t *Tracer, service string) transport.Middleware {
+	return func(next transport.Invoker) transport.Invoker {
+		return func(ctx context.Context, call *transport.Call) error {
+			parent, _ := FromContext(ctx)
+			span := t.StartSpan(service, call.Method, KindClient, parent)
+			span.Context().Inject(call.HeaderMap())
+			span.Annotate("payload", strconv.Itoa(len(call.Payload)))
+			ctx = ContextWithSpan(NewContext(ctx, span.Context()), span)
+			err := next(ctx, call)
+			span.SetError(err)
+			span.Finish()
+			return err
+		}
 	}
 }
 
 // ServerInterceptor instruments incoming RPC requests: it extracts the
-// parent span from headers, opens a server span, and stores the span
-// context in the request context so handlers' downstream calls nest
+// parent span from headers, opens a server span, and stores the span (and
+// its context) in the request context so handlers' downstream calls nest
 // underneath it.
 func ServerInterceptor(t *Tracer) rpc.ServerInterceptor {
 	return func(ctx *rpc.Ctx, payload []byte, next rpc.Handler) ([]byte, error) {
 		parent, _ := Extract(ctx.Headers)
 		span := t.StartSpan(ctx.Service, ctx.Method, KindServer, parent)
 		if span != nil {
-			ctx.Context = NewContext(ctx.Context, span.Context())
+			ctx.Context = ContextWithSpan(NewContext(ctx.Context, span.Context()), span)
 		}
 		resp, err := next(ctx, payload)
 		span.SetError(err)
@@ -54,7 +60,7 @@ func RESTServerInterceptor(t *Tracer) rest.Interceptor {
 		op := ctx.Request.Method + " " + ctx.Request.URL.Path
 		span := t.StartSpan(ctx.Service, op, KindServer, parent)
 		if span != nil {
-			ctx.Context = NewContext(ctx.Context, span.Context())
+			ctx.Context = ContextWithSpan(NewContext(ctx.Context, span.Context()), span)
 		}
 		out, err := next(ctx, body)
 		span.SetError(err)

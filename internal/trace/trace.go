@@ -110,6 +110,32 @@ func FromContext(ctx context.Context) (SpanContext, bool) {
 	return sc, ok && sc.Valid()
 }
 
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying the live span itself (in addition to
+// its propagated identity), so code deeper in the call path can annotate it
+// — the resilience middlewares use this to tag spans with retry counts,
+// hedge wins, and breaker rejections.
+func ContextWithSpan(ctx context.Context, s *ActiveSpan) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the live span in ctx, or nil.
+func SpanFromContext(ctx context.Context) *ActiveSpan {
+	s, _ := ctx.Value(spanKey{}).(*ActiveSpan)
+	return s
+}
+
+// Annotate tags the live span in ctx, if any. Its signature matches
+// transport.AnnotateFunc so it can be wired straight into the resilience
+// layer's config.
+func Annotate(ctx context.Context, key, value string) {
+	SpanFromContext(ctx).Annotate(key, value)
+}
+
 // Tracer creates spans and submits them to a collector. The zero value is
 // unusable; use NewTracer. A nil *Tracer is a valid no-op tracer, so
 // services can be wired with tracing disabled at zero cost.

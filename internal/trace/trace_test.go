@@ -268,7 +268,7 @@ func TestRPCIntegration(t *testing.T) {
 	}
 	defer s.Close()
 
-	c := rpc.NewClient(n, "backend", addr, rpc.WithInterceptor(ClientInterceptor(tr, "frontend")))
+	c := rpc.NewClient(n, "backend", addr, rpc.WithMiddleware(ClientMiddleware(tr, "frontend")))
 	defer c.Close()
 	if err := c.Call(context.Background(), "Do", nil, nil); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"context"
+	"time"
+)
+
+// BudgetConfig tunes per-hop deadline budgeting. The zero value gets sane
+// defaults from DeadlineBudget.
+type BudgetConfig struct {
+	// Fraction of the caller's remaining deadline granted to this call
+	// (default 0.9). Each hop reserves the complement for its own
+	// post-processing, so budgets shrink monotonically as a request
+	// descends the service graph and every tier still has time to handle a
+	// downstream timeout gracefully.
+	Fraction float64
+	// Floor is the minimum budget worth granting (default 100µs); when the
+	// remaining budget is below it the call fails fast with CodeDeadline
+	// instead of burning a doomed downstream round trip.
+	Floor time.Duration
+	// Max caps the granted budget (0 = no cap). A per-attempt cap bounds
+	// how long one slow replica can hold a request, letting retries,
+	// hedges, and the breaker's failure counter react quickly.
+	Max time.Duration
+	// Default is the budget installed when the caller has no deadline at
+	// all (0 = leave the context unbounded).
+	Default time.Duration
+
+	Stats    *Stats
+	Annotate AnnotateFunc
+}
+
+func (cfg BudgetConfig) withDefaults() BudgetConfig {
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		cfg.Fraction = 0.9
+	}
+	if cfg.Floor <= 0 {
+		cfg.Floor = 100 * time.Microsecond
+	}
+	return cfg
+}
+
+// DeadlineBudget returns a middleware that installs a shrunken per-hop
+// deadline on the call's context. The tightened deadline propagates to the
+// server via DeadlineHeader (written by the terminal invoker from the
+// context), so a leaf tier observes a strictly tighter budget than the
+// root — the mechanism that stops abandoned work from cascading down the
+// graph.
+func DeadlineBudget(cfg BudgetConfig) Middleware {
+	cfg = cfg.withDefaults()
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) error {
+			dl, ok := ctx.Deadline()
+			if !ok {
+				if cfg.Default <= 0 {
+					return next(ctx, call)
+				}
+				dctx, cancel := context.WithTimeout(ctx, cfg.Default)
+				defer cancel()
+				return next(dctx, call)
+			}
+			remaining := time.Until(dl)
+			if remaining < cfg.Floor {
+				if cfg.Stats != nil {
+					cfg.Stats.DeadlineExhausted.Inc()
+				}
+				return WrapCode(CodeDeadline, context.DeadlineExceeded,
+					"transport: no deadline budget left for %s.%s (%v remaining)",
+					call.Target, call.Method, remaining)
+			}
+			budget := time.Duration(float64(remaining) * cfg.Fraction)
+			if budget < cfg.Floor {
+				budget = cfg.Floor
+			}
+			if cfg.Max > 0 && budget > cfg.Max {
+				budget = cfg.Max
+			}
+			if cfg.Stats != nil {
+				cfg.Stats.DeadlineTruncated.Inc()
+			}
+			if cfg.Annotate != nil {
+				cfg.Annotate(ctx, "budget."+call.Target, budget.String())
+			}
+			bctx, cancel := context.WithDeadline(ctx, time.Now().Add(budget))
+			defer cancel()
+			return next(bctx, call)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Well-known application error codes, mirroring the small set of RPC
+// failure classes the suite's services distinguish. They live here (rather
+// than in the rpc package, which aliases them) so the resilience layer can
+// classify failures without depending on a specific protocol stack.
+const (
+	CodeInternal     = 1
+	CodeNotFound     = 2
+	CodeBadRequest   = 3
+	CodeUnauthorized = 4
+	CodeUnavailable  = 5 // overload / rate limited / circuit breaker open
+	CodeConflict     = 6
+	CodeDeadline     = 7
+)
+
+// Error is an application-level error carried across the wire with a code.
+type Error struct {
+	Code int
+	Msg  string
+
+	// cause distinguishes local failure modes that share a code: a call
+	// abandoned because the caller's context was canceled (a winning hedge,
+	// a departed client) unwraps to context.Canceled, a spent budget to
+	// context.DeadlineExceeded, a breaker rejection to ErrBreakerOpen.
+	cause error
+}
+
+// Errorf constructs a coded error.
+func Errorf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// WrapCode constructs a coded error that preserves cause for errors.Is
+// inspection.
+func WrapCode(code int, cause error, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...), cause: cause}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("rpc error %d: %s", e.Code, e.Msg) }
+
+// Unwrap exposes the cause, if any.
+func (e *Error) Unwrap() error { return e.cause }
+
+// ErrorCode extracts the application code from err, or CodeInternal when
+// err is not an *Error.
+func ErrorCode(err error) int {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// IsCode reports whether err carries the given application code.
+func IsCode(err error, code int) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}
+
+// NotFoundf is shorthand for the most common coded error in the services.
+func NotFoundf(format string, args ...any) *Error {
+	return Errorf(CodeNotFound, format, args...)
+}
+
+// Retryable reports whether err is safe to re-issue, on the same or another
+// replica: transport-level failures (the connection died before any coded
+// reply arrived, so a reachable server never saw or never answered the
+// request) and CodeUnavailable rejections (overload shedding, breaker
+// open — another replica may accept). Coded application errors must not be
+// retried here (idempotency is the application's concern), and neither are
+// spent deadlines or cancellations, which retrying only makes worse.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code == CodeUnavailable
+	}
+	return true
+}
+
+// FailureSignal reports whether err indicates an unhealthy server — the
+// signal the circuit breaker accumulates: transport failures, unavailable
+// rejections, and spent deadlines (a server too slow to answer inside its
+// budget). Cancellations are neutral (the caller or a winning hedge gave
+// up, saying nothing about the server), and other coded application errors
+// count as healthy — the server was responsive enough to reject properly.
+func FailureSignal(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code == CodeUnavailable || e.Code == CodeDeadline
+	}
+	return true
+}

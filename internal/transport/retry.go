@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"context"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryConfig tunes the retry middleware. The zero value gets sane defaults
+// from Retry.
+type RetryConfig struct {
+	// Attempts is the total attempt cap including the first (default 3).
+	Attempts int
+	// BaseDelay seeds the exponential backoff (default 500µs): retry i
+	// waits a uniformly random ("full jitter") duration in
+	// [0, min(MaxDelay, BaseDelay·2^i)].
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff (default 50ms).
+	MaxDelay time.Duration
+	// BudgetRatio refills the token-bucket retry budget by this many tokens
+	// per successful call (default 0.1, i.e. at most ~10% extra load from
+	// retries in steady state); BudgetBurst caps the bucket (default 10).
+	// Under a full outage the bucket drains and retries stop, so the retry
+	// layer cannot amplify the very overload it is reacting to.
+	BudgetRatio float64
+	BudgetBurst float64
+
+	Stats    *Stats
+	Annotate AnnotateFunc
+}
+
+func (cfg RetryConfig) withDefaults() RetryConfig {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 500 * time.Microsecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	if cfg.BudgetRatio <= 0 {
+		cfg.BudgetRatio = 0.1
+	}
+	if cfg.BudgetBurst <= 0 {
+		cfg.BudgetBurst = 10
+	}
+	return cfg
+}
+
+// retryBudget is a token bucket refilled by successes, spent by retries.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	ratio  float64
+}
+
+func (b *retryBudget) success() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Retry returns a middleware that re-issues retryable failures (see
+// Retryable) with exponential backoff plus full jitter, gated by a
+// token-bucket retry budget. Each attempt runs on a fresh clone of the
+// call, so header mutations and replies never leak between attempts. One
+// middleware instance owns one budget; install a fresh instance per target.
+func Retry(cfg RetryConfig) Middleware {
+	cfg = cfg.withDefaults()
+	budget := &retryBudget{tokens: cfg.BudgetBurst, cap: cfg.BudgetBurst, ratio: cfg.BudgetRatio}
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) error {
+			for attempt := 0; ; attempt++ {
+				att := call.Clone()
+				err := next(ctx, att)
+				if err == nil {
+					call.Reply = att.Reply
+					budget.success()
+					if attempt > 0 && cfg.Annotate != nil {
+						cfg.Annotate(ctx, "retry.attempts", strconv.Itoa(attempt+1))
+					}
+					return nil
+				}
+				if attempt+1 >= cfg.Attempts || !Retryable(err) || ctx.Err() != nil {
+					return err
+				}
+				if !budget.take() {
+					if cfg.Stats != nil {
+						cfg.Stats.RetryBudgetExhausted.Inc()
+					}
+					return err
+				}
+				if cfg.Stats != nil {
+					cfg.Stats.Retries.Inc()
+				}
+				ceil := min(cfg.MaxDelay, cfg.BaseDelay<<attempt)
+				backoff := time.Duration(rand.Int64N(int64(ceil) + 1))
+				timer := time.NewTimer(backoff)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package transport
+
+import "dsb/internal/metrics"
+
+// Stats aggregates the resilience layer's counters so experiment drivers
+// and operators can attribute tail savings: how many retries were issued,
+// how often a hedge beat the primary attempt, and how the circuit breakers
+// moved. One Stats value is typically shared by every middleware of one
+// application (see core.App); all fields are safe for concurrent use. A nil
+// *Stats disables accounting at zero cost.
+type Stats struct {
+	// Retries counts retry attempts actually issued (not first attempts).
+	Retries metrics.Counter
+	// RetryBudgetExhausted counts retries suppressed by an empty token
+	// bucket — the backstop against retry storms amplifying an outage.
+	RetryBudgetExhausted metrics.Counter
+
+	// Hedges counts hedged (secondary) attempts issued.
+	Hedges metrics.Counter
+	// HedgeWins counts calls where a hedged attempt returned first — the
+	// requests rescued from the tail.
+	HedgeWins metrics.Counter
+
+	// BreakerOpened / BreakerHalfOpened / BreakerClosed count state
+	// transitions across all breakers sharing this Stats.
+	BreakerOpened     metrics.Counter
+	BreakerHalfOpened metrics.Counter
+	BreakerClosed     metrics.Counter
+	// BreakerRejected counts calls refused outright by an open breaker.
+	BreakerRejected metrics.Counter
+
+	// DeadlineTruncated counts calls whose context deadline was shrunk by
+	// the per-hop budget; DeadlineExhausted counts calls failed locally
+	// because no usable budget remained.
+	DeadlineTruncated metrics.Counter
+	DeadlineExhausted metrics.Counter
+}

@@ -1,0 +1,177 @@
+// Package transport owns the unified client call path shared by the RPC
+// and REST stacks: the Call descriptor every outgoing request flows
+// through, the composable Middleware chain both protocols accept (tracing,
+// metrics, fault injection, and the resilience layer all plug in here), and
+// the coded error model the suite's services speak on the wire.
+//
+// The resilience layer is the production counterpart to the paper's
+// tail-at-scale findings (Fig 22c: ≥1% slow servers drives microservice
+// goodput to ~0 at scale; Fig 17: backpressure autoscalers cannot fix). It
+// provides per-hop deadline budgets that shrink as a request descends the
+// service graph, retries with exponential backoff gated by a token-bucket
+// retry budget, per-replica circuit breakers with latency-outlier
+// detection, and hedged requests that race a second replica after a
+// configurable delay. See ResilienceConfig for the bundle.
+package transport
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DeadlineHeader carries the absolute call deadline (unix nanoseconds) so
+// downstream tiers stop working on requests the client has abandoned. Both
+// the RPC and REST transports propagate it.
+const DeadlineHeader = "dsb-deadline"
+
+// EncodeDeadline renders an absolute deadline for the DeadlineHeader.
+func EncodeDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+// ParseDeadline decodes a DeadlineHeader value.
+func ParseDeadline(v string) (time.Time, bool) {
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Call describes one outgoing client call as it flows through the
+// middleware chain down to the wire exchange. Middlewares may mutate
+// headers (tracing injects span identity this way) and read the reply after
+// the inner invoker returns.
+type Call struct {
+	// Target is the downstream service name, for errors, tracing, and
+	// per-target middleware state.
+	Target string
+	// Method is the invoked operation: an RPC method name such as
+	// "ComposePost", or "VERB /path" for REST.
+	Method string
+	// Payload is the encoded request body (nil for bodyless calls).
+	Payload []byte
+	// Headers are propagated to the server. The map is lazily allocated —
+	// use SetHeader or HeaderMap; a call with no deadline, tracing, or
+	// custom metadata never allocates it.
+	Headers map[string]string
+	// Reply is the raw reply payload, set by the terminal invoker on
+	// success.
+	Reply []byte
+
+	// outrun is set by the hedge middleware when this attempt lost to a
+	// sibling: a peer replica proved the work completes fast, so the loser's
+	// replica — not the request — was the slow party. The breaker reads it
+	// to attribute slowness to the right replica (see BreakerConfig).
+	outrun atomic.Bool
+}
+
+// NewCall builds a call descriptor.
+func NewCall(target, method string, payload []byte) *Call {
+	return &Call{Target: target, Method: method, Payload: payload}
+}
+
+// Header returns a header value, or "".
+func (c *Call) Header(key string) string { return c.Headers[key] }
+
+// SetHeader sets a propagated header, allocating the map on first use.
+func (c *Call) SetHeader(key, value string) {
+	if c.Headers == nil {
+		c.Headers = make(map[string]string, 4)
+	}
+	c.Headers[key] = value
+}
+
+// HeaderMap returns the (lazily allocated) header map for bulk injection,
+// e.g. trace-context propagation.
+func (c *Call) HeaderMap() map[string]string {
+	if c.Headers == nil {
+		c.Headers = make(map[string]string, 4)
+	}
+	return c.Headers
+}
+
+// MarkOutrun flags this attempt as having been outrun by a sibling hedge
+// attempt. Set before the loser is canceled, so the flag is visible when
+// the canceled attempt unwinds through the breaker.
+func (c *Call) MarkOutrun() { c.outrun.Store(true) }
+
+// Outrun reports whether a sibling hedge attempt won against this one.
+func (c *Call) Outrun() bool { return c.outrun.Load() }
+
+// Clone returns an independent copy for a parallel or repeated attempt.
+// Hedging and retries clone the call so concurrent attempts never share the
+// header map or the reply slot; the payload is shared read-only.
+func (c *Call) Clone() *Call {
+	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload}
+	if c.Headers != nil {
+		cp.Headers = make(map[string]string, len(c.Headers))
+		for k, v := range c.Headers {
+			cp.Headers[k] = v
+		}
+	}
+	return cp
+}
+
+// Invoker performs one call attempt: the terminal invoker is the wire
+// exchange (pick a connection, frame the request, await the reply), and
+// each middleware wraps the next invoker down.
+type Invoker func(ctx context.Context, call *Call) error
+
+// Middleware wraps an Invoker. Chains are composed once at client
+// construction — not per call — so an empty chain costs nothing on the hot
+// path. Middlewares must be safe for concurrent use; per-call state belongs
+// on the Call (cloned per attempt), per-target state inside the middleware
+// closure.
+type Middleware func(next Invoker) Invoker
+
+// Chain composes middlewares into one; mws[0] is outermost.
+func Chain(mws ...Middleware) Middleware {
+	return func(next Invoker) Invoker {
+		return Build(next, mws...)
+	}
+}
+
+// Build wraps terminal with mws, mws[0] outermost, and returns the composed
+// invoker. Clients call this once at construction.
+func Build(terminal Invoker, mws ...Middleware) Invoker {
+	inv := terminal
+	for i := len(mws) - 1; i >= 0; i-- {
+		inv = mws[i](inv)
+	}
+	return inv
+}
+
+// Caller is the typed client surface services use to talk to a downstream
+// tier; *rpc.Client, *lb.Balanced, and test fakes satisfy it. (Promoted
+// from svcutil so every layer shares one definition.)
+type Caller interface {
+	Call(ctx context.Context, method string, req, resp any) error
+	Target() string
+}
+
+// AnnotateFunc records a key/value on the active trace span in ctx, if any.
+// The resilience middlewares receive one (usually trace.Annotate) so retry
+// counts, hedge wins, and breaker transitions are attributable per request
+// in the trace store.
+type AnnotateFunc func(ctx context.Context, key, value string)
+
+// Delay returns a middleware that sleeps for d before each call, used in
+// live mode to model a slow link (e.g. the cloud↔edge wifi hop in the
+// Swarm application).
+func Delay(d time.Duration) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) error {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			return next(ctx, call)
+		}
+	}
+}
