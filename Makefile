@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,18 @@ vet:
 	$(GO) vet ./...
 
 # The call-path packages carry the concurrency-heavy code (connection
-# pools, hedges, breakers); run them under the race detector.
+# pools, hedges, breakers, admission queues); run them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/...
+	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/...
 
 check: vet race build test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# One pass over the live-stack benchmarks only — the quick signal that the
+# real service path (transport, lb, control plane) still behaves, without
+# re-deriving every simulator figure.
+bench-smoke:
+	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive' -benchtime=1x .

@@ -60,3 +60,5 @@ func BenchmarkQueryDiversity(b *testing.B) { runExperiment(b, "querydiv") }
 func BenchmarkRPCvsREST(b *testing.B)      { runExperiment(b, "rpcrest") }
 
 func BenchmarkSlowServerResilience(b *testing.B) { runExperiment(b, "resilience") }
+
+func BenchmarkAutoscaleLive(b *testing.B) { runExperiment(b, "autoscale-live") }

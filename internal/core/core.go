@@ -37,6 +37,8 @@ type App struct {
 	collector *trace.Collector
 	instance  atomic.Uint64
 	clientMW  []transport.Middleware
+	rpcHook   func(service string, srv *rpc.Server)
+	restHook  func(service string, srv *rest.Server)
 
 	mu      sync.Mutex
 	closers []io.Closer
@@ -61,11 +63,22 @@ type Options struct {
 	// ClientMiddleware is appended to every client the app wires, between
 	// tracing and the resilience stack (fault injection hooks in here).
 	ClientMiddleware []transport.Middleware
+	// RPCServerHook, when set, runs for every RPC server instance the app
+	// starts — after handlers are registered, before it begins listening.
+	// The control plane installs admission control and the load-report
+	// endpoint here, so every replica of every tier gets them uniformly.
+	RPCServerHook func(service string, srv *rpc.Server)
+	// RESTServerHook is RPCServerHook for REST servers.
+	RESTServerHook func(service string, srv *rest.Server)
 }
 
 // NewApp creates an application named name.
 func NewApp(name string, opts Options) *App {
-	a := &App{Name: name, Net: opts.Network, Registry: registry.New(), clientMW: opts.ClientMiddleware}
+	a := &App{
+		Name: name, Net: opts.Network, Registry: registry.New(),
+		clientMW: opts.ClientMiddleware,
+		rpcHook:  opts.RPCServerHook, restHook: opts.RESTServerHook,
+	}
 	if a.Net == nil {
 		a.Net = rpc.NewMem()
 	}
@@ -91,20 +104,58 @@ func NewApp(name string, opts Options) *App {
 // install handlers, then the server starts listening and is entered into
 // the registry. It returns the instance address.
 func (a *App) StartRPC(service string, register func(*rpc.Server)) (string, error) {
+	inst, err := a.StartRPCInstance(service, register)
+	if err != nil {
+		return "", err
+	}
+	return inst.Addr, nil
+}
+
+// Instance is a handle to one running replica started through the app. Stop
+// deregisters it (so balancers stop routing to it) and then drains and
+// closes the server — the shutdown order the control plane's scale-down
+// path depends on.
+type Instance struct {
+	Service string
+	Addr    string
+
+	app  *App
+	srv  *rpc.Server
+	once sync.Once
+}
+
+// Stop removes the replica from discovery, then closes its server, waiting
+// for in-flight requests. Safe to call more than once; the app's Close also
+// closes the underlying server idempotently.
+func (i *Instance) Stop() error {
+	var err error
+	i.once.Do(func() {
+		i.app.Registry.Deregister(i.Service, i.Addr)
+		err = i.srv.Close()
+	})
+	return err
+}
+
+// StartRPCInstance is StartRPC returning a handle that can stop the replica
+// individually — the Spawner primitive the control plane scales with.
+func (a *App) StartRPCInstance(service string, register func(*rpc.Server)) (*Instance, error) {
 	srv := rpc.NewServer(service)
 	if a.Tracer != nil {
 		srv.Use(trace.ServerInterceptor(a.Tracer))
 	}
 	register(srv)
+	if a.rpcHook != nil {
+		a.rpcHook(service, srv)
+	}
 	addr, err := srv.Start(a.Net, a.instanceAddr(service))
 	if err != nil {
-		return "", fmt.Errorf("start %s: %w", service, err)
+		return nil, fmt.Errorf("start %s: %w", service, err)
 	}
 	a.Registry.Register(service, addr)
 	a.mu.Lock()
 	a.servers = append(a.servers, srv)
 	a.mu.Unlock()
-	return addr, nil
+	return &Instance{Service: service, Addr: addr, app: a, srv: srv}, nil
 }
 
 // StartREST boots one instance of a REST microservice, mirroring StartRPC.
@@ -114,6 +165,9 @@ func (a *App) StartREST(service string, register func(*rest.Server)) (string, er
 		srv.Use(trace.RESTServerInterceptor(a.Tracer))
 	}
 	register(srv)
+	if a.restHook != nil {
+		a.restHook(service, srv)
+	}
 	addr, err := srv.Start(a.Net, a.instanceAddr(service))
 	if err != nil {
 		return "", fmt.Errorf("start %s: %w", service, err)
@@ -158,7 +212,9 @@ func (a *App) RPC(caller, target string, extra ...transport.Middleware) (*lb.Bal
 	opts := []lb.Option{}
 	if a.Resilience != nil {
 		mws = append(mws, a.Resilience.Stack()...)
-		opts = append(opts, lb.WithBackendMiddleware(a.Resilience.BackendFactory()))
+		// The instrumented factory is BackendFactory plus a breaker-state
+		// probe, so Balanced.Stats reports per-replica ejection state.
+		opts = append(opts, lb.WithBackendInstrument(a.Resilience.InstrumentedBackendFactory()))
 	}
 	if len(mws) > 0 {
 		opts = append(opts, lb.WithMiddleware(mws...))

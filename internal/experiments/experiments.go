@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"querydiv", "Query diversity (Sec 3.8, live stack)", QueryDiversity},
 		{"rpcrest", "RPC vs REST microbenchmark (live stack)", RPCvsREST},
 		{"resilience", "Slow servers vs goodput with resilience (Fig 22c extension, live stack)", SlowServerResilience},
+		{"autoscale-live", "Load ramp vs admission control and autoscaling policies (live stack)", AutoscaleLive},
 	}
 }
 

@@ -167,3 +167,64 @@ func TestHeavyExperimentsSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestAutoscaleLiveShape asserts the directional claims of the
+// autoscale-live experiment: without admission control the overload phase
+// collapses (Fig 17); admission keeps goodput above half the offered load
+// with served requests inside QoS; the latency-aware autoscaler grows the
+// compose tier and rides out the ramp near-cleanly.
+func TestAutoscaleLiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live autoscale ramp skipped in -short mode")
+	}
+	rep := AutoscaleLive()
+	if len(rep.Rows) != 12 { // 4 configs × 3 phases
+		t.Fatalf("rows = %d, want 12:\n%s", len(rep.Rows), rep)
+	}
+	type phase struct {
+		ratio    float64
+		p99ms    float64
+		replicas float64
+	}
+	overload := map[string]phase{}
+	for _, row := range rep.Rows {
+		if row[1] != "overload" {
+			continue
+		}
+		overload[row[0]] = phase{
+			ratio:    parseFloat(t, row[4]),
+			p99ms:    parseFloat(t, row[5]),
+			replicas: parseFloat(t, row[6]),
+		}
+	}
+	noadm := overload["static, no admission"]
+	adm := overload["static + admission"]
+	latency := overload["autoscale latency-aware"]
+	threshold := overload["autoscale threshold"]
+
+	qosMS := float64(aslQoS) / 1e6
+	if noadm.ratio >= 0.45 {
+		t.Errorf("no-admission overload good/offered = %.2f, want < 0.45 (backpressure collapse)", noadm.ratio)
+	}
+	if noadm.p99ms <= qosMS {
+		t.Errorf("no-admission overload p99 = %.1fms, want > QoS %.0fms", noadm.p99ms, qosMS)
+	}
+	if adm.ratio < 0.5 {
+		t.Errorf("admission overload good/offered = %.2f, want >= 0.5 (sheds protect served requests)", adm.ratio)
+	}
+	if latency.ratio < 0.75 {
+		t.Errorf("latency-aware overload good/offered = %.2f, want >= 0.75", latency.ratio)
+	}
+	if latency.ratio <= noadm.ratio {
+		t.Errorf("latency-aware ratio %.2f not above no-admission %.2f", latency.ratio, noadm.ratio)
+	}
+	if latency.p99ms > qosMS {
+		t.Errorf("latency-aware overload p99 = %.1fms, want <= QoS %.0fms", latency.p99ms, qosMS)
+	}
+	if latency.replicas <= 2 {
+		t.Errorf("latency-aware compose replicas = %.0f, want > 2 (scaled up)", latency.replicas)
+	}
+	if threshold.replicas <= 2 {
+		t.Errorf("threshold compose replicas = %.0f, want > 2 (utilization crossed Up)", threshold.replicas)
+	}
+}

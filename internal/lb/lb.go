@@ -18,8 +18,10 @@ import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsb/internal/codec"
+	"dsb/internal/metrics"
 	"dsb/internal/rpc"
 	"dsb/internal/transport"
 )
@@ -82,16 +84,32 @@ func (p *PowerOfTwo) Pick(n int, outstanding func(int) int64) int {
 	return a
 }
 
+// statsWindow is the sliding window over which per-backend latency stats
+// are kept; long enough to smooth policy jitter, short enough that a
+// controller reading Stats sees the current regime, not history.
+const statsWindow = 5 * time.Second
+
 type backend struct {
 	addr        string
 	client      *rpc.Client
 	outstanding atomic.Int64
+	requests    atomic.Int64
+	failures    atomic.Int64
+	latency     *metrics.Windowed
+	breaker     func() string // nil when no instrumented breaker installed
 }
 
 func (be *backend) invoke(ctx context.Context, call *transport.Call) error {
 	be.outstanding.Add(1)
-	defer be.outstanding.Add(-1)
-	return be.client.Invoke(ctx, call)
+	be.requests.Add(1)
+	start := time.Now()
+	err := be.client.Invoke(ctx, call)
+	be.latency.RecordDuration(time.Since(start))
+	be.outstanding.Add(-1)
+	if transport.FailureSignal(err) {
+		be.failures.Add(1)
+	}
+	return err
 }
 
 // Balanced is a load-balanced RPC client over the instances of one target
@@ -104,6 +122,7 @@ type Balanced struct {
 	clientOpts []rpc.ClientOption
 	mws        []transport.Middleware
 	backendMW  func(addr string) []transport.Middleware
+	instrument func(addr string) ([]transport.Middleware, func() string)
 	invoke     transport.Invoker
 
 	mu       sync.RWMutex
@@ -132,6 +151,15 @@ func WithMiddleware(mws ...transport.Middleware) Option {
 // individually and its CodeUnavailable rejections fail over to peers.
 func WithBackendMiddleware(f func(addr string) []transport.Middleware) Option {
 	return func(b *Balanced) { b.backendMW = f }
+}
+
+// WithBackendInstrument is WithBackendMiddleware plus a per-replica health
+// probe: the factory also returns a function reporting the replica's breaker
+// state ("closed", "open", "half-open"), surfaced through Stats. Use
+// transport.ResilienceConfig.InstrumentedBackendFactory to build one. When
+// both options are set, this one wins.
+func WithBackendInstrument(f func(addr string) ([]transport.Middleware, func() string)) Option {
+	return func(b *Balanced) { b.instrument = f }
 }
 
 // New creates a balanced client. addrs may be empty initially.
@@ -164,16 +192,23 @@ func (b *Balanced) AddBackend(addr string) {
 		}
 	}
 	opts := b.clientOpts
-	if b.backendMW != nil {
-		if mws := b.backendMW(addr); len(mws) > 0 {
-			opts = append(opts[:len(opts):len(opts)], rpc.WithMiddleware(mws...))
-		}
+	var probe func() string
+	var mws []transport.Middleware
+	if b.instrument != nil {
+		mws, probe = b.instrument(addr)
+	} else if b.backendMW != nil {
+		mws = b.backendMW(addr)
+	}
+	if len(mws) > 0 {
+		opts = append(opts[:len(opts):len(opts)], rpc.WithMiddleware(mws...))
 	}
 	next := make([]*backend, len(b.backends), len(b.backends)+1)
 	copy(next, b.backends)
 	b.backends = append(next, &backend{
-		addr:   addr,
-		client: rpc.NewClient(b.network, b.target, addr, opts...),
+		addr:    addr,
+		client:  rpc.NewClient(b.network, b.target, addr, opts...),
+		latency: metrics.NewWindowed(statsWindow, 5, nil),
+		breaker: probe,
 	})
 }
 
@@ -202,6 +237,45 @@ func (b *Balanced) Backends() []string {
 	out := make([]string, len(b.backends))
 	for i, be := range b.backends {
 		out[i] = be.addr
+	}
+	return out
+}
+
+// BackendStats is a point-in-time health snapshot of one backend replica.
+type BackendStats struct {
+	Addr     string
+	InFlight int64 // requests outstanding right now
+	Requests int64 // total attempts routed here since AddBackend
+	Failures int64 // attempts that ended in a failure signal
+	// Breaker is the replica's circuit-breaker state ("closed", "open",
+	// "half-open"), or "" when the balancer was built without
+	// WithBackendInstrument.
+	Breaker string
+	// P99 is the recent 99th-percentile attempt latency over the stats
+	// window (zero when no recent samples).
+	P99 time.Duration
+}
+
+// Stats returns a per-backend health snapshot, in backend order — the view
+// the control plane and experiments read instead of reaching into balancer
+// internals.
+func (b *Balanced) Stats() []BackendStats {
+	b.mu.RLock()
+	backends := b.backends
+	b.mu.RUnlock()
+	out := make([]BackendStats, len(backends))
+	for i, be := range backends {
+		s := BackendStats{
+			Addr:     be.addr,
+			InFlight: be.outstanding.Load(),
+			Requests: be.requests.Load(),
+			Failures: be.failures.Load(),
+			P99:      time.Duration(be.latency.Snapshot().P99),
+		}
+		if be.breaker != nil {
+			s.Breaker = be.breaker()
+		}
+		out[i] = s
 	}
 	return out
 }

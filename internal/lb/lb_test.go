@@ -10,6 +10,7 @@ import (
 
 	"dsb/internal/codec"
 	"dsb/internal/rpc"
+	"dsb/internal/transport"
 )
 
 type whoResp struct{ Instance string }
@@ -207,5 +208,70 @@ func TestNoFailoverOnApplicationError(t *testing.T) {
 	}
 	if hits[0]+hits[1] != 1 {
 		t.Fatalf("application error was retried: hits=%v", hits)
+	}
+}
+
+// Stats exposes per-backend health — in-flight, totals, recent p99, breaker
+// state — without callers reaching into balancer internals.
+func TestBackendStats(t *testing.T) {
+	net := rpc.NewMem()
+	addrs := startInstances(t, net, 2)
+	factory := (&transport.ResilienceConfig{
+		Breaker: &transport.BreakerConfig{Failures: 1, Cooldown: time.Minute},
+	}).InstrumentedBackendFactory()
+	b := New(net, "svc", addrs, &RoundRobin{}, WithBackendInstrument(factory))
+	defer b.Close()
+
+	for i := 0; i < 10; i++ {
+		var resp whoResp
+		if err := b.Call(context.Background(), "Who", nil, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := b.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d backends, want 2", len(stats))
+	}
+	for _, s := range stats {
+		if s.Requests != 5 {
+			t.Fatalf("%s: Requests = %d, want 5 (round-robin split)", s.Addr, s.Requests)
+		}
+		if s.Failures != 0 || s.InFlight != 0 {
+			t.Fatalf("%s: unexpected failures/in-flight: %+v", s.Addr, s)
+		}
+		if s.Breaker != "closed" {
+			t.Fatalf("%s: breaker state = %q, want closed", s.Addr, s.Breaker)
+		}
+		if s.P99 <= 0 {
+			t.Fatalf("%s: P99 = %v, want > 0 after traffic", s.Addr, s.P99)
+		}
+	}
+
+	// Add a never-listening backend and route traffic: its failures show up
+	// in the snapshot and its breaker trips to "open" while the healthy
+	// replicas stay "closed".
+	b.AddBackend("dead:0")
+	for i := 0; i < 9; i++ {
+		var resp whoResp
+		b.Call(context.Background(), "Who", nil, &resp) //nolint:errcheck
+	}
+	found := false
+	for _, s := range b.Stats() {
+		if s.Addr != "dead:0" {
+			if s.Breaker != "closed" {
+				t.Fatalf("healthy backend %s breaker = %q", s.Addr, s.Breaker)
+			}
+			continue
+		}
+		found = true
+		if s.Failures == 0 {
+			t.Fatalf("dead backend shows no failures: %+v", s)
+		}
+		if s.Breaker != "open" {
+			t.Fatalf("dead backend breaker = %q, want open", s.Breaker)
+		}
+	}
+	if !found {
+		t.Fatal("dead backend missing from stats")
 	}
 }

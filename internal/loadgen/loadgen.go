@@ -85,6 +85,27 @@ func (s Spike) Eval(elapsed time.Duration) float64 {
 	return 1
 }
 
+// Ramp rises linearly from From to To across [Start, Start+Rise), holding
+// flat before and after — the load-ramp shape the autoscale-live experiment
+// drives through a static-vs-autoscaled deployment. A zero Rise is a step.
+type Ramp struct {
+	Start, Rise time.Duration
+	From, To    float64
+}
+
+// Eval implements Pattern.
+func (r Ramp) Eval(elapsed time.Duration) float64 {
+	switch {
+	case elapsed < r.Start:
+		return r.From
+	case elapsed >= r.Start+r.Rise:
+		return r.To
+	default:
+		frac := float64(elapsed-r.Start) / float64(r.Rise)
+		return r.From + (r.To-r.From)*frac
+	}
+}
+
 // NonHomogeneous modulates a base Poisson process by a Pattern via
 // thinning: candidate arrivals are generated at the peak rate and kept
 // with probability rate(t)/peak.

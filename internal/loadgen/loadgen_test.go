@@ -73,6 +73,48 @@ func TestSpikePattern(t *testing.T) {
 	}
 }
 
+func TestRampPattern(t *testing.T) {
+	r := Ramp{Start: 10 * time.Second, Rise: 4 * time.Second, From: 1, To: 5}
+	if got := r.Eval(0); got != 1 {
+		t.Fatalf("before ramp = %f", got)
+	}
+	if got := r.Eval(12 * time.Second); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("midpoint = %f, want 3", got)
+	}
+	if got := r.Eval(14 * time.Second); got != 5 {
+		t.Fatalf("plateau start = %f", got)
+	}
+	if got := r.Eval(time.Hour); got != 5 {
+		t.Fatalf("plateau = %f", got)
+	}
+	// Zero rise degenerates to a step.
+	step := Ramp{Start: time.Second, From: 2, To: 8}
+	if step.Eval(999*time.Millisecond) != 2 || step.Eval(time.Second) != 8 {
+		t.Fatal("zero-rise ramp should step at Start")
+	}
+}
+
+func TestNonHomogeneousTracksRamp(t *testing.T) {
+	// Rate 1000/s ramping 1x→4x across seconds 5..7: the plateau half must
+	// carry ~4x the arrivals of the flat half.
+	nh := NewNonHomogeneous(1000, Ramp{Start: 5 * time.Second, Rise: 2 * time.Second, From: 1, To: 4}, 4, 17)
+	var elapsed time.Duration
+	flat, plateau := 0, 0
+	for elapsed < 12*time.Second {
+		elapsed += nh.Next()
+		if elapsed < 5*time.Second {
+			flat++
+		} else if elapsed >= 7*time.Second && elapsed < 12*time.Second {
+			plateau++
+		}
+	}
+	flatRate := float64(flat) / 5
+	plateauRate := float64(plateau) / 5
+	if ratio := plateauRate / flatRate; ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("ramp plateau ratio = %f (flat=%d plateau=%d), want ~4", ratio, flat, plateau)
+	}
+}
+
 func TestNonHomogeneousTracksPattern(t *testing.T) {
 	// Rate 1000/s modulated by a spike of 3x in the second half. Count
 	// arrivals per half over simulated time.

@@ -26,7 +26,10 @@ func New() *Registry {
 	}
 }
 
-// Register adds an instance address for a service.
+// Register adds an instance address for a service. Changed watchers are
+// notified only when the address is new: the control plane deregisters and
+// re-registers instances as it reconciles, and spurious wakeups would make
+// every balancer re-resolve the whole tier on each no-op.
 func (r *Registry) Register(service, addr string) {
 	r.mu.Lock()
 	set, ok := r.entries[service]
@@ -34,26 +37,35 @@ func (r *Registry) Register(service, addr string) {
 		set = make(map[string]struct{})
 		r.entries[service] = set
 	}
+	_, existed := set[addr]
 	set[addr] = struct{}{}
-	watchers := r.watch[service]
-	r.watch[service] = nil
+	var watchers []chan struct{}
+	if !existed {
+		watchers = r.watch[service]
+		r.watch[service] = nil
+	}
 	r.mu.Unlock()
 	for _, ch := range watchers {
 		close(ch)
 	}
 }
 
-// Deregister removes an instance address.
+// Deregister removes an instance address, notifying Changed watchers when
+// the address was actually present — scale-down must propagate to balancers
+// just as scale-up does, or they keep dialing stopped replicas.
 func (r *Registry) Deregister(service, addr string) {
 	r.mu.Lock()
+	var watchers []chan struct{}
 	if set, ok := r.entries[service]; ok {
-		delete(set, addr)
-		if len(set) == 0 {
-			delete(r.entries, service)
+		if _, present := set[addr]; present {
+			delete(set, addr)
+			if len(set) == 0 {
+				delete(r.entries, service)
+			}
+			watchers = r.watch[service]
+			r.watch[service] = nil
 		}
 	}
-	watchers := r.watch[service]
-	r.watch[service] = nil
 	r.mu.Unlock()
 	for _, ch := range watchers {
 		close(ch)

@@ -76,3 +76,50 @@ func TestChangedNotification(t *testing.T) {
 		t.Fatal("no notification on deregister")
 	}
 }
+
+// Watchers fire on real membership changes in both directions — register
+// AND deregister — and only on real changes: idempotent re-registration and
+// deregistration of an unknown address must not wake balancers, or every
+// control-plane reconcile pass would trigger a full backend re-resolve
+// across the cluster.
+func TestChangedFiresOnlyOnRealChanges(t *testing.T) {
+	r := New()
+	r.Register("svc", "a:1")
+
+	// No-op register: same address again.
+	ch := r.Changed("svc")
+	r.Register("svc", "a:1")
+	select {
+	case <-ch:
+		t.Fatal("idempotent Register notified watchers")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	// No-op deregister: address was never registered.
+	r.Deregister("svc", "ghost:9")
+	select {
+	case <-ch:
+		t.Fatal("Deregister of unknown address notified watchers")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	// Real change, scale-up direction.
+	r.Register("svc", "b:2")
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification on new address")
+	}
+
+	// Real change, scale-down direction.
+	ch = r.Changed("svc")
+	r.Deregister("svc", "b:2")
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification on removed address")
+	}
+	if got := r.Lookup("svc"); len(got) != 1 || got[0] != "a:1" {
+		t.Fatalf("membership after churn = %v", got)
+	}
+}

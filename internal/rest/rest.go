@@ -169,6 +169,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case rpc.CodeDeadline:
 		status = http.StatusGatewayTimeout
+	case rpc.CodeOverloaded:
+		// Admission-control shed: 429 rather than 503 — the replica is
+		// healthy, the client should try elsewhere or back off.
+		status = http.StatusTooManyRequests
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

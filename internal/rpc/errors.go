@@ -17,6 +17,7 @@ const (
 	CodeUnavailable  = transport.CodeUnavailable
 	CodeConflict     = transport.CodeConflict
 	CodeDeadline     = transport.CodeDeadline
+	CodeOverloaded   = transport.CodeOverloaded
 )
 
 // Error is an application-level error carried across the wire with a code.

@@ -27,6 +27,19 @@ type Config struct {
 	// tracing and the app's resilience stack): fault injection and
 	// per-experiment instrumentation hook in here.
 	Middleware []transport.Middleware
+	// Replicas scales stateless logic stages out at boot, keyed by stage
+	// name ("orders", "catalogue", ...). Stages holding per-instance state
+	// (transactionID's sequence, queueMaster's consumer) and the storage
+	// tiers ignore it. Stages default to one replica.
+	Replicas map[string]int
+}
+
+// replicable names the stages safe to run multi-instance: all their state
+// lives in the db/mc tiers downstream.
+var replicable = map[string]bool{
+	"catalogue": true, "accountInfo": true, "search": true, "discounts": true,
+	"cart": true, "wishlist": true, "shipping": true, "authorization": true,
+	"payment": true, "invoicing": true, "orders": true, "recommender": true,
 }
 
 // Ecommerce is a running deployment.
@@ -127,7 +140,14 @@ func New(app *core.App, cfg Config) (*Ecommerce, error) {
 		}},
 	}
 	for _, st := range stages {
-		if _, err := app.StartRPC("ecom."+st.name, st.register); err != nil {
+		n := 1
+		if replicable[st.name] {
+			if r := cfg.Replicas[st.name]; r > n {
+				n = r
+			}
+		}
+		register := st.register
+		if err := svcutil.StartReplicas(app, "ecom."+st.name, n, func(int) func(*rpc.Server) { return register }); err != nil {
 			return nil, fmt.Errorf("ecommerce: start %s: %w", st.name, err)
 		}
 	}

@@ -25,6 +25,25 @@ type Config struct {
 	// tracing and the app's resilience stack): fault injection and
 	// per-experiment instrumentation hook in here.
 	Middleware []transport.Middleware
+	// Replicas scales stateless logic tiers out at boot, keyed by tier name
+	// ("composePost", "text", ...). Only tiers whose state lives in the
+	// db/mc stores may be scaled; entries for stateful tiers (the stores,
+	// caches, and search index shards) are ignored. Tiers default to one
+	// replica. The control plane scales tiers dynamically instead through a
+	// Spawner; this knob provides the static baseline.
+	Replicas map[string]int
+}
+
+// replicable names the logic tiers that are safe to run multi-instance:
+// their state is external (document stores, caches) or derived per replica
+// (the unique-ID worker number). Store, cache, and search-index tiers hold
+// per-instance state and must stay out of this set.
+var replicable = map[string]bool{
+	"uniqueID": true, "user": true, "urlShorten": true, "userTag": true,
+	"text": true, "media": true, "socialGraph": true, "blockedUsers": true,
+	"postStorage": true, "readPost": true, "writeTimeline": true,
+	"readTimeline": true, "search": true, "ads": true, "recommender": true,
+	"favorite": true, "composePost": true,
 }
 
 // SocialNetwork is a running deployment: the REST front door plus direct
@@ -82,15 +101,29 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		return c
 	}
 	// Boot order respects the dependency graph, so every client resolves.
+	// startN boots cfg.Replicas[name] replicas of a replicable tier (one
+	// otherwise), handing each replica its index for identity derivation.
 	var boot []func() error
-	start := func(name string, register func(*rpc.Server)) {
+	startN := func(name string, register func(i int) func(*rpc.Server)) {
+		n := 1
+		if replicable[name] {
+			if r := cfg.Replicas[name]; r > n {
+				n = r
+			}
+		}
 		boot = append(boot, func() error {
-			_, err := app.StartRPC("social."+name, register)
-			return err
+			return svcutil.StartReplicas(app, "social."+name, n, register)
 		})
 	}
+	start := func(name string, register func(*rpc.Server)) {
+		startN(name, func(int) func(*rpc.Server) { return register })
+	}
 
-	start("uniqueID", func(s *rpc.Server) { registerUniqueID(s, 1, cfg.Clock) })
+	// Each unique-ID replica gets its own worker number so IDs never
+	// collide across replicas.
+	startN("uniqueID", func(i int) func(*rpc.Server) {
+		return func(s *rpc.Server) { registerUniqueID(s, uint64(i+1), cfg.Clock) }
+	})
 	start("user", func(s *rpc.Server) {
 		registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))})
 	})

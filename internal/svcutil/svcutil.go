@@ -21,6 +21,30 @@ import (
 // historical import path working.
 type Caller = transport.Caller
 
+// RPCStarter is the slice of core.App that boots replicas; declared here so
+// svcutil does not import the composition root.
+type RPCStarter interface {
+	StartRPC(service string, register func(*rpc.Server)) (string, error)
+}
+
+// StartReplicas boots n replicas of one stateless service tier, calling
+// register(i) to build each replica's registration function — replicas that
+// need distinct identity (a unique-ID worker number, a shard label) derive
+// it from i. n < 1 starts one replica. Only tiers whose state lives in
+// downstream stores may be replicated this way; a tier holding per-instance
+// state would silently shard it across replicas.
+func StartReplicas(app RPCStarter, service string, n int, register func(i int) func(*rpc.Server)) error {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if _, err := app.StartRPC(service, register(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Handle registers a typed handler: the payload is decoded into Req, and
 // the returned Resp is encoded as the reply. A nil Resp sends an empty
 // reply body.

@@ -108,6 +108,10 @@ const (
 	breakerHalfOpen
 )
 
+// breakerStateNames are the human-readable states reported by the probe
+// returned from BreakerWithProbe, in the order of the state constants.
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
 type breaker struct {
 	cfg BreakerConfig
 
@@ -219,8 +223,22 @@ func (b *breaker) trip() {
 // replica (see ResilienceConfig.BackendMiddleware) so a slow instance is
 // ejected without condemning its healthy peers.
 func Breaker(cfg BreakerConfig) Middleware {
+	mw, _ := BreakerWithProbe(cfg)
+	return mw
+}
+
+// BreakerWithProbe is Breaker plus a live state probe ("closed", "open",
+// "half-open") for health snapshots — lb.Balanced surfaces it through
+// per-backend stats so controllers and experiments can see ejections
+// without reaching into transport internals.
+func BreakerWithProbe(cfg BreakerConfig) (Middleware, func() string) {
 	cfg = cfg.withDefaults()
 	br := &breaker{cfg: cfg}
+	probe := func() string {
+		br.mu.Lock()
+		defer br.mu.Unlock()
+		return breakerStateNames[br.state]
+	}
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) error {
 			if !br.allow() {
@@ -238,5 +256,5 @@ func Breaker(cfg BreakerConfig) Middleware {
 			br.record(call, err, cfg.now().Sub(start))
 			return err
 		}
-	}
+	}, probe
 }

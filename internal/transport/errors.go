@@ -18,6 +18,13 @@ const (
 	CodeUnavailable  = 5 // overload / rate limited / circuit breaker open
 	CodeConflict     = 6
 	CodeDeadline     = 7
+	// CodeOverloaded is an admission-control shed: a HEALTHY replica refused
+	// the request before doing any work because its queue is full or the
+	// remaining deadline budget cannot be met. It is retryable at another
+	// replica (a less loaded peer may accept) but is not a failure signal —
+	// shedding is the replica protecting itself, and charging it to breakers
+	// would eject the exact capacity an overloaded tier still has.
+	CodeOverloaded = 8
 )
 
 // Error is an application-level error carried across the wire with a code.
@@ -73,10 +80,12 @@ func NotFoundf(format string, args ...any) *Error {
 // Retryable reports whether err is safe to re-issue, on the same or another
 // replica: transport-level failures (the connection died before any coded
 // reply arrived, so a reachable server never saw or never answered the
-// request) and CodeUnavailable rejections (overload shedding, breaker
-// open — another replica may accept). Coded application errors must not be
-// retried here (idempotency is the application's concern), and neither are
-// spent deadlines or cancellations, which retrying only makes worse.
+// request), CodeUnavailable rejections (overload shedding, breaker
+// open — another replica may accept), and CodeOverloaded admission sheds
+// (the replica did no work; a peer may have capacity). Coded application
+// errors must not be retried here (idempotency is the application's
+// concern), and neither are spent deadlines or cancellations, which
+// retrying only makes worse.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
@@ -86,7 +95,7 @@ func Retryable(err error) bool {
 	}
 	var e *Error
 	if errors.As(err, &e) {
-		return e.Code == CodeUnavailable
+		return e.Code == CodeUnavailable || e.Code == CodeOverloaded
 	}
 	return true
 }
@@ -97,6 +106,9 @@ func Retryable(err error) bool {
 // budget). Cancellations are neutral (the caller or a winning hedge gave
 // up, saying nothing about the server), and other coded application errors
 // count as healthy — the server was responsive enough to reject properly.
+// CodeOverloaded sheds are explicitly healthy: admission control answering
+// "not now" instantly is the opposite of a dead replica, and breakers that
+// ejected shedding replicas would amplify the overload onto the survivors.
 func FailureSignal(err error) bool {
 	if err == nil {
 		return false

@@ -97,6 +97,25 @@ func (cfg *ResilienceConfig) BackendFactory() func(addr string) []Middleware {
 	return func(string) []Middleware { return []Middleware{Breaker(b)} }
 }
 
+// InstrumentedBackendFactory is BackendFactory plus a per-replica breaker
+// state probe, matching lb.WithBackendInstrument: the balancer surfaces the
+// probe in its per-backend stats. The ledger-sharing semantics are the same
+// as BackendFactory's.
+func (cfg *ResilienceConfig) InstrumentedBackendFactory() func(addr string) ([]Middleware, func() string) {
+	if cfg == nil || cfg.Breaker == nil {
+		return func(string) ([]Middleware, func() string) { return nil, nil }
+	}
+	b := *cfg.Breaker
+	cfg.fill(&b.Stats, &b.Annotate)
+	if b.MaxEjected > 0 {
+		b.ledger = &ejectionLedger{cap: b.MaxEjected}
+	}
+	return func(string) ([]Middleware, func() string) {
+		mw, probe := BreakerWithProbe(b)
+		return []Middleware{mw}, probe
+	}
+}
+
 func (cfg *ResilienceConfig) fill(stats **Stats, annotate *AnnotateFunc) {
 	if *stats == nil {
 		*stats = cfg.Stats

@@ -101,7 +101,12 @@ func Retry(cfg RetryConfig) Middleware {
 				if attempt+1 >= cfg.Attempts || !Retryable(err) || ctx.Err() != nil {
 					return err
 				}
-				if !budget.take() {
+				// Admission sheds are free: the replica rejected before doing
+				// any work, so the retry adds no amplification — it just moves
+				// the request to a peer with capacity. Charging sheds to the
+				// budget would drain it exactly when an overloaded tier is
+				// redirecting load toward its remaining healthy replicas.
+				if !IsCode(err, CodeOverloaded) && !budget.take() {
 					if cfg.Stats != nil {
 						cfg.Stats.RetryBudgetExhausted.Inc()
 					}

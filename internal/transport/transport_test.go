@@ -542,3 +542,128 @@ func TestHedgeBudgetFractionDelay(t *testing.T) {
 		t.Fatal("without a deadline the 1ms floor should have hedged")
 	}
 }
+
+// An admission-control shed (CodeOverloaded) is retryable — another replica
+// may have capacity — but must not consume retry-budget tokens: the shedding
+// replica did no work, so the retry adds no amplification. If sheds drained
+// the bucket, clients of an overloaded tier would lose the very tokens they
+// need to route around real failures.
+func TestRetryOverloadShedDoesNotConsumeBudget(t *testing.T) {
+	stats := &Stats{}
+	var attempts atomic.Int64
+	inv := Build(func(ctx context.Context, call *Call) error {
+		if attempts.Add(1)%2 == 1 {
+			return Errorf(CodeOverloaded, "queue full")
+		}
+		return nil
+	}, Retry(RetryConfig{Attempts: 3, BaseDelay: time.Microsecond, BudgetRatio: 0.001, BudgetBurst: 1, Stats: stats}))
+
+	// Every call sheds once then succeeds on the free retry. With a burst of
+	// 1 and a negligible refill ratio, a budget-charged retry path could
+	// afford roughly one retry total; the shed-exempt path affords them all.
+	for i := 0; i < 10; i++ {
+		if err := inv(context.Background(), NewCall("svc", "M", nil)); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := stats.Retries.Value(); got != 10 {
+		t.Fatalf("Retries = %d, want 10 (sheds retry for free)", got)
+	}
+	if got := stats.RetryBudgetExhausted.Value(); got != 0 {
+		t.Fatalf("RetryBudgetExhausted = %d, want 0", got)
+	}
+
+	// Transport failures still pay: same shape, but the budget gates them.
+	stats = &Stats{}
+	var n atomic.Int64
+	inv = Build(func(ctx context.Context, call *Call) error {
+		if n.Add(1)%2 == 1 {
+			return errors.New("conn lost")
+		}
+		return nil
+	}, Retry(RetryConfig{Attempts: 3, BaseDelay: time.Microsecond, BudgetRatio: 0.001, BudgetBurst: 1, Stats: stats}))
+	for i := 0; i < 10; i++ {
+		inv(context.Background(), NewCall("svc", "M", nil)) //nolint:errcheck
+	}
+	if got := stats.RetryBudgetExhausted.Value(); got == 0 {
+		t.Fatal("transport failures must still consume the retry budget")
+	}
+}
+
+// A replica that sheds under admission control is healthy — the breaker must
+// not accumulate sheds and eject it, or an overloaded tier would lose its
+// remaining capacity to its own self-protection.
+func TestBreakerIgnoresOverloadShed(t *testing.T) {
+	stats := &Stats{}
+	var mode atomic.Int32 // 0 = shed, 1 = hard failure
+	inv := Build(func(ctx context.Context, call *Call) error {
+		if mode.Load() == 0 {
+			return Errorf(CodeOverloaded, "no deadline budget")
+		}
+		return Errorf(CodeUnavailable, "down")
+	}, Breaker(BreakerConfig{Failures: 3, Stats: stats}))
+
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := inv(ctx, NewCall("svc", "M", nil)); !IsCode(err, CodeOverloaded) {
+			t.Fatalf("call %d: err = %v, want the shed to pass through", i, err)
+		}
+	}
+	if got := stats.BreakerOpened.Value(); got != 0 {
+		t.Fatalf("BreakerOpened = %d after 20 sheds, want 0", got)
+	}
+
+	// Real unavailability still trips it.
+	mode.Store(1)
+	for i := 0; i < 3; i++ {
+		inv(ctx, NewCall("svc", "M", nil)) //nolint:errcheck
+	}
+	if err := inv(ctx, NewCall("svc", "M", nil)); !IsBreakerOpen(err) {
+		t.Fatalf("err = %v, want breaker open after real failures", err)
+	}
+}
+
+// The overload code is retryable at another replica but never a failure
+// signal, and it survives a wrap.
+func TestOverloadClassification(t *testing.T) {
+	err := Errorf(CodeOverloaded, "shed")
+	if !Retryable(err) {
+		t.Fatal("CodeOverloaded must be retryable (a peer may have capacity)")
+	}
+	if FailureSignal(err) {
+		t.Fatal("CodeOverloaded must not be a failure signal (the replica is healthy)")
+	}
+	wrapped := fmt.Errorf("hop: %w", err)
+	if !IsCode(wrapped, CodeOverloaded) || !Retryable(wrapped) || FailureSignal(wrapped) {
+		t.Fatalf("wrapped shed misclassified: %v", wrapped)
+	}
+}
+
+func TestBreakerWithProbeReportsState(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	mw, probe := BreakerWithProbe(BreakerConfig{Failures: 1, Cooldown: time.Second, now: clock})
+	var mode atomic.Int32 // 0 = fail, 1 = succeed
+	inv := Build(func(ctx context.Context, call *Call) error {
+		if mode.Load() == 0 {
+			return errors.New("down")
+		}
+		return nil
+	}, mw)
+
+	if got := probe(); got != "closed" {
+		t.Fatalf("initial state = %q", got)
+	}
+	inv(context.Background(), NewCall("svc", "M", nil)) //nolint:errcheck
+	if got := probe(); got != "open" {
+		t.Fatalf("state after trip = %q", got)
+	}
+	now = now.Add(2 * time.Second)
+	mode.Store(1)
+	if err := inv(context.Background(), NewCall("svc", "M", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(); got != "closed" {
+		t.Fatalf("state after probe success = %q", got)
+	}
+}
