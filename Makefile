@@ -12,10 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # The call-path packages carry the concurrency-heavy code (connection
-# pools, hedges, breakers, admission queues); run them under the race
-# detector.
+# pools, hedges, breakers, admission queues, fault injection, lease
+# heartbeats); run them under the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/...
+	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/...
 
 check: vet race build test
 
@@ -26,4 +26,4 @@ bench:
 # real service path (transport, lb, control plane) still behaves, without
 # re-deriving every simulator figure.
 bench-smoke:
-	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive' -benchtime=1x .
+	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery' -benchtime=1x .

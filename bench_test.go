@@ -62,3 +62,5 @@ func BenchmarkRPCvsREST(b *testing.B)      { runExperiment(b, "rpcrest") }
 func BenchmarkSlowServerResilience(b *testing.B) { runExperiment(b, "resilience") }
 
 func BenchmarkAutoscaleLive(b *testing.B) { runExperiment(b, "autoscale-live") }
+
+func BenchmarkChaosRecovery(b *testing.B) { runExperiment(b, "chaos") }

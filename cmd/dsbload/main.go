@@ -12,7 +12,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
 	"time"
 
@@ -59,7 +58,9 @@ func main() {
 func buildWorkload(name string, users int, seed uint64) (func(ctx context.Context) error, func(), error) {
 	app := core.NewApp("dsbload", core.Options{DisableTracing: true})
 	cleanup := func() { app.Close() }
-	rng := rand.New(rand.NewPCG(seed, 0x10AD))
+	// The request generators returned below run concurrently under the
+	// open-loop driver; loadgen.Source is the mutex-guarded seeded stream.
+	rng := loadgen.NewSource(seed)
 	ctx := context.Background()
 
 	switch name {

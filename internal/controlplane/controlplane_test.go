@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dsb/internal/registry"
+	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/transport"
 )
@@ -471,5 +472,96 @@ func TestControllerHoldsOnMuteReplicas(t *testing.T) {
 	d := c.Tick()[0]
 	if d.From != 1 || d.To != 1 {
 		t.Fatalf("decision = %+v, want hold at 1 when no replica reports", d)
+	}
+}
+
+// TestOverloadRoundTripOverREST mirrors the rpc-side overload tests across
+// the REST boundary: a shed from the admission adapter leaves the server as
+// HTTP 429, and the client must decode it back to CodeOverloaded so the
+// resilience stack treats it as a healthy shed — retried without consuming
+// the retry budget, and invisible to the breaker's failure count.
+func TestOverloadRoundTripOverREST(t *testing.T) {
+	n := rpc.NewMem()
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, CoDelTarget: -1, MinBudget: -1})
+	srv := rest.NewServer("svc")
+	srv.Use(RESTInterceptor(a))
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	srv.Handle("GET /slow", func(ctx *rest.Ctx, body []byte) (any, error) {
+		entered <- struct{}{}
+		<-release
+		return nil, nil
+	})
+	addr, err := srv.Start(n, "svc:1")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	var stats transport.Stats
+	breakerMW, probe := transport.BreakerWithProbe(transport.BreakerConfig{Failures: 1})
+	cl := rest.NewClient(n, "svc", addr, rest.WithMiddleware(
+		transport.Retry(transport.RetryConfig{Attempts: 3, Stats: &stats}),
+		breakerMW,
+	))
+	defer cl.Close()
+
+	ctx := context.Background()
+	var held sync.WaitGroup
+	// Occupy the single worker, then the single queue slot.
+	held.Add(1)
+	go func() {
+		defer held.Done()
+		if err := cl.Do(ctx, "GET", "/slow", nil, nil); err != nil {
+			t.Errorf("held request: %v", err)
+		}
+	}()
+	<-entered
+	held.Add(1)
+	go func() {
+		defer held.Done()
+		if err := cl.Do(ctx, "GET", "/slow", nil, nil); err != nil {
+			t.Errorf("queued request: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Report().QueueDepth < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Every further request sheds. Fire enough that, were overload charged
+	// to the retry budget, the default burst of 10 would drain and
+	// RetryBudgetExhausted would fire.
+	const shedCalls = 8
+	for i := 0; i < shedCalls; i++ {
+		err := cl.Do(ctx, "GET", "/slow", nil, nil)
+		if !transport.IsCode(err, transport.CodeOverloaded) {
+			t.Fatalf("shed request error = %v, want CodeOverloaded round-tripped via 429", err)
+		}
+		if !transport.Retryable(err) {
+			t.Fatalf("decoded shed %v not retryable — lb failover would skip healthy replicas", err)
+		}
+	}
+
+	// Each shed call burned all three attempts, exempt from the budget...
+	if got, want := stats.Retries.Value(), int64(shedCalls*2); got != want {
+		t.Fatalf("Retries = %d, want %d (overload retried without budget tokens)", got, want)
+	}
+	if got := stats.RetryBudgetExhausted.Value(); got != 0 {
+		t.Fatalf("RetryBudgetExhausted = %d, want 0 (overload is budget-exempt)", got)
+	}
+	// ...and none of them counted as a breaker failure (Failures: 1 would
+	// have tripped on the first one).
+	if state := probe(); state != "closed" {
+		t.Fatalf("breaker %s after %d sheds, want closed (sheds are healthy)", state, shedCalls)
+	}
+
+	close(release)
+	held.Wait()
+	if got := a.Report().Shed; got < shedCalls {
+		t.Fatalf("server recorded %d sheds, want >= %d", got, shedCalls)
 	}
 }

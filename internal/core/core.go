@@ -10,6 +10,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsb/internal/lb"
 	"dsb/internal/registry"
@@ -39,12 +40,14 @@ type App struct {
 	clientMW  []transport.Middleware
 	rpcHook   func(service string, srv *rpc.Server)
 	restHook  func(service string, srv *rest.Server)
+	leaseTTL  time.Duration
 
-	mu      sync.Mutex
-	closers []io.Closer
-	servers []*rpc.Server
-	rests   []*rest.Server
-	closed  bool
+	mu        sync.Mutex
+	closers   []io.Closer
+	servers   []*rpc.Server
+	rests     []*rest.Server
+	instances map[string][]*Instance
+	closed    bool
 }
 
 // Options configure an App.
@@ -70,6 +73,13 @@ type Options struct {
 	RPCServerHook func(service string, srv *rpc.Server)
 	// RESTServerHook is RPCServerHook for REST servers.
 	RESTServerHook func(service string, srv *rest.Server)
+	// LeaseTTL, when positive, registers every instance under a health
+	// lease renewed by a background heartbeat (every TTL/3). A replica that
+	// stops heartbeating — Instance.Kill, or a wedged process — is evicted
+	// from the registry within one TTL and balancers drop it via Changed.
+	// Zero keeps plain registrations that only explicit deregistration
+	// removes.
+	LeaseTTL time.Duration
 }
 
 // NewApp creates an application named name.
@@ -78,6 +88,8 @@ func NewApp(name string, opts Options) *App {
 		Name: name, Net: opts.Network, Registry: registry.New(),
 		clientMW: opts.ClientMiddleware,
 		rpcHook:  opts.RPCServerHook, restHook: opts.RESTServerHook,
+		leaseTTL:  opts.LeaseTTL,
+		instances: make(map[string][]*Instance),
 	}
 	if a.Net == nil {
 		a.Net = rpc.NewMem()
@@ -114,7 +126,9 @@ func (a *App) StartRPC(service string, register func(*rpc.Server)) (string, erro
 // Instance is a handle to one running replica started through the app. Stop
 // deregisters it (so balancers stop routing to it) and then drains and
 // closes the server — the shutdown order the control plane's scale-down
-// path depends on.
+// path depends on. Kill simulates a crash: the replica stops heartbeating
+// and goes silent while its registration lingers until lease expiry (or
+// forever, without leases) — the failure mode the chaos experiment drives.
 type Instance struct {
 	Service string
 	Addr    string
@@ -122,6 +136,10 @@ type Instance struct {
 	app  *App
 	srv  *rpc.Server
 	once sync.Once
+
+	mu      sync.Mutex
+	stopHB  func()
+	release func()
 }
 
 // Stop removes the replica from discovery, then closes its server, waiting
@@ -130,10 +148,35 @@ type Instance struct {
 func (i *Instance) Stop() error {
 	var err error
 	i.once.Do(func() {
-		i.app.Registry.Deregister(i.Service, i.Addr)
+		i.mu.Lock()
+		release := i.release
+		i.mu.Unlock()
+		release()
 		err = i.srv.Close()
 	})
 	return err
+}
+
+// Kill crashes the replica without the courtesies of Stop: the heartbeat
+// halts and the server hangs — connections stay up, requests are read and
+// dropped, nothing deregisters. Only a health-lease expiry (Options.
+// LeaseTTL) or a manual Deregister gets the corpse out of the serving set.
+func (i *Instance) Kill() {
+	i.mu.Lock()
+	stop := i.stopHB
+	i.mu.Unlock()
+	stop()
+	i.srv.Hang()
+}
+
+// Revive restarts a killed replica in place: dispatch resumes and the
+// instance re-enrolls in discovery with a fresh lease and heartbeat.
+func (i *Instance) Revive() {
+	i.srv.Resume()
+	stopHB, release := i.app.enroll(i.Service, i.Addr)
+	i.mu.Lock()
+	i.stopHB, i.release = stopHB, release
+	i.mu.Unlock()
 }
 
 // StartRPCInstance is StartRPC returning a handle that can stop the replica
@@ -151,11 +194,70 @@ func (a *App) StartRPCInstance(service string, register func(*rpc.Server)) (*Ins
 	if err != nil {
 		return nil, fmt.Errorf("start %s: %w", service, err)
 	}
-	a.Registry.Register(service, addr)
+	inst := &Instance{Service: service, Addr: addr, app: a, srv: srv}
+	inst.stopHB, inst.release = a.enroll(service, addr)
 	a.mu.Lock()
 	a.servers = append(a.servers, srv)
+	a.instances[service] = append(a.instances[service], inst)
 	a.mu.Unlock()
-	return &Instance{Service: service, Addr: addr, app: a, srv: srv}, nil
+	// App.Close tears servers down directly; releasing here too stops the
+	// heartbeat goroutine of instances nobody Stop()ed individually.
+	a.track(closerFunc(func() error {
+		inst.mu.Lock()
+		release := inst.release
+		inst.mu.Unlock()
+		release()
+		return nil
+	}))
+	return inst, nil
+}
+
+// Instances returns the replica handles started for a service, in start
+// order (stopped ones included — callers pick by Addr against the registry).
+func (a *App) Instances(service string) []*Instance {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Instance, len(a.instances[service]))
+	copy(out, a.instances[service])
+	return out
+}
+
+// enroll places an address into discovery. With LeaseTTL set it registers
+// under a lease kept alive by a heartbeat goroutine; stopHB halts the
+// heartbeat without deregistering (the crash path — eviction is the
+// registry's job now), release additionally removes the address (the clean
+// path). Without leases, stopHB is a no-op and release deregisters.
+func (a *App) enroll(service, addr string) (stopHB, release func()) {
+	if a.leaseTTL <= 0 {
+		a.Registry.Register(service, addr)
+		return func() {}, func() { a.Registry.Deregister(service, addr) }
+	}
+	lease := a.Registry.RegisterLease(service, addr, a.leaseTTL)
+	stop := make(chan struct{})
+	var once sync.Once
+	stopHB = func() { once.Do(func() { close(stop) }) }
+	interval := a.leaseTTL / 3
+	if interval <= 0 {
+		interval = a.leaseTTL
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if !lease.Renew() {
+					return // evicted; only Revive brings the replica back
+				}
+			}
+		}
+	}()
+	return stopHB, func() {
+		stopHB()
+		lease.Release()
+	}
 }
 
 // StartREST boots one instance of a REST microservice, mirroring StartRPC.
@@ -172,10 +274,11 @@ func (a *App) StartREST(service string, register func(*rest.Server)) (string, er
 	if err != nil {
 		return "", fmt.Errorf("start %s: %w", service, err)
 	}
-	a.Registry.Register(service, addr)
+	_, release := a.enroll(service, addr)
 	a.mu.Lock()
 	a.rests = append(a.rests, srv)
 	a.mu.Unlock()
+	a.track(closerFunc(func() error { release(); return nil }))
 	return addr, nil
 }
 
@@ -184,20 +287,52 @@ func (a *App) StartREST(service string, register func(*rest.Server)) (string, er
 // 127.0.0.1 and would instead use port 0 — the Mem convention keeps
 // addresses readable in traces and registry dumps.
 func (a *App) instanceAddr(service string) string {
-	if _, isMem := a.Net.(*rpc.Mem); isMem {
-		// host:port shape keeps the address usable inside http URLs.
-		return fmt.Sprintf("%s:%d", service, a.instance.Add(1))
+	// See through wrapping transports (the fault layer) to the concrete one.
+	net := a.Net
+	for {
+		if _, isMem := net.(*rpc.Mem); isMem {
+			// host:port shape keeps the address usable inside http URLs.
+			return fmt.Sprintf("%s:%d", service, a.instance.Add(1))
+		}
+		u, ok := net.(interface{ Unwrap() rpc.Network })
+		if !ok {
+			return "127.0.0.1:0"
+		}
+		net = u.Unwrap()
 	}
-	return "127.0.0.1:0"
+}
+
+// clientNet returns the network clients of the named caller should dial
+// through. A fault-injecting network (anything exposing Bind) is stamped
+// with the caller's identity so directional rules — asymmetric partitions,
+// per-pair resets — can tell who is dialing.
+func (a *App) clientNet(caller string) rpc.Network {
+	if b, ok := a.Net.(interface{ Bind(string) rpc.Network }); ok {
+		return b.Bind(caller)
+	}
+	return a.Net
+}
+
+// faultMW returns the network's call-level fault middleware for the caller,
+// when the app runs on a fault-injecting network.
+func (a *App) faultMW(caller string) []transport.Middleware {
+	if f, ok := a.Net.(interface {
+		CallMiddleware(string) transport.Middleware
+	}); ok {
+		return []transport.Middleware{f.CallMiddleware(caller)}
+	}
+	return nil
 }
 
 // RPC returns a load-balanced, traced client from caller to every live
 // instance of target. The backend set follows registry changes, so scaling
-// target out or in redirects traffic without rewiring. The client's
-// middleware chain composes, outermost first: tracing, app-wide client
-// middleware, extra (per-wire middleware from the service config), and —
-// when Options.Resilience is set — the deadline-budget → retry → hedge
-// stack, with a circuit breaker per backend replica underneath.
+// target out or in — or losing a replica to lease expiry — redirects
+// traffic without rewiring. The client's middleware chain composes,
+// outermost first: tracing, app-wide client middleware, fault injection
+// (when the network carries it), extra (per-wire middleware from the
+// service config), and — when Options.Resilience is set — the
+// deadline-budget → retry → hedge stack, with a circuit breaker per backend
+// replica underneath.
 func (a *App) RPC(caller, target string, extra ...transport.Middleware) (*lb.Balanced, error) {
 	addrs, err := a.Registry.MustLookup(target)
 	if err != nil {
@@ -208,6 +343,7 @@ func (a *App) RPC(caller, target string, extra ...transport.Middleware) (*lb.Bal
 		mws = append(mws, trace.ClientMiddleware(a.Tracer, caller))
 	}
 	mws = append(mws, a.clientMW...)
+	mws = append(mws, a.faultMW(caller)...)
 	mws = append(mws, extra...)
 	opts := []lb.Option{}
 	if a.Resilience != nil {
@@ -219,38 +355,14 @@ func (a *App) RPC(caller, target string, extra ...transport.Middleware) (*lb.Bal
 	if len(mws) > 0 {
 		opts = append(opts, lb.WithMiddleware(mws...))
 	}
-	bal := lb.New(a.Net, target, addrs, &lb.RoundRobin{}, opts...)
+	bal := lb.New(a.clientNet(caller), target, addrs, &lb.RoundRobin{}, opts...)
 	stop := make(chan struct{})
-	go a.followRegistry(bal, target, stop)
+	go bal.FollowRegistry(a.Registry, stop)
 	a.track(closerFunc(func() error {
 		close(stop)
 		return bal.Close()
 	}))
 	return bal, nil
-}
-
-func (a *App) followRegistry(bal *lb.Balanced, target string, stop <-chan struct{}) {
-	for {
-		// Register the watch before reconciling so a change landing between
-		// the two is never missed.
-		ch := a.Registry.Changed(target)
-		want := a.Registry.Lookup(target)
-		wantSet := make(map[string]bool, len(want))
-		for _, addr := range want {
-			wantSet[addr] = true
-			bal.AddBackend(addr)
-		}
-		for _, addr := range bal.Backends() {
-			if !wantSet[addr] {
-				bal.RemoveBackend(addr)
-			}
-		}
-		select {
-		case <-stop:
-			return
-		case <-ch:
-		}
-	}
 }
 
 // REST returns a traced REST client from caller to target (first live
@@ -265,11 +377,12 @@ func (a *App) REST(caller, target string) (*rest.Client, error) {
 		mws = append(mws, trace.ClientMiddleware(a.Tracer, caller))
 	}
 	mws = append(mws, a.clientMW...)
+	mws = append(mws, a.faultMW(caller)...)
 	var opts []rest.ClientOption
 	if len(mws) > 0 {
 		opts = append(opts, rest.WithMiddleware(mws...))
 	}
-	c := rest.NewClient(a.Net, target, addrs[0], opts...)
+	c := rest.NewClient(a.clientNet(caller), target, addrs[0], opts...)
 	a.track(c)
 	return c, nil
 }

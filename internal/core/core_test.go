@@ -319,3 +319,67 @@ func TestResilienceFailsFastOnSpentBudget(t *testing.T) {
 		t.Fatal("doomed call reached the server")
 	}
 }
+
+// TestKillEvictsViaLeaseAndReviveReturns drives the crash path end to end:
+// a killed replica stops heartbeating, its lease expires, FollowRegistry
+// drops it from the balancer within ~2 TTLs, and Revive re-enrolls it.
+func TestKillEvictsViaLeaseAndReviveReturns(t *testing.T) {
+	const ttl = 60 * time.Millisecond
+	app := NewApp("test", Options{LeaseTTL: ttl})
+	defer app.Close()
+
+	register := func(s *rpc.Server) {
+		s.Handle("Ping", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+			return []byte("pong"), nil
+		})
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := app.StartRPCInstance("backend", register); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bal, err := app.RPC("frontend", "backend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bal.Backends()); got != 2 {
+		t.Fatalf("backends = %d, want 2", got)
+	}
+
+	victims := app.Instances("backend")
+	if len(victims) != 2 {
+		t.Fatalf("Instances = %d, want 2", len(victims))
+	}
+	victim := victims[1]
+	victim.Kill()
+
+	// The registration lingers until lease expiry; the balancer must converge
+	// within two TTLs of the crash.
+	deadline := time.Now().Add(2*ttl + 50*time.Millisecond)
+	for {
+		got := bal.Backends()
+		if len(got) == 1 && got[0] != victim.Addr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backends = %v two TTLs after kill, want victim %s evicted", got, victim.Addr)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Calls keep succeeding against the survivor.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := bal.Call(ctx, "Ping", nil, nil); err != nil {
+		t.Fatalf("call after eviction: %v", err)
+	}
+
+	victim.Revive()
+	deadline = time.Now().Add(2 * time.Second)
+	for len(bal.Backends()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backends = %v after revive, want 2", bal.Backends())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -215,10 +215,7 @@ func runAutoscale(cfg aslConfig) aslResult {
 	arr := loadgen.NewNonHomogeneous(aslBaseRate,
 		loadgen.Ramp{Start: aslWarm, Rise: aslRise, From: 1, To: aslPeakMult},
 		aslPeakMult, 0xA5CA1E)
-	var sched []time.Duration
-	for t := arr.Next(); t < total; t += arr.Next() {
-		sched = append(sched, t)
-	}
+	sched := loadgen.Schedule(arr, total)
 	phaseOf := func(at time.Duration) int {
 		switch {
 		case at < aslWarm:

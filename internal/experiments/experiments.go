@@ -95,6 +95,7 @@ func All() []Experiment {
 		{"rpcrest", "RPC vs REST microbenchmark (live stack)", RPCvsREST},
 		{"resilience", "Slow servers vs goodput with resilience (Fig 22c extension, live stack)", SlowServerResilience},
 		{"autoscale-live", "Load ramp vs admission control and autoscaling policies (live stack)", AutoscaleLive},
+		{"chaos", "Replica crash and partition vs leases + degradation (Fig 20 extension, live stack)", Chaos},
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"dsb/internal/codec"
 	"dsb/internal/metrics"
+	"dsb/internal/registry"
 	"dsb/internal/rpc"
 	"dsb/internal/transport"
 )
@@ -239,6 +240,36 @@ func (b *Balanced) Backends() []string {
 		out[i] = be.addr
 	}
 	return out
+}
+
+// FollowRegistry keeps the backend set synchronized with the registry's
+// view of the target service until stop closes. Every membership change —
+// scale-out, scale-in, and passive eviction when a crashed replica's health
+// lease expires — reconciles the backends, so a dead instance stops
+// receiving picks within one lease TTL without any caller-side probing.
+// It blocks; run it on its own goroutine.
+func (b *Balanced) FollowRegistry(reg *registry.Registry, stop <-chan struct{}) {
+	for {
+		// Register the watch before reconciling so a change landing between
+		// the two is never missed.
+		ch := reg.Changed(b.target)
+		want := reg.Lookup(b.target)
+		wantSet := make(map[string]bool, len(want))
+		for _, addr := range want {
+			wantSet[addr] = true
+			b.AddBackend(addr)
+		}
+		for _, addr := range b.Backends() {
+			if !wantSet[addr] {
+				b.RemoveBackend(addr)
+			}
+		}
+		select {
+		case <-stop:
+			return
+		case <-ch:
+		}
+	}
 }
 
 // BackendStats is a point-in-time health snapshot of one backend replica.

@@ -9,9 +9,73 @@ import (
 	"time"
 
 	"dsb/internal/codec"
+	"dsb/internal/registry"
 	"dsb/internal/rpc"
 	"dsb/internal/transport"
 )
+
+// TestLeaseExpiryEjectsBackend wires FollowRegistry to a registry with
+// health leases: when a crashed replica's lease expires, the balancer must
+// drop it from rotation within one lease TTL — no probing, no failed calls
+// required — while the healthy replica keeps serving.
+func TestLeaseExpiryEjectsBackend(t *testing.T) {
+	net := rpc.NewMem()
+	addrs := startInstances(t, net, 2)
+	reg := registry.New()
+	const ttl = 60 * time.Millisecond
+	healthy := reg.RegisterLease("svc", addrs[0], ttl)
+	crashed := reg.RegisterLease("svc", addrs[1], ttl)
+
+	b := New(net, "svc", reg.Lookup("svc"), &RoundRobin{})
+	defer b.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go b.FollowRegistry(reg, stop)
+
+	// Heartbeat the healthy replica; let the crashed one's lease lapse.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				healthy.Renew()
+			}
+		}
+	}()
+
+	// Within one TTL of the crash (lease armed at RegisterLease above), the
+	// backend set must shrink to the healthy replica.
+	deadline := time.Now().Add(ttl + 30*time.Millisecond)
+	for {
+		got := b.Backends()
+		if len(got) == 1 && got[0] == addrs[0] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backends = %v after a lease TTL, want only %s", got, addrs[0])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !crashed.Expired() {
+		t.Fatal("crashed lease should be expired")
+	}
+
+	// Every subsequent pick lands on the survivor.
+	for i := 0; i < 10; i++ {
+		var resp whoResp
+		if err := b.Call(context.Background(), "Who", nil, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Instance != "inst-0" {
+			t.Fatalf("pick %d routed to crashed backend %s", i, resp.Instance)
+		}
+	}
+}
 
 type whoResp struct{ Instance string }
 

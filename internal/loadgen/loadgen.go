@@ -21,6 +21,49 @@ type Arrivals interface {
 	Next() time.Duration
 }
 
+// Source is a seeded, mutex-guarded random source for workload closures.
+// The open- and closed-loop runners call the request generator from many
+// goroutines at once; sharing one bare *rand.Rand there is a data race.
+// Source gives workloads one seeded stream that is safe to draw from
+// concurrently, so a fixed seed yields a reproducible request mix.
+type Source struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSource returns a concurrency-safe source for the given seed.
+func NewSource(seed uint64) *Source {
+	return &Source{rng: rand.New(rand.NewPCG(seed, 0x50CE))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Source) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
+// IntN returns a uniform draw in [0, n).
+func (s *Source) IntN(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.IntN(n)
+}
+
+// Schedule materializes every arrival of an open-loop process inside the
+// horizon as absolute offsets from the run start. Pre-generating the
+// schedule makes a run's arrival times a pure function of the seed — the
+// chaos experiments depend on that for bit-reproducible fault timing — and
+// lets a lagging send loop batch catch-up arrivals instead of silently
+// thinning the offered load.
+func Schedule(a Arrivals, horizon time.Duration) []time.Duration {
+	var out []time.Duration
+	for t := a.Next(); t < horizon; t += a.Next() {
+		out = append(out, t)
+	}
+	return out
+}
+
 // Poisson is a homogeneous Poisson arrival process at a fixed rate.
 type Poisson struct {
 	rate float64 // arrivals per second
@@ -150,8 +193,10 @@ func (n *NonHomogeneous) Next() time.Duration {
 
 // Zipf draws integers in [0, n) with probability proportional to
 // 1/(rank+1)^s, via an inverted CDF table. s=0 degenerates to uniform.
+// Draw is safe for concurrent use.
 type Zipf struct {
 	cdf []float64
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -174,7 +219,9 @@ func NewZipf(n int, s float64, seed uint64) *Zipf {
 
 // Draw returns the next rank.
 func (z *Zipf) Draw() int {
+	z.mu.Lock()
 	u := z.rng.Float64()
+	z.mu.Unlock()
 	lo, hi := 0, len(z.cdf)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -190,9 +237,11 @@ func (z *Zipf) Draw() int {
 // SkewedUsers models Figure 22b's skew knob: skewPct = 100 - u where u is
 // the percentage of users responsible for 90% of requests. skewPct 0 means
 // uniform; skewPct 99 means 1% of users issue 90% of the traffic.
+// Draw is safe for concurrent use.
 type SkewedUsers struct {
 	n       int
 	hotSize int
+	mu      sync.Mutex
 	rng     *rand.Rand
 }
 
@@ -220,6 +269,8 @@ func NewSkewedUsers(n int, skewPct float64, seed uint64) *SkewedUsers {
 
 // Draw returns the next user index in [0, n).
 func (s *SkewedUsers) Draw() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.hotSize >= s.n {
 		return s.rng.IntN(s.n)
 	}

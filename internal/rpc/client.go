@@ -120,28 +120,42 @@ func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
 }
 
 func (c *Client) exchange(ctx context.Context, method string, headers map[string]string, payload []byte) ([]byte, error) {
-	cc, err := c.pick()
-	if err != nil {
-		return nil, err
-	}
-	f := &frame{kind: kindRequest, method: method, headers: headers, payload: payload}
-	ch, seq, err := cc.send(f)
-	if err != nil {
-		cc.fail(err)
-		return nil, fmt.Errorf("rpc: send to %s: %w", c.target, err)
-	}
-	select {
-	case reply, ok := <-ch:
-		if !ok {
-			return nil, fmt.Errorf("rpc: connection to %s lost", c.target)
+	// A pooled connection to a peer that crashed since the last call fails
+	// immediately (io.EOF / ECONNRESET) without ever having served a reply.
+	// That is a property of the stale pool slot, not of the request, so it is
+	// redialed once right here — below the retry middleware, where it charges
+	// nothing to the retry token budget. Connections that have delivered
+	// replies and die mid-call are left to the retry layer, which does pay.
+	for attempt := 0; ; attempt++ {
+		cc, err := c.pick()
+		if err != nil {
+			return nil, err
 		}
-		if reply.kind == kindError {
-			return nil, &Error{Code: int(reply.code), Msg: string(reply.payload)}
+		f := &frame{kind: kindRequest, method: method, headers: headers, payload: payload}
+		ch, seq, err := cc.send(f)
+		if err != nil {
+			cc.fail(err)
+			if attempt == 0 && !cc.delivered() {
+				continue // dead-on-arrival pooled conn: one fresh dial
+			}
+			return nil, fmt.Errorf("rpc: send to %s: %w", c.target, err)
 		}
-		return reply.payload, nil
-	case <-ctx.Done():
-		cc.abandon(seq)
-		return nil, transport.WrapCode(CodeDeadline, ctx.Err(), "call %s.%s: %v", c.target, method, ctx.Err())
+		select {
+		case reply, ok := <-ch:
+			if !ok {
+				if attempt == 0 && !cc.delivered() {
+					continue
+				}
+				return nil, fmt.Errorf("rpc: connection to %s lost", c.target)
+			}
+			if reply.kind == kindError {
+				return nil, &Error{Code: int(reply.code), Msg: string(reply.payload)}
+			}
+			return reply.payload, nil
+		case <-ctx.Done():
+			cc.abandon(seq)
+			return nil, transport.WrapCode(CodeDeadline, ctx.Err(), "call %s.%s: %v", c.target, method, ctx.Err())
+		}
 	}
 }
 
@@ -208,6 +222,11 @@ type clientConn struct {
 	pending map[uint64]chan *frame
 	seq     uint64
 	err     error
+
+	// gotReply records that at least one reply frame arrived; a conn that
+	// dies without it was dead on arrival (peer crashed while the conn sat
+	// in the pool) and is safe to redial transparently.
+	gotReply atomic.Bool
 }
 
 func newClientConn(conn interface {
@@ -223,6 +242,9 @@ func newClientConn(conn interface {
 	go cc.readLoop(bufio.NewReaderSize(conn, 32<<10))
 	return cc
 }
+
+// delivered reports whether this connection ever carried a reply.
+func (cc *clientConn) delivered() bool { return cc.gotReply.Load() }
 
 func (cc *clientConn) dead() bool {
 	cc.mu.Lock()
@@ -286,6 +308,7 @@ func (cc *clientConn) readLoop(r *bufio.Reader) {
 			cc.fail(err)
 			return
 		}
+		cc.gotReply.Store(true)
 		cc.mu.Lock()
 		ch, ok := cc.pending[f.seq]
 		if ok {

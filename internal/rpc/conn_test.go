@@ -210,6 +210,109 @@ func TestConcurrentRedialKeepsOneConn(t *testing.T) {
 	wg.Wait()
 }
 
+// TestDeadPooledConnRedialTransparent models a peer that crashed with the
+// conn still pooled: the listener accepts the first conn and immediately
+// closes it. The pool must notice the immediate EOF, redial once below the
+// retry middleware, and succeed — without charging the retry token budget.
+func TestDeadPooledConnRedialTransparent(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("echo:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer("echo")
+	srv.Handle("Echo", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close() // crashed peer: accepted, then reset
+		srv.Serve(l) //nolint:errcheck // replacement generation
+	}()
+	t.Cleanup(func() { srv.Close(); l.Close() })
+
+	n := &countingNetwork{Network: mem}
+	var stats transport.Stats
+	c := NewClient(n, "echo", "echo:0", WithPoolSize(1),
+		WithMiddleware(transport.Retry(transport.RetryConfig{Stats: &stats})))
+	defer c.Close()
+
+	out, err := c.CallRaw(context.Background(), "Echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("call through dead pooled conn: %v", err)
+	}
+	if string(out) != "hi" {
+		t.Fatalf("reply = %q, want %q", out, "hi")
+	}
+	if got := n.dials.Load(); got != 2 {
+		t.Fatalf("dials = %d, want 2 (dead conn + one transparent redial)", got)
+	}
+	if got := stats.Retries.Value(); got != 0 {
+		t.Fatalf("middleware retries = %d, want 0 (pool redial must not charge the budget)", got)
+	}
+}
+
+// TestDeadPooledConnRedialsOnlyOnce: against a peer that resets every conn,
+// the transparent redial is bounded to a single fresh dial — the coded error
+// then surfaces to the retry layer, which does pay the budget.
+func TestDeadPooledConnRedialsOnlyOnce(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("echo:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { l.Close(); <-done })
+	go func() {
+		defer close(done)
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	n := &countingNetwork{Network: mem}
+	c := NewClient(n, "echo", "echo:0", WithPoolSize(1))
+	defer c.Close()
+	if _, err := c.CallRaw(context.Background(), "Echo", []byte("hi")); err == nil {
+		t.Fatal("call to always-resetting peer succeeded")
+	}
+	if got := n.dials.Load(); got != 2 {
+		t.Fatalf("dials = %d, want 2 (original + exactly one redial)", got)
+	}
+}
+
+// TestHungServerDropsRequests: a hung server reads frames but never answers,
+// so callers burn their deadline (the crashed-but-connected failure mode the
+// chaos experiment relies on); Resume restores dispatch on the same conns.
+func TestHungServerDropsRequests(t *testing.T) {
+	n := NewMem()
+	s := startEchoAt(t, n, "echo:9")
+	c := NewClient(n, "echo", "echo:9", WithPoolSize(1))
+	defer c.Close()
+
+	if _, err := c.CallRaw(context.Background(), "Echo", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Hang()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.CallRaw(ctx, "Echo", []byte("b")); !IsCode(err, CodeDeadline) {
+		t.Fatalf("call to hung server err = %v, want CodeDeadline", err)
+	}
+	s.Resume()
+	out, err := c.CallRaw(context.Background(), "Echo", []byte("c"))
+	if err != nil || string(out) != "c" {
+		t.Fatalf("after resume: %q, %v", out, err)
+	}
+}
+
 // TestInvokeSharesComposedChain checks the chain is composed once at
 // construction: the same middleware state serves CallRaw and Invoke.
 func TestInvokeSharesComposedChain(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"dsb/internal/transport"
 )
@@ -60,6 +61,7 @@ type Server struct {
 	closed       bool
 	wg           sync.WaitGroup
 	sem          chan struct{} // nil = unlimited concurrency
+	hung         atomic.Bool
 }
 
 // NewServer creates a server for the named service.
@@ -93,6 +95,21 @@ func (s *Server) SetConcurrency(n int) {
 	}
 	s.sem = make(chan struct{}, n)
 }
+
+// Hang switches the server into the failure mode of a crashed-but-connected
+// peer: it keeps accepting connections and reading request frames but drops
+// them without dispatching or replying, so callers burn their full deadline
+// instead of failing fast on a refused dial. Frames are still consumed —
+// in-memory pipes are synchronous, and a reader that stops draining would
+// wedge client writers instead of modeling a silent peer. The fault layer
+// uses this to simulate crashes that only lease expiry can detect.
+func (s *Server) Hang() { s.hung.Store(true) }
+
+// Resume returns a hung server to normal dispatch (a restarted replica).
+func (s *Server) Resume() { s.hung.Store(false) }
+
+// Hung reports whether the server is currently dropping requests.
+func (s *Server) Hung() bool { return s.hung.Load() }
 
 // Handle registers a raw handler for method.
 func (s *Server) Handle(method string, h Handler) {
@@ -193,6 +210,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if f.kind != kindRequest {
 			continue // ignore stray frames
+		}
+		if s.hung.Load() {
+			continue // crashed peer: consume the frame, never answer
 		}
 		// The payload slice is owned by the frame (readFrame allocates a
 		// fresh body per message), so handlers may retain it.

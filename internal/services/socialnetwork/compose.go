@@ -22,8 +22,13 @@ type ComposePostReq struct {
 	RepostOf string
 }
 
-// ComposePostResp returns the stored post.
-type ComposePostResp struct{ Post Post }
+// ComposePostResp returns the stored post. Degraded marks a post that was
+// stored and fanned out but not search-indexed because the search tier was
+// unreachable — accepted anyway rather than failing the write.
+type ComposePostResp struct {
+	Post     Post
+	Degraded bool
+}
 
 // composeDeps are the downstream tiers composePost orchestrates.
 type composeDeps struct {
@@ -41,8 +46,12 @@ type composeDeps struct {
 // registerComposePost installs the composePost orchestrator: token
 // verification, then ID generation, text processing, and media uploads in
 // parallel (as in the original service), then the store, and finally
-// timeline fan-out and search indexing in parallel.
-func registerComposePost(srv *rpc.Server, deps composeDeps) {
+// timeline fan-out and search indexing in parallel. With degrade set, a
+// failed search-index hop no longer fails the compose — the post is durable
+// and fanned out, only discovery lags — and the response is marked
+// Degraded. Timeline fan-out stays fatal: a post nobody's timeline shows
+// is a lost write, not a degraded one.
+func registerComposePost(srv *rpc.Server, deps composeDeps, degrade bool) {
 	if deps.now == nil {
 		deps.now = time.Now
 	}
@@ -138,6 +147,7 @@ func registerComposePost(srv *rpc.Server, deps composeDeps) {
 		}
 
 		// Phase 2: fan-out and indexing in parallel.
+		degraded := false
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
@@ -150,7 +160,15 @@ func registerComposePost(srv *rpc.Server, deps composeDeps) {
 		}()
 		go func() {
 			defer wg.Done()
-			if err := deps.search.Call(ctx, "Index", IndexPostReq{PostID: post.ID, Text: post.Text}, nil); err != nil {
+			if err := callBounded(ctx, degrade, deps.search, "Index", IndexPostReq{PostID: post.ID, Text: post.Text}, nil); err != nil {
+				if degrade {
+					// Post is stored and fanned out; missing from search
+					// until the index tier recovers. Accept anyway.
+					mu.Lock()
+					degraded = true
+					mu.Unlock()
+					return
+				}
 				fail(err)
 			}
 		}()
@@ -161,6 +179,6 @@ func registerComposePost(srv *rpc.Server, deps composeDeps) {
 		if err := deps.user.Call(ctx, "BumpStat", BumpStatReq{Username: post.Author, Stat: "posts", Delta: 1}, nil); err != nil {
 			return nil, err
 		}
-		return &ComposePostResp{Post: post}, nil
+		return &ComposePostResp{Post: post, Degraded: degraded}, nil
 	})
 }

@@ -1,0 +1,212 @@
+package socialnetwork
+
+import (
+	"context"
+	"testing"
+
+	"dsb/internal/core"
+	"dsb/internal/fault"
+	"dsb/internal/rpc"
+	"dsb/internal/transport"
+)
+
+// bootFaulty boots a deployment on a fault-wrapped network so tests can cut
+// individual tier-to-tier edges, and registers + logs in the given users.
+func bootFaulty(t *testing.T, cfg Config, users ...string) (*SocialNetwork, *fault.Injector, map[string]string) {
+	t.Helper()
+	inj := fault.NewInjector(1)
+	app := core.NewApp("social-degrade", core.Options{Network: inj.Wrap(rpc.NewMem())})
+	t.Cleanup(func() { app.Close() })
+	cfg.SearchShards = 2
+	sn, err := New(app, cfg)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	ctx := context.Background()
+	tokens := make(map[string]string, len(users))
+	for _, u := range users {
+		if err := sn.User.Call(ctx, "Register", RegisterReq{Username: u, Password: "pw-" + u}, nil); err != nil {
+			t.Fatalf("register %s: %v", u, err)
+		}
+		var lr LoginResp
+		if err := sn.User.Call(ctx, "Login", LoginReq{Username: u, Password: "pw-" + u}, &lr); err != nil {
+			t.Fatalf("login %s: %v", u, err)
+		}
+		tokens[u] = lr.Token
+	}
+	return sn, inj, tokens
+}
+
+// Cutting the readTimeline→readPost edge must downgrade reads to the last
+// successfully hydrated timeline (Degraded=true) instead of erroring; a user
+// with no stale copy still gets the error; healing the edge restores fresh,
+// non-degraded responses.
+func TestReadTimelineServesStaleWhenHydrationDown(t *testing.T) {
+	sn, inj, tokens := bootFaulty(t, Config{}, "alice", "bob")
+	ctx := context.Background()
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	post := compose(t, sn, tokens["alice"], "fresh off the press")
+
+	// A healthy read hydrates and seeds the stale-posts fallback.
+	var resp ReadTimelineResp
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "bob"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || len(resp.Posts) != 1 {
+		t.Fatalf("healthy read = %+v", resp)
+	}
+
+	remove := inj.Add(fault.Rule{
+		From: "social.readTimeline", To: "social.readPost",
+		ErrCode: transport.CodeUnavailable,
+	})
+	resp = ReadTimelineResp{}
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "bob"}, &resp); err != nil {
+		t.Fatalf("degraded read failed outright: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("read with hydration down not marked Degraded")
+	}
+	if len(resp.Posts) != 1 || resp.Posts[0].ID != post.ID {
+		t.Fatalf("stale posts = %+v", resp.Posts)
+	}
+
+	// No stale copy to fall back on: the error still surfaces.
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "alice", Followee: "bob"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	compose(t, sn, tokens["bob"], "only in alice's never-read timeline")
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "alice"}, nil); err == nil {
+		t.Fatal("read with no stale fallback should fail")
+	}
+
+	remove()
+	resp = ReadTimelineResp{}
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "bob"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatal("healed read still marked Degraded")
+	}
+}
+
+// Cutting the readTimeline→blockedUsers edge must serve the timeline
+// unfiltered (Degraded=true) rather than failing the read.
+func TestReadTimelineUnfilteredWhenBlockListDown(t *testing.T) {
+	sn, inj, tokens := bootFaulty(t, Config{}, "alice", "bob", "troll")
+	ctx := context.Background()
+	for _, a := range []string{"alice", "troll"} {
+		if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: a}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compose(t, sn, tokens["alice"], "nice content")
+	compose(t, sn, tokens["troll"], "bad content")
+	if err := sn.Frontend.Do(ctx, "POST", "/block", BlockBody{Token: tokens["bob"], Target: "troll"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var resp ReadTimelineResp
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "bob"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || len(resp.Posts) != 1 {
+		t.Fatalf("filtered read = %+v", resp)
+	}
+
+	remove := inj.Add(fault.Rule{
+		From: "social.readTimeline", To: "social.blockedUsers",
+		ErrCode: transport.CodeUnavailable,
+	})
+	defer remove()
+	resp = ReadTimelineResp{}
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "bob"}, &resp); err != nil {
+		t.Fatalf("read with block list down: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("unfiltered read not marked Degraded")
+	}
+	if len(resp.Posts) != 2 {
+		t.Fatalf("unfiltered timeline = %+v", resp.Posts)
+	}
+}
+
+// Cutting the composePost→search edge must still accept the post — stored
+// and fanned out, marked Degraded — and only search discovery lags until
+// the edge heals.
+func TestComposeAcceptsPostWhenSearchDown(t *testing.T) {
+	sn, inj, tokens := bootFaulty(t, Config{}, "alice")
+	ctx := context.Background()
+
+	remove := inj.Add(fault.Rule{
+		From: "social.composePost", To: "social.search",
+		ErrCode: transport.CodeUnavailable,
+	})
+	var resp ComposePostResp
+	if err := sn.Compose.Call(ctx, "Compose", ComposePostReq{Token: tokens["alice"], Text: "unindexed thought"}, &resp); err != nil {
+		t.Fatalf("compose with search down: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("compose with search down not marked Degraded")
+	}
+
+	// Durable and fanned out: the author's own timeline has it.
+	var tl ReadTimelineResp
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "alice"}, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Posts) != 1 || tl.Posts[0].ID != resp.Post.ID {
+		t.Fatalf("timeline after degraded compose = %+v", tl.Posts)
+	}
+	// But not discoverable.
+	var hits SearchResp
+	if err := sn.Search.Call(ctx, "Query", SearchReq{Query: "unindexed"}, &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits.Hits) != 0 {
+		t.Fatalf("degraded post reached the index: %+v", hits.Hits)
+	}
+
+	remove()
+	resp = ComposePostResp{}
+	if err := sn.Compose.Call(ctx, "Compose", ComposePostReq{Token: tokens["alice"], Text: "indexed thought"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatal("healed compose still marked Degraded")
+	}
+	if err := sn.Search.Call(ctx, "Query", SearchReq{Query: "indexed"}, &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits.Hits) != 1 {
+		t.Fatalf("post-heal search = %+v", hits.Hits)
+	}
+}
+
+// DisableDegradation restores fail-hard semantics on every degradable edge —
+// the chaos experiment's unprotected arm depends on this.
+func TestDisableDegradationFailsHard(t *testing.T) {
+	sn, inj, tokens := bootFaulty(t, Config{DisableDegradation: true}, "alice")
+	ctx := context.Background()
+	compose(t, sn, tokens["alice"], "about to go stale")
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	defer inj.Add(fault.Rule{
+		From: "social.readTimeline", To: "social.readPost",
+		ErrCode: transport.CodeUnavailable,
+	})()
+	defer inj.Add(fault.Rule{
+		From: "social.composePost", To: "social.search",
+		ErrCode: transport.CodeUnavailable,
+	})()
+	if err := sn.ReadTimeline.Call(ctx, "Read", ReadTimelineReq{User: "alice"}, nil); !rpc.IsCode(err, rpc.CodeUnavailable) {
+		t.Fatalf("read with degradation off = %v, want unavailable", err)
+	}
+	err := sn.Compose.Call(ctx, "Compose", ComposePostReq{Token: tokens["alice"], Text: "no index no post"}, nil)
+	if !rpc.IsCode(err, rpc.CodeUnavailable) {
+		t.Fatalf("compose with degradation off = %v, want unavailable", err)
+	}
+}

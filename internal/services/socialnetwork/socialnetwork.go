@@ -32,6 +32,11 @@ type Config struct {
 	// replica. The control plane scales tiers dynamically instead through a
 	// Spawner; this knob provides the static baseline.
 	Replicas map[string]int
+	// DisableDegradation turns off graceful degradation: readTimeline and
+	// composePost fail hard when a non-critical downstream (post hydration,
+	// block list, search index) is unreachable, instead of serving a
+	// Degraded response. Used by the chaos experiment's unprotected arm.
+	DisableDegradation bool
 }
 
 // replicable names the logic tiers that are safe to run multi-instance:
@@ -90,6 +95,8 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 			return nil, err
 		}
 	}
+
+	degrade := !cfg.DisableDegradation
 
 	cl := func(caller, target string) (svcutil.Caller, error) {
 		return app.RPC("social."+caller, "social."+target, cfg.Middleware...)
@@ -160,7 +167,8 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerReadTimeline(s,
 			svcutil.DB{C: must(cl("readTimeline", "db-timeline"))},
 			svcutil.KV{C: must(cl("readTimeline", "mc-timeline"))},
-			must(cl("readTimeline", "readPost")), must(cl("readTimeline", "blockedUsers")))
+			must(cl("readTimeline", "readPost")), must(cl("readTimeline", "blockedUsers")),
+			degrade)
 	})
 	for i := 0; i < cfg.SearchShards; i++ {
 		name := fmt.Sprintf("search-index%d", i)
@@ -191,7 +199,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 			search:   must(cl("composePost", "search")),
 			readPost: must(cl("composePost", "readPost")),
 			now:      cfg.Clock,
-		})
+		}, degrade)
 	})
 	for _, b := range boot {
 		if err := b(); err != nil {

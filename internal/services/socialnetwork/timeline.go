@@ -24,13 +24,24 @@ type ReadTimelineReq struct {
 }
 
 // ReadTimelineResp returns posts, newest first, with blocked authors
-// filtered out.
-type ReadTimelineResp struct{ Posts []Post }
+// filtered out. Degraded marks a response assembled without a non-critical
+// downstream — stale cached posts instead of fresh hydration, or an
+// unfiltered timeline when the block list was unreachable — served instead
+// of an error while that tier is partitioned or crashed.
+type ReadTimelineResp struct {
+	Posts    []Post
+	Degraded bool
+}
 
 // timelineCap bounds stored timelines, like production fan-out caps.
 const timelineCap = 1000
 
 const timelineCacheTTL = time.Minute
+
+// staleTimelineTTL bounds how old a degraded (stale-cache) timeline may be;
+// generously longer than the ID cache, because serving it is already the
+// fallback of last resort.
+const staleTimelineTTL = 5 * time.Minute
 
 // registerWriteTimeline installs the writeTimeline service: on every new
 // post it fetches the author's followers from the social graph and
@@ -83,8 +94,12 @@ func prependTimeline(ctx *rpc.Ctx, db svcutil.DB, user, postID string) error {
 
 // registerReadTimeline installs the readTimeline service: cache-first
 // timeline ID lookup, batched post hydration via readPost, and block-list
-// filtering via blockedUsers.
-func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPost, blocked svcutil.Caller) {
+// filtering via blockedUsers. With degrade set, failures of the two
+// enrichment hops downgrade the response instead of failing it: a dead
+// readPost tier is bridged by the last successfully hydrated timeline
+// ("tlp:" cache), and an unreachable blockedUsers tier skips filtering —
+// both marked Degraded.
+func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPost, blocked svcutil.Caller, degrade bool) {
 	svcutil.Handle(srv, "Read", func(ctx *rpc.Ctx, req *ReadTimelineReq) (*ReadTimelineResp, error) {
 		if req.User == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "readTimeline: user required")
@@ -116,27 +131,52 @@ func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPos
 		if len(ids) == 0 {
 			return &ReadTimelineResp{}, nil
 		}
+		staleKey := "tlp:" + req.User
 		var posts ReadPostsResp
-		if err := readPost.Call(ctx, "Read", ReadPostsReq{IDs: ids}, &posts); err != nil {
+		if err := callBounded(ctx, degrade, readPost, "Read", ReadPostsReq{IDs: ids}, &posts); err != nil {
+			if !degrade {
+				return nil, err
+			}
+			// Hydration tier down: serve the last good timeline from the
+			// stale-posts cache rather than erroring the whole read.
+			if v, found, cerr := mc.Get(ctx, staleKey); cerr == nil && found {
+				var stale []Post
+				if codec.Unmarshal(v, &stale) == nil {
+					return &ReadTimelineResp{Posts: stale, Degraded: true}, nil
+				}
+			}
 			return nil, err
 		}
+		degraded := false
 		var bl BlockedListResp
-		if err := blocked.Call(ctx, "List", BlockedListReq{User: req.User}, &bl); err != nil {
-			return nil, err
+		if err := callBounded(ctx, degrade, blocked, "List", BlockedListReq{User: req.User}, &bl); err != nil {
+			if !degrade {
+				return nil, err
+			}
+			// Block list unreachable: an unfiltered timeline beats no
+			// timeline; skip the filter and say so.
+			degraded = true
+			bl.Users = nil
 		}
-		if len(bl.Users) == 0 {
-			return &ReadTimelineResp{Posts: posts.Posts}, nil
-		}
-		blockedSet := make(map[string]bool, len(bl.Users))
-		for _, u := range bl.Users {
-			blockedSet[u] = true
-		}
-		out := posts.Posts[:0]
-		for _, p := range posts.Posts {
-			if !blockedSet[p.Author] {
-				out = append(out, p)
+		out := posts.Posts
+		if len(bl.Users) > 0 {
+			blockedSet := make(map[string]bool, len(bl.Users))
+			for _, u := range bl.Users {
+				blockedSet[u] = true
+			}
+			out = posts.Posts[:0]
+			for _, p := range posts.Posts {
+				if !blockedSet[p.Author] {
+					out = append(out, p)
+				}
 			}
 		}
-		return &ReadTimelineResp{Posts: out}, nil
+		if degrade && !degraded {
+			// Only fully assembled timelines become the stale fallback.
+			if body, err := codec.Marshal(out); err == nil {
+				mc.Set(ctx, staleKey, body, staleTimelineTTL) //nolint:errcheck // best-effort
+			}
+		}
+		return &ReadTimelineResp{Posts: out, Degraded: degraded}, nil
 	})
 }
