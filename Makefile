@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke
+.PHONY: build test vet race check alloc-guard bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,15 @@ vet:
 # pools, hedges, breakers, admission queues, fault injection, lease
 # heartbeats); run them under the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/...
+	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/... ./internal/coalesce/... ./internal/svcutil/... ./internal/docstore/... ./internal/kv/...
 
-check: vet race build test
+# Alloc-regression guard: the rpc frame encode/decode hot path has a pinned
+# allocation budget (0 allocs/op encode, frame+payload only on decode); any
+# regression fails TestFrameAllocGuard.
+alloc-guard:
+	$(GO) test -run TestFrameAllocGuard -count=1 ./internal/rpc/
+
+check: vet race build test alloc-guard
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -26,4 +32,4 @@ bench:
 # real service path (transport, lb, control plane) still behaves, without
 # re-deriving every simulator figure.
 bench-smoke:
-	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery' -benchtime=1x .
+	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery|HotKeyStampede' -benchtime=1x .

@@ -64,3 +64,10 @@ func BenchmarkSlowServerResilience(b *testing.B) { runExperiment(b, "resilience"
 func BenchmarkAutoscaleLive(b *testing.B) { runExperiment(b, "autoscale-live") }
 
 func BenchmarkChaosRecovery(b *testing.B) { runExperiment(b, "chaos") }
+
+// BenchmarkHotKeyStampede and BenchmarkWriteFanout both run the hotpath
+// driver; the report carries the coalesced-vs-uncoalesced fetch counts and
+// the pooled-vs-sequential append latencies side by side.
+func BenchmarkHotKeyStampede(b *testing.B) { runExperiment(b, "hotpath") }
+
+func BenchmarkWriteFanout(b *testing.B) { runExperiment(b, "hotpath") }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"dsb/internal/codec"
 	"dsb/internal/rpc"
 )
 
@@ -97,6 +98,12 @@ type Collection struct {
 	docs   map[string]Doc
 	fields map[string]map[string]map[string]struct{} // field -> value -> ids
 	nums   map[string][]numEntry                     // field -> sorted (value, id)
+
+	// mutMu serializes read-modify-write operations (Update, ListPrepend)
+	// so concurrent mutators cannot interleave and lose each other's
+	// changes. It is acquired before mu and held across the WAL append so
+	// the log order matches the apply order.
+	mutMu sync.Mutex
 }
 
 type numEntry struct {
@@ -264,22 +271,30 @@ func (c *Collection) FindRange(field string, min, max int64, limit int) []Doc {
 	return out
 }
 
-// Update applies fn to the document under the collection lock, persisting
-// the result; fn receives a copy and returns the new version. Returns
-// NotFound if the document does not exist.
+// Update atomically applies fn to the document: fn receives a copy and
+// returns the new version, and no other Update or ListPrepend can
+// interleave between the read and the write. Returns NotFound if the
+// document does not exist. (Plain Put remains last-writer-wins, matching
+// the document stores the suite models.)
 func (c *Collection) Update(id string, fn func(Doc) Doc) error {
-	c.mu.Lock()
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+
+	c.mu.RLock()
 	d, ok := c.docs[id]
+	if ok {
+		d = d.clone()
+	}
+	c.mu.RUnlock()
 	if !ok {
-		c.mu.Unlock()
 		return rpc.NotFoundf("docstore: %s/%s", c.name, id)
 	}
-	updated := fn(d.clone())
+	updated := fn(d)
 	updated.ID = id
-	c.mu.Unlock()
 
-	// Log outside the collection lock, then re-apply; last-writer-wins
-	// matches the document stores the suite models.
+	// mutMu is held across the log append so WAL order matches apply order
+	// for read-modify-write ops; logOp only takes store.mu, so there is no
+	// lock-order cycle.
 	if err := c.logOp(opPut, updated); err != nil {
 		return err
 	}
@@ -287,6 +302,55 @@ func (c *Collection) Update(id string, fn func(Doc) Doc) error {
 	c.putLocked(updated)
 	c.mu.Unlock()
 	return nil
+}
+
+// ListPrepend atomically prepends value to the codec-encoded []string
+// stored in the document's body, creating the document if absent, and
+// truncating the list to max entries when max > 0. It returns the new list
+// length. This is the primitive behind social-graph timeline fan-out: many
+// writers push post IDs onto follower timelines concurrently, and a plain
+// Get/modify/Put cycle would lose updates under contention.
+func (c *Collection) ListPrepend(id, value string, max int) (int, error) {
+	if id == "" {
+		return 0, rpc.Errorf(rpc.CodeBadRequest, "docstore: empty document ID")
+	}
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+
+	c.mu.RLock()
+	d, ok := c.docs[id]
+	if ok {
+		d = d.clone()
+	}
+	c.mu.RUnlock()
+	if !ok {
+		d = Doc{ID: id}
+	}
+	var list []string
+	if len(d.Body) > 0 {
+		if err := codec.Unmarshal(d.Body, &list); err != nil {
+			return 0, fmt.Errorf("docstore: %s/%s body is not a list: %w", c.name, id, err)
+		}
+	}
+	list = append(list, "")
+	copy(list[1:], list)
+	list[0] = value
+	if max > 0 && len(list) > max {
+		list = list[:max]
+	}
+	body, err := codec.Marshal(list)
+	if err != nil {
+		return 0, err
+	}
+	d.Body = body
+
+	if err := c.logOp(opPut, d); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.putLocked(d)
+	c.mu.Unlock()
+	return len(list), nil
 }
 
 // All returns every document, ID-sorted. Intended for tests and small

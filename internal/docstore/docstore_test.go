@@ -9,6 +9,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dsb/internal/codec"
 	"dsb/internal/rpc"
 )
 
@@ -136,6 +137,125 @@ func TestUpdateFn(t *testing.T) {
 	}
 	if err := c.Update("ghost", func(d Doc) Doc { return d }); !rpc.IsCode(err, rpc.CodeNotFound) {
 		t.Fatalf("want NotFound, got %v", err)
+	}
+}
+
+// Regression: Update used to release the collection lock between running
+// fn and re-applying the result, so two concurrent Updates could both read
+// the same starting state and one increment would vanish. With mutMu
+// serializing read-modify-write ops, every increment must land.
+func TestUpdateConcurrentAtomic(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("accounts")
+	c.Put(Doc{ID: "a", Nums: map[string]int64{"n": 0}}) //nolint:errcheck
+	const workers, incrs = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incrs; i++ {
+				err := c.Update("a", func(d Doc) Doc {
+					d.Nums["n"]++
+					return d
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := c.Get("a")
+	if got.Nums["n"] != workers*incrs {
+		t.Fatalf("n = %d, want %d (lost updates)", got.Nums["n"], workers*incrs)
+	}
+}
+
+func TestListPrepend(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("timelines")
+	// Creates the document on first prepend.
+	if n, err := c.ListPrepend("tl:u", "p1", 0); err != nil || n != 1 {
+		t.Fatalf("ListPrepend = %d, %v", n, err)
+	}
+	if n, err := c.ListPrepend("tl:u", "p2", 0); err != nil || n != 2 {
+		t.Fatalf("ListPrepend = %d, %v", n, err)
+	}
+	d, _ := c.Get("tl:u")
+	var list []string
+	if err := codec.Unmarshal(d.Body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0] != "p2" || list[1] != "p1" {
+		t.Fatalf("list = %v, want [p2 p1]", list)
+	}
+
+	// Cap truncates from the tail (oldest entries fall off).
+	for i := 3; i <= 6; i++ {
+		if _, err := c.ListPrepend("tl:u", fmt.Sprintf("p%d", i), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _ = c.Get("tl:u")
+	list = nil
+	if err := codec.Unmarshal(d.Body, &list); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p6", "p5", "p4", "p3"}
+	if len(list) != len(want) {
+		t.Fatalf("list = %v, want %v", list, want)
+	}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Fatalf("list = %v, want %v", list, want)
+		}
+	}
+
+	if _, err := c.ListPrepend("", "x", 0); !rpc.IsCode(err, rpc.CodeBadRequest) {
+		t.Fatalf("want CodeBadRequest, got %v", err)
+	}
+	// A body that is not a codec []string is an error, not silent data loss.
+	c.Put(Doc{ID: "blob", Body: []byte{0xff, 0xff, 0xff}}) //nolint:errcheck
+	if _, err := c.ListPrepend("blob", "x", 0); err == nil {
+		t.Fatal("prepend onto non-list body succeeded")
+	}
+}
+
+// Regression: the timeline services used to fan out with an unguarded
+// Get/modify/Put cycle, so concurrent pushes onto one follower's timeline
+// silently dropped entries. ListPrepend is the atomic replacement; N
+// concurrent prepends of distinct values must all survive.
+func TestListPrependConcurrentNoLostEntries(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("timelines")
+	const workers, pushes = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < pushes; i++ {
+				if _, err := c.ListPrepend("tl:hot", fmt.Sprintf("w%d-p%d", w, i), 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d, _ := c.Get("tl:hot")
+	var list []string
+	if err := codec.Unmarshal(d.Body, &list); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(list))
+	for _, v := range list {
+		seen[v] = true
+	}
+	if len(list) != workers*pushes || len(seen) != workers*pushes {
+		t.Fatalf("timeline has %d entries (%d distinct), want %d", len(list), len(seen), workers*pushes)
 	}
 }
 

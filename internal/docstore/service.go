@@ -53,9 +53,23 @@ type DeleteReq struct {
 // DeleteResp reports whether the document existed.
 type DeleteResp struct{ Existed bool }
 
+// ListPrependReq atomically prepends Value to the []string body of a
+// document, creating it if absent and capping the list at Cap entries
+// (<=0 means unbounded). The write fan-out path uses this so concurrent
+// timeline pushes never lose each other's entries.
+type ListPrependReq struct {
+	Collection string
+	ID         string
+	Value      string
+	Cap        int64
+}
+
+// ListPrependResp returns the list length after the prepend.
+type ListPrependResp struct{ Len int64 }
+
 // RegisterService exposes store as an RPC microservice with methods Put,
-// Get, Find, FindRange, and Delete — the "mongodb" tier in the application
-// graphs.
+// Get, Find, FindRange, ListPrepend, and Delete — the "mongodb" tier in
+// the application graphs.
 func RegisterService(srv *rpc.Server, store *Store) {
 	srv.Handle("Put", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req PutReq
@@ -87,6 +101,17 @@ func RegisterService(srv *rpc.Server, store *Store) {
 		}
 		docs := store.Collection(req.Collection).FindRange(req.Field, req.Min, req.Max, int(req.Limit))
 		return codec.Marshal(FindResp{Docs: docs})
+	})
+	srv.Handle("ListPrepend", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req ListPrependReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		n, err := store.Collection(req.Collection).ListPrepend(req.ID, req.Value, int(req.Cap))
+		if err != nil {
+			return nil, err
+		}
+		return codec.Marshal(ListPrependResp{Len: int64(n)})
 	})
 	srv.Handle("Delete", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req DeleteReq

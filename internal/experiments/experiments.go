@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"resilience", "Slow servers vs goodput with resilience (Fig 22c extension, live stack)", SlowServerResilience},
 		{"autoscale-live", "Load ramp vs admission control and autoscaling policies (live stack)", AutoscaleLive},
 		{"chaos", "Replica crash and partition vs leases + degradation (Fig 20 extension, live stack)", Chaos},
+		{"hotpath", "Miss coalescing and batched write fan-out (live stack)", HotPath},
 	}
 }
 

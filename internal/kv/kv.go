@@ -118,6 +118,9 @@ func (c *Cache) Get(key string) (value []byte, version uint64, ok bool) {
 }
 
 // Set stores value under key with the given TTL (0 = never expires).
+// A value larger than its shard's byte budget (maxBytes/numShards) cannot
+// be cached: memcached-style, the set is counted and immediately evicted,
+// and any previous value for the key is removed as stale.
 func (c *Cache) Set(key string, value []byte, ttl time.Duration) {
 	c.set(key, value, ttl, 0, false)
 }
@@ -137,6 +140,20 @@ func (c *Cache) set(key string, value []byte, ttl time.Duration, casVersion uint
 		return false
 	}
 	c.sets.Inc()
+	// A value larger than the shard budget can never be admitted: the
+	// eviction loop below deliberately refuses to evict the entry being
+	// written (s.tail != e), so an oversized value would be pinned above
+	// maxBytes forever — and would first evict every other entry in the
+	// shard trying to make room that cannot exist. Mirror memcached's
+	// "object too large" handling: account the set, drop any previous
+	// version of the key (it is stale now), and store nothing.
+	if int64(len(value)) > s.maxBytes {
+		if exists {
+			s.remove(e)
+		}
+		c.evictions.Inc()
+		return true
+	}
 	var expires time.Time
 	if ttl > 0 {
 		expires = c.now().Add(ttl)

@@ -235,6 +235,65 @@ func TestIncrConcurrentExact(t *testing.T) {
 	}
 }
 
+// Regression: a value larger than the shard budget used to be admitted and
+// pinned above maxBytes forever — the eviction loop's `s.tail != e` guard
+// never evicts the entry being written — after first evicting every other
+// resident entry in the shard trying to make room that cannot exist. It
+// must be rejected outright, with byte accounting kept honest.
+func TestOversizedValueRejected(t *testing.T) {
+	c := New(numShards * 100) // 100 bytes per shard
+	// Seed the oversized key's shard with a small sibling that must survive.
+	target := c.shard("big")
+	var sibling string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("sib-%d", i)
+		if c.shard(k) == target {
+			sibling = k
+			break
+		}
+	}
+	c.Set(sibling, make([]byte, 10), 0)
+
+	c.Set("big", make([]byte, 101), 0) // exceeds the 100-byte shard budget
+	if _, _, ok := c.Get("big"); ok {
+		t.Fatal("oversized value was admitted")
+	}
+	if _, _, ok := c.Get(sibling); !ok {
+		t.Fatal("oversized set evicted an unrelated resident entry")
+	}
+	st := c.Stats()
+	if st.Bytes != 10 {
+		t.Fatalf("Bytes = %d, want 10", st.Bytes)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1 (the rejected value)", st.Evictions)
+	}
+
+	// Overwriting an existing key with an oversized value drops the stale
+	// small version instead of serving it forever.
+	c.Set(sibling, make([]byte, 500), 0)
+	if _, _, ok := c.Get(sibling); ok {
+		t.Fatal("stale value served after oversized overwrite")
+	}
+	if got := c.Stats().Bytes; got != 0 {
+		t.Fatalf("Bytes = %d, want 0", got)
+	}
+
+	// The shard honors its budget for all later traffic.
+	for i := 0; i < 32; i++ {
+		c.Set(fmt.Sprintf("after-%d", i), make([]byte, 60), 0)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		over := s.bytes > s.maxBytes
+		s.mu.Unlock()
+		if over {
+			t.Fatalf("shard %d above budget after oversized rejects", i)
+		}
+	}
+}
+
 func TestRPCService(t *testing.T) {
 	n := rpc.NewMem()
 	srv := rpc.NewServer("memcached")

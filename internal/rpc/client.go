@@ -1,7 +1,6 @@
 package rpc
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -211,12 +210,12 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// clientConn is one multiplexed connection: writes are serialized, replies
-// are dispatched to waiters by sequence number by a reader goroutine.
+// clientConn is one multiplexed connection: writes are serialized (and
+// flush-coalesced across concurrent senders) by a connWriter, replies are
+// dispatched to waiters by sequence number by a reader goroutine.
 type clientConn struct {
-	conn    interface{ Close() error }
-	w       *bufio.Writer
-	writeMu sync.Mutex
+	conn interface{ Close() error }
+	cw   *connWriter
 
 	mu      sync.Mutex
 	pending map[uint64]chan *frame
@@ -236,10 +235,10 @@ func newClientConn(conn interface {
 }) *clientConn {
 	cc := &clientConn{
 		conn:    conn,
-		w:       bufio.NewWriterSize(conn, 32<<10),
+		cw:      newConnWriter(conn),
 		pending: make(map[uint64]chan *frame),
 	}
-	go cc.readLoop(bufio.NewReaderSize(conn, 32<<10))
+	go cc.readLoop(newFrameReader(conn))
 	return cc
 }
 
@@ -267,10 +266,7 @@ func (cc *clientConn) send(f *frame) (chan *frame, uint64, error) {
 	cc.pending[seq] = ch
 	cc.mu.Unlock()
 
-	cc.writeMu.Lock()
-	err := writeFrame(cc.w, f, nil)
-	cc.writeMu.Unlock()
-	if err != nil {
+	if err := cc.cw.write(f); err != nil {
 		cc.mu.Lock()
 		delete(cc.pending, seq)
 		cc.mu.Unlock()
@@ -301,9 +297,9 @@ func (cc *clientConn) fail(err error) {
 	cc.conn.Close()
 }
 
-func (cc *clientConn) readLoop(r *bufio.Reader) {
+func (cc *clientConn) readLoop(fr *frameReader) {
 	for {
-		f, err := readFrame(r)
+		f, err := fr.read()
 		if err != nil {
 			cc.fail(err)
 			return

@@ -1,10 +1,8 @@
 package rpc
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
 )
 
 // Frame kinds. A request carries a method; a reply or error carries the
@@ -55,39 +53,10 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// writeFrame writes the length-prefixed frame to w.
-func writeFrame(w *bufio.Writer, f *frame, scratch []byte) error {
-	body := appendFrame(scratch[:0], f)
-	if len(body) > maxFrameSize {
-		return fmt.Errorf("rpc: frame size %d exceeds limit", len(body))
-	}
-	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(len(body)))
-	if _, err := w.Write(lenBuf[:n]); err != nil {
-		return err
-	}
-	if _, err := w.Write(body); err != nil {
-		return err
-	}
-	return w.Flush()
-}
-
-// readFrame reads one length-prefixed frame from r.
-func readFrame(r *bufio.Reader) (*frame, error) {
-	size, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, err
-	}
-	if size > maxFrameSize {
-		return nil, fmt.Errorf("rpc: frame size %d exceeds limit", size)
-	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
-	}
-	return parseFrame(body)
-}
-
+// parseFrame decodes a frame body (excluding the outer length prefix). The
+// returned frame's payload and header values alias or copy out of body as
+// noted: strings are copied, payload aliases body (frameReader.read copies
+// it out before the buffer is reused).
 func parseFrame(body []byte) (*frame, error) {
 	f := &frame{}
 	if len(body) < 1 {

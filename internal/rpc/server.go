@@ -1,7 +1,6 @@
 package rpc
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -200,11 +199,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewReaderSize(conn, 32<<10)
-	w := bufio.NewWriterSize(conn, 32<<10)
-	var writeMu sync.Mutex
+	fr := newFrameReader(conn)
+	cw := newConnWriter(conn)
 	for {
-		f, err := readFrame(r)
+		f, err := fr.read()
 		if err != nil {
 			return
 		}
@@ -214,17 +212,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.hung.Load() {
 			continue // crashed peer: consume the frame, never answer
 		}
-		// The payload slice is owned by the frame (readFrame allocates a
-		// fresh body per message), so handlers may retain it.
+		// The payload slice is owned by the frame (frameReader copies it out
+		// of the shared read buffer), so handlers may retain it.
 		s.wg.Add(1)
 		go func(f *frame) {
 			defer s.wg.Done()
-			s.dispatch(conn, w, &writeMu, f, f.payload)
+			s.dispatch(conn, cw, f, f.payload)
 		}(f)
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, w *bufio.Writer, writeMu *sync.Mutex, f *frame, payload []byte) {
+func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byte) {
 	if s.sem != nil {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
@@ -272,10 +270,7 @@ func (s *Server) dispatch(conn net.Conn, w *bufio.Writer, writeMu *sync.Mutex, f
 		out.kind = kindReply
 		out.payload = resp
 	}
-	writeMu.Lock()
-	werr := writeFrame(w, out, nil)
-	writeMu.Unlock()
-	if werr != nil {
+	if werr := cw.write(out); werr != nil {
 		conn.Close()
 	}
 }

@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// maxRetainedBuffer bounds the scratch buffers a connection keeps across
+// frames (encode scratch, read envelope) so one oversized frame does not
+// pin megabytes on an otherwise idle connection.
+const maxRetainedBuffer = 64 << 10
+
+// connWriter serializes frame writes from concurrent senders onto one
+// shared buffered connection. It carries the two hot-path optimizations of
+// the write side:
+//
+//   - scratch reuse: the frame encode buffer lives with the writer and is
+//     reused across calls (writes are serialized under mu, so no pool or
+//     synchronization is needed), instead of allocating per frame;
+//   - flush coalescing: a sender that can see another sender already queued
+//     behind it leaves its bytes in the bufio.Writer and lets the last
+//     queued sender flush, so K concurrent callers multiplexed on one
+//     connection pay ~1 flush (the syscall-shaped cost on a real socket),
+//     not K. A lone sender still flushes immediately — latency is never
+//     traded for batching.
+type connWriter struct {
+	// queued counts senders that have entered write and not yet performed
+	// their buffered write; the sender that decrements it to zero is the
+	// last of the burst and owns the flush.
+	queued atomic.Int32
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	scratch []byte
+}
+
+func newConnWriter(w io.Writer) *connWriter {
+	return &connWriter{w: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// write appends the length-prefixed frame to the connection, flushing
+// unless a queued sender behind this one is guaranteed to flush later.
+func (cw *connWriter) write(f *frame) error {
+	cw.queued.Add(1)
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	last := cw.queued.Add(-1) == 0
+	body := appendFrame(cw.scratch[:0], f)
+	if cap(body) <= maxRetainedBuffer {
+		cw.scratch = body
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("rpc: frame size %d exceeds limit", len(body))
+	}
+	// The uvarint length prefix goes out via WriteByte: handing a
+	// stack-array slice to the writer would force it to escape and cost an
+	// allocation per frame.
+	x := uint64(len(body))
+	for x >= 0x80 {
+		if err := cw.w.WriteByte(byte(x) | 0x80); err != nil {
+			return err
+		}
+		x >>= 7
+	}
+	if err := cw.w.WriteByte(byte(x)); err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(body); err != nil {
+		return err
+	}
+	if last {
+		return cw.w.Flush()
+	}
+	// A sender is queued behind us: it either flushes or fails the
+	// connection, so our bytes are never stranded in the buffer.
+	return nil
+}
+
+// frameReader reads length-prefixed frames from a connection, reusing one
+// envelope buffer across frames. Only the payload is copied out into an
+// exactly-sized allocation (handlers and callers retain it beyond the next
+// read); the envelope bytes — kind, seq, method, headers, length prefixes —
+// are parsed in place and never escape, so a steady stream of frames
+// allocates the frame struct and its payload, nothing else.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// read returns the next frame. The returned frame owns its payload.
+func (fr *frameReader) read() (*frame, error) {
+	size, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("rpc: frame size %d exceeds limit", size)
+	}
+	if uint64(cap(fr.buf)) < size {
+		fr.buf = make([]byte, size)
+	}
+	body := fr.buf[:size]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return nil, err
+	}
+	f, err := parseFrame(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.payload) > 0 {
+		f.payload = append([]byte(nil), f.payload...)
+	} else {
+		f.payload = nil
+	}
+	if cap(fr.buf) > maxRetainedBuffer {
+		fr.buf = nil
+	}
+	return f, nil
+}

@@ -1,0 +1,173 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// encodeWire renders f as its on-the-wire bytes.
+func encodeWire(t *testing.T, f *frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := newConnWriter(&buf)
+	if err := cw.write(f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestFrameAllocGuard pins the frame path's allocation behavior so hot-path
+// regressions fail loudly:
+//
+//   - encode is allocation-free: the scratch buffer lives with the
+//     connWriter and is reused across frames (the seed code allocated a
+//     fresh encode buffer per call);
+//   - decode allocates only the frame struct plus, when present, the
+//     payload copy and header map — the envelope buffer is reused across
+//     frames (the seed code allocated the whole frame body per message).
+func TestFrameAllocGuard(t *testing.T) {
+	req := &frame{
+		kind:    kindRequest,
+		seq:     7,
+		method:  "ReadTimeline",
+		headers: map[string]string{"dsb-deadline": "1722470400000000000"},
+		payload: bytes.Repeat([]byte("x"), 256),
+	}
+	cw := newConnWriter(bytes.NewBuffer(make([]byte, 0, 1<<20)))
+	if err := cw.write(req); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := cw.write(req); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("encode allocs/op = %.1f, want 0 (scratch buffer must be reused)", allocs)
+	}
+
+	// A bodyless reply (fire-and-forget ack) decodes with a single
+	// allocation: the frame struct.
+	ackWire := encodeWire(t, &frame{kind: kindReply, seq: 9})
+	src := bytes.NewReader(ackWire)
+	fr := newFrameReader(src)
+	readOne := func() *frame {
+		f, err := fr.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	readOne()
+	if allocs := testing.AllocsPerRun(200, func() {
+		src.Reset(ackWire)
+		fr.r.Reset(src)
+		readOne()
+	}); allocs > 1 {
+		t.Errorf("bodyless decode allocs/op = %.1f, want <= 1 (envelope buffer must be reused)", allocs)
+	}
+
+	// A reply carrying a payload adds exactly the payload copy.
+	replyWire := encodeWire(t, &frame{kind: kindReply, seq: 9, payload: bytes.Repeat([]byte("y"), 512)})
+	src2 := bytes.NewReader(replyWire)
+	fr2 := newFrameReader(src2)
+	fr2.read() //nolint:errcheck
+	if allocs := testing.AllocsPerRun(200, func() {
+		src2.Reset(replyWire)
+		fr2.r.Reset(src2)
+		if f, err := fr2.read(); err != nil || len(f.payload) != 512 {
+			t.Fatalf("decode: %v", err)
+		}
+	}); allocs > 2 {
+		t.Errorf("payload decode allocs/op = %.1f, want <= 2 (frame + payload copy only)", allocs)
+	}
+}
+
+// TestFlushCoalescing verifies the mechanism directly: a sender that sees
+// another sender queued behind it leaves its bytes buffered, and the last
+// sender of the burst flushes everything.
+func TestFlushCoalescing(t *testing.T) {
+	var buf bytes.Buffer
+	cw := newConnWriter(&buf)
+
+	f1 := &frame{kind: kindRequest, seq: 1, method: "A", payload: []byte("one")}
+	f2 := &frame{kind: kindRequest, seq: 2, method: "B", payload: []byte("two")}
+
+	// Simulate a second sender already queued: the first write must not
+	// flush.
+	cw.queued.Add(1)
+	if err := cw.write(f1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("first write flushed %d bytes despite a queued sender", buf.Len())
+	}
+	// The queued sender arrives: it is last, so it flushes both frames.
+	cw.queued.Add(-1)
+	if err := cw.write(f2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("last sender did not flush")
+	}
+
+	fr := newFrameReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range []*frame{f1, f2} {
+		got, err := fr.read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.seq != want.seq || got.method != want.method || string(got.payload) != string(want.payload) {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestConcurrentSendersOneConn hammers a single pooled connection with
+// concurrent callers; every reply must match its request (flush coalescing
+// and buffer reuse must not corrupt or misdeliver frames).
+func TestConcurrentSendersOneConn(t *testing.T) {
+	n := NewMem()
+	srv := NewServer("echo")
+	srv.Handle("Echo", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	addr, err := srv.Start(n, "echo:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(n, "echo", addr, WithPoolSize(1))
+	defer c.Close()
+	ctx := context.Background()
+
+	const workers, calls = 16, 64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				msg := fmt.Sprintf("w%d-c%d", w, i)
+				out, err := c.CallRaw(ctx, "Echo", []byte(msg))
+				if err != nil {
+					errs <- fmt.Errorf("call %s: %w", msg, err)
+					return
+				}
+				if string(out) != msg {
+					errs <- fmt.Errorf("echo %q returned %q", msg, out)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

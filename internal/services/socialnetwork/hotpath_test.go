@@ -1,0 +1,111 @@
+package socialnetwork
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dsb/internal/codec"
+	"dsb/internal/svcutil"
+)
+
+// Regression for the corrupt-timeline-cache bug: readTimeline used to
+// ignore the decode error on a cached "tl:" value, so a partially decoded
+// entry (non-nil garbage IDs) shadowed the real timeline on every read and
+// the authoritative-store fallback never ran. A poisoned entry must now be
+// purged and the timeline served from the store.
+func TestCorruptTimelineCacheFallsBackToStore(t *testing.T) {
+	sn, tokens := boot(t, "alice", "bob")
+	ctx := context.Background()
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	post := compose(t, sn, tokens["alice"], "the real post")
+	// Warm and then poison bob's timeline-ID cache entry: a valid []string
+	// encoding with a trailing junk byte decodes into non-nil garbage IDs
+	// and an error — exactly the partial decode the old code trusted.
+	mcCaller, err := sn.App.RPC("test", "social.mc-timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := svcutil.KV{C: mcCaller}
+	enc, err := codec.Marshal([]string{"bogus-post-id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Set(ctx, "tl:bob", append(enc, 0x00), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	posts := timeline(t, sn, "bob")
+	if len(posts) != 1 || posts[0].ID != post.ID {
+		t.Fatalf("timeline = %+v, want the real post (corrupt cache entry served?)", posts)
+	}
+	// The poisoned entry was purged and replaced with the store's truth.
+	if v, found, err := mc.Get(ctx, "tl:bob"); err != nil {
+		t.Fatal(err)
+	} else if found {
+		var ids []string
+		if err := codec.Unmarshal(v, &ids); err != nil || len(ids) != 1 || ids[0] != post.ID {
+			t.Fatalf("cached ids = %v, %v (corrupt entry not purged)", ids, err)
+		}
+	}
+}
+
+// Regression for the lost-append bug: writeTimeline's fan-out used to
+// read-modify-write each timeline document without any guard, so two posts
+// landing on one follower's timeline concurrently could each read the same
+// base list and one append would vanish. With the atomic ListPrepend every
+// concurrent append must survive.
+func TestConcurrentAppendsNoLostPosts(t *testing.T) {
+	sn, _ := boot(t, "alice")
+	ctx := context.Background()
+
+	const posts = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, posts)
+	for i := 0; i < posts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := AppendTimelineReq{Author: "alice", PostID: fmt.Sprintf("post-%02d", i), Ts: int64(i)}
+			var caller svcutil.Caller
+			caller, err := sn.App.RPC("test", "social.writeTimeline")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := caller.Call(ctx, "Append", req, nil); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Read the timeline document straight from the store: every append must
+	// be present exactly once.
+	dbCaller, err := sn.App.RPC("test", "social.db-timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, found, err := svcutil.DB{C: dbCaller}.Get(ctx, "timelines", "tl:alice")
+	if err != nil || !found {
+		t.Fatalf("timeline doc: found=%v err=%v", found, err)
+	}
+	var ids []string
+	if err := codec.Unmarshal(doc.Body, &ids); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if len(ids) != posts || len(seen) != posts {
+		t.Fatalf("timeline has %d entries (%d distinct), want %d — concurrent appends lost", len(ids), len(seen), posts)
+	}
+}

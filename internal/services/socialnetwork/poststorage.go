@@ -1,7 +1,9 @@
 package socialnetwork
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"dsb/internal/codec"
@@ -32,8 +34,11 @@ const postCacheTTL = 10 * time.Minute
 
 // registerPostStorage installs the postsStorage service: the system of
 // record for posts, with a lookaside cache in front — the memcached/
-// MongoDB pair of Figure 4.
-func registerPostStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+// MongoDB pair of Figure 4. Reads run through the shared svcutil.ReadPath:
+// corrupt cache entries are purged rather than silently refetched on every
+// read, and concurrent misses on one hot post (every follower's timeline
+// hydrating the same fresh post) collapse into a single store fetch.
+func registerPostStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoalesce bool) {
 	svcutil.Handle(srv, "Store", func(ctx *rpc.Ctx, req *StorePostReq) (*struct{}, error) {
 		p := req.Post
 		if p.ID == "" || p.Author == "" {
@@ -57,23 +62,30 @@ func registerPostStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 		return nil, nil
 	})
 
-	readOne := func(ctx *rpc.Ctx, id string) (Post, bool, error) {
-		if v, found, err := mc.Get(ctx, "post:"+id); err == nil && found {
+	postPath := &svcutil.ReadPath[Post]{
+		MC:         mc,
+		TTL:        postCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) (Post, error) {
 			var p Post
-			if err := codec.Unmarshal(v, &p); err == nil {
-				return p, true, nil
+			err := codec.Unmarshal(b, &p)
+			return p, err
+		},
+		Fetch: func(ctx context.Context, key string) (Post, []byte, bool, error) {
+			id := strings.TrimPrefix(key, "post:")
+			doc, found, err := db.Get(ctx, "posts", id)
+			if err != nil || !found {
+				return Post{}, nil, false, err
 			}
-		}
-		doc, found, err := db.Get(ctx, "posts", id)
-		if err != nil || !found {
-			return Post{}, false, err
-		}
-		var p Post
-		if err := codec.Unmarshal(doc.Body, &p); err != nil {
-			return Post{}, false, fmt.Errorf("postStorage: corrupt post %s: %w", id, err)
-		}
-		mc.Set(ctx, "post:"+id, doc.Body, postCacheTTL) //nolint:errcheck
-		return p, true, nil
+			var p Post
+			if err := codec.Unmarshal(doc.Body, &p); err != nil {
+				return Post{}, nil, false, fmt.Errorf("postStorage: corrupt post %s: %w", id, err)
+			}
+			return p, doc.Body, true, nil
+		},
+	}
+	readOne := func(ctx *rpc.Ctx, id string) (Post, bool, error) {
+		return postPath.Get(ctx, "post:"+id)
 	}
 
 	svcutil.Handle(srv, "Read", func(ctx *rpc.Ctx, req *ReadPostReq) (*ReadPostResp, error) {

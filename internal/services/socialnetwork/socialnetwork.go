@@ -37,6 +37,15 @@ type Config struct {
 	// block list, search index) is unreachable, instead of serving a
 	// Degraded response. Used by the chaos experiment's unprotected arm.
 	DisableDegradation bool
+	// FanoutWorkers bounds writeTimeline's parallel push to follower
+	// timelines (default 8). 1 reproduces the old sequential fan-out — the
+	// hotpath experiment's contrast arm.
+	FanoutWorkers int
+	// DisableCoalescing turns off miss coalescing on the cache-aside read
+	// paths (timelines, posts, profiles), so every concurrent miss becomes
+	// its own backing-store read. Used by the hotpath experiment's
+	// stampede arm.
+	DisableCoalescing bool
 }
 
 // replicable names the logic tiers that are safe to run multi-instance:
@@ -132,7 +141,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		return func(s *rpc.Server) { registerUniqueID(s, uint64(i+1), cfg.Clock) }
 	})
 	start("user", func(s *rpc.Server) {
-		registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))})
+		registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))}, cfg.DisableCoalescing)
 	})
 	start("urlShorten", func(s *rpc.Server) {
 		registerURLShorten(s, svcutil.DB{C: must(cl("urlShorten", "db-urls"))}, svcutil.KV{C: must(cl("urlShorten", "mc-urls"))})
@@ -153,7 +162,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerBlockedUsers(s, svcutil.DB{C: must(cl("blockedUsers", "db-graph"))})
 	})
 	start("postStorage", func(s *rpc.Server) {
-		registerPostStorage(s, svcutil.DB{C: must(cl("postStorage", "db-posts"))}, svcutil.KV{C: must(cl("postStorage", "mc-posts"))})
+		registerPostStorage(s, svcutil.DB{C: must(cl("postStorage", "db-posts"))}, svcutil.KV{C: must(cl("postStorage", "mc-posts"))}, cfg.DisableCoalescing)
 	})
 	start("readPost", func(s *rpc.Server) {
 		registerReadPost(s, must(cl("readPost", "postStorage")))
@@ -161,14 +170,15 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	start("writeTimeline", func(s *rpc.Server) {
 		registerWriteTimeline(s, must(cl("writeTimeline", "socialGraph")),
 			svcutil.DB{C: must(cl("writeTimeline", "db-timeline"))},
-			svcutil.KV{C: must(cl("writeTimeline", "mc-timeline"))})
+			svcutil.KV{C: must(cl("writeTimeline", "mc-timeline"))},
+			cfg.FanoutWorkers)
 	})
 	start("readTimeline", func(s *rpc.Server) {
 		registerReadTimeline(s,
 			svcutil.DB{C: must(cl("readTimeline", "db-timeline"))},
 			svcutil.KV{C: must(cl("readTimeline", "mc-timeline"))},
 			must(cl("readTimeline", "readPost")), must(cl("readTimeline", "blockedUsers")),
-			degrade)
+			degrade, cfg.DisableCoalescing)
 	})
 	for i := 0; i < cfg.SearchShards; i++ {
 		name := fmt.Sprintf("search-index%d", i)

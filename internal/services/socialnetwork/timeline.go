@@ -1,11 +1,11 @@
 package socialnetwork
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dsb/internal/codec"
-	"dsb/internal/docstore"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
 )
@@ -43,13 +43,24 @@ const timelineCacheTTL = time.Minute
 // fallback of last resort.
 const staleTimelineTTL = 5 * time.Minute
 
+// defaultFanoutWorkers bounds the write-path fan-out parallelism when the
+// deployment does not set Config.FanoutWorkers.
+const defaultFanoutWorkers = 8
+
 // registerWriteTimeline installs the writeTimeline service: on every new
 // post it fetches the author's followers from the social graph and
 // prepends the post ID to each follower's home timeline and to the
 // author's own, invalidating cache entries — write-path fan-out, the most
 // expensive query in the application (the paper's repost/composePost
-// observations hinge on it).
-func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV) {
+// observations hinge on it). Each per-follower push is one atomic
+// ListPrepend on the timeline store (an unguarded get/modify/put cycle
+// here used to lose concurrent appends), and the audience is walked by a
+// bounded worker pool so a high-follower author costs ~ceil(F/workers)
+// sequential RPC round-trips instead of F.
+func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int) {
+	if workers <= 0 {
+		workers = defaultFanoutWorkers
+	}
 	svcutil.Handle(srv, "Append", func(ctx *rpc.Ctx, req *AppendTimelineReq) (*struct{}, error) {
 		if req.Author == "" || req.PostID == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "writeTimeline: author and post required")
@@ -59,47 +70,55 @@ func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB,
 			return nil, err
 		}
 		audience := append(followers.Users, req.Author)
-		for _, user := range audience {
-			if err := prependTimeline(ctx, db, user, req.PostID); err != nil {
-				return nil, err
+		err := svcutil.Parallel(workers, len(audience), func(i int) error {
+			key := "tl:" + audience[i]
+			if _, err := db.ListPrepend(ctx, "timelines", key, req.PostID, timelineCap); err != nil {
+				return err
 			}
-			mc.Delete(ctx, "tl:"+user) //nolint:errcheck // invalidation is best-effort
+			mc.Delete(ctx, key) //nolint:errcheck // invalidation is best-effort
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return nil, nil
 	})
 }
 
-func prependTimeline(ctx *rpc.Ctx, db svcutil.DB, user, postID string) error {
-	key := "tl:" + user
-	doc, found, err := db.Get(ctx, "timelines", key)
-	var ids []string
-	if err != nil {
-		return err
-	}
-	if found {
-		if err := codec.Unmarshal(doc.Body, &ids); err != nil {
-			return fmt.Errorf("writeTimeline: corrupt timeline %s: %w", user, err)
-		}
-	}
-	ids = append([]string{postID}, ids...)
-	if len(ids) > timelineCap {
-		ids = ids[:timelineCap]
-	}
-	body, err := codec.Marshal(ids)
-	if err != nil {
-		return err
-	}
-	return db.Put(ctx, "timelines", docstore.Doc{ID: key, Body: body})
-}
-
 // registerReadTimeline installs the readTimeline service: cache-first
 // timeline ID lookup, batched post hydration via readPost, and block-list
-// filtering via blockedUsers. With degrade set, failures of the two
-// enrichment hops downgrade the response instead of failing it: a dead
-// readPost tier is bridged by the last successfully hydrated timeline
-// ("tlp:" cache), and an unreachable blockedUsers tier skips filtering —
-// both marked Degraded.
-func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPost, blocked svcutil.Caller, degrade bool) {
+// filtering via blockedUsers. The ID lookup runs through the shared
+// svcutil.ReadPath, which purges corrupt cache entries instead of trusting
+// a partial decode (a truncated "tl:" value used to shadow the real
+// timeline forever) and coalesces concurrent misses on a hot key into a
+// single store read. With degrade set, failures of the two enrichment hops
+// downgrade the response instead of failing it: a dead readPost tier is
+// bridged by the last successfully hydrated timeline ("tlp:" cache), and
+// an unreachable blockedUsers tier skips filtering — both marked Degraded.
+func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPost, blocked svcutil.Caller, degrade, noCoalesce bool) {
+	idsPath := &svcutil.ReadPath[[]string]{
+		MC:         mc,
+		TTL:        timelineCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) ([]string, error) {
+			var ids []string
+			if err := codec.Unmarshal(b, &ids); err != nil {
+				return nil, err
+			}
+			return ids, nil
+		},
+		Fetch: func(ctx context.Context, key string) ([]string, []byte, bool, error) {
+			doc, found, err := db.Get(ctx, "timelines", key)
+			if err != nil || !found {
+				return nil, nil, false, err
+			}
+			var ids []string
+			if err := codec.Unmarshal(doc.Body, &ids); err != nil {
+				return nil, nil, false, fmt.Errorf("readTimeline: corrupt timeline %s: %w", key, err)
+			}
+			return ids, doc.Body, true, nil
+		},
+	}
 	svcutil.Handle(srv, "Read", func(ctx *rpc.Ctx, req *ReadTimelineReq) (*ReadTimelineResp, error) {
 		if req.User == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "readTimeline: user required")
@@ -108,22 +127,9 @@ func registerReadTimeline(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, readPos
 		if limit <= 0 || limit > timelineCap {
 			limit = 20
 		}
-		key := "tl:" + req.User
-		var ids []string
-		if v, found, err := mc.Get(ctx, key); err == nil && found {
-			codec.Unmarshal(v, &ids) //nolint:errcheck // cache miss path below covers corruption
-		}
-		if ids == nil {
-			doc, found, err := db.Get(ctx, "timelines", key)
-			if err != nil {
-				return nil, err
-			}
-			if found {
-				if err := codec.Unmarshal(doc.Body, &ids); err != nil {
-					return nil, fmt.Errorf("readTimeline: corrupt timeline %s: %w", req.User, err)
-				}
-				mc.Set(ctx, key, doc.Body, timelineCacheTTL) //nolint:errcheck
-			}
+		ids, _, err := idsPath.Get(ctx, "tl:"+req.User)
+		if err != nil {
+			return nil, err
 		}
 		if len(ids) > limit {
 			ids = ids[:limit]

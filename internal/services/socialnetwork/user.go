@@ -1,11 +1,14 @@
 package socialnetwork
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
+	"strings"
 	"time"
 
+	"dsb/internal/codec"
 	"dsb/internal/docstore"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
@@ -53,11 +56,43 @@ type BumpStatReq struct {
 
 const tokenTTL = time.Hour
 
+// profileCacheTTL bounds cached profiles; short, because follower counts
+// move constantly and BumpStat invalidation is best-effort.
+const profileCacheTTL = 30 * time.Second
+
 // registerUser installs the login/userInfo service: account registration
 // with salted password hashes, token-based sessions kept in the cache tier
 // with a TTL, existence checks for mention verification, and profile
-// counters.
-func registerUser(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+// counters. Profile reads ("u:" keys) run through the shared
+// svcutil.ReadPath — a celebrity profile is the textbook hot key, and
+// before coalescing every concurrent Info miss became its own users-store
+// read — with BumpStat invalidating the entry after every counter change.
+func registerUser(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoalesce bool) {
+	profilePath := &svcutil.ReadPath[UserInfo]{
+		MC:         mc,
+		TTL:        profileCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) (UserInfo, error) {
+			var u UserInfo
+			err := codec.Unmarshal(b, &u)
+			return u, err
+		},
+		Fetch: func(ctx context.Context, key string) (UserInfo, []byte, bool, error) {
+			username := strings.TrimPrefix(key, "u:")
+			doc, found, err := db.Get(ctx, "users", username)
+			if err != nil || !found {
+				return UserInfo{}, nil, false, err
+			}
+			info := UserInfo{
+				Username:  username,
+				Followers: doc.Nums["followers"],
+				Followees: doc.Nums["followees"],
+				Posts:     doc.Nums["posts"],
+			}
+			enc, err := codec.Marshal(info)
+			return info, enc, true, err
+		},
+	}
 	svcutil.Handle(srv, "Register", func(ctx *rpc.Ctx, req *RegisterReq) (*RegisterResp, error) {
 		if req.Username == "" || req.Password == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "user: username and password required")
@@ -121,19 +156,14 @@ func registerUser(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 	})
 
 	svcutil.Handle(srv, "Info", func(ctx *rpc.Ctx, req *InfoReq) (*InfoResp, error) {
-		doc, found, err := db.Get(ctx, "users", req.Username)
+		info, found, err := profilePath.Get(ctx, "u:"+req.Username)
 		if err != nil {
 			return nil, err
 		}
 		if !found {
 			return nil, rpc.NotFoundf("user: no user %q", req.Username)
 		}
-		return &InfoResp{Info: UserInfo{
-			Username:  req.Username,
-			Followers: doc.Nums["followers"],
-			Followees: doc.Nums["followees"],
-			Posts:     doc.Nums["posts"],
-		}}, nil
+		return &InfoResp{Info: info}, nil
 	})
 
 	svcutil.Handle(srv, "BumpStat", func(ctx *rpc.Ctx, req *BumpStatReq) (*struct{}, error) {
@@ -153,6 +183,8 @@ func registerUser(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 		if err := db.Put(ctx, "users", doc); err != nil {
 			return nil, err
 		}
+		// Drop the cached profile so the next Info reflects the new count.
+		mc.Delete(ctx, "u:"+req.Username) //nolint:errcheck // best-effort; TTL bounds staleness
 		return nil, nil
 	})
 }
