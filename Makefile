@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check alloc-guard bench bench-smoke
+.PHONY: build test vet race check alloc-guard shard-balance bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 # pools, hedges, breakers, admission queues, fault injection, lease
 # heartbeats); run them under the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/... ./internal/coalesce/... ./internal/svcutil/... ./internal/docstore/... ./internal/kv/...
+	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/... ./internal/coalesce/... ./internal/svcutil/... ./internal/docstore/... ./internal/kv/... ./internal/shard/...
 
 # Alloc-regression guard: the rpc frame encode/decode hot path has a pinned
 # allocation budget (0 allocs/op encode, frame+payload only on decode); any
@@ -23,7 +23,13 @@ race:
 alloc-guard:
 	$(GO) test -run TestFrameAllocGuard -count=1 ./internal/rpc/
 
-check: vet race build test alloc-guard
+# Ring-imbalance guard: at the default 128 vnodes, the consistent-hash
+# ring must spread keys over 8 shards within +/-15% of even; a hash or
+# vnode regression that skews placement fails TestRingBalanceGuard.
+shard-balance:
+	$(GO) test -run TestRingBalanceGuard -count=1 ./internal/shard/
+
+check: vet race build test alloc-guard shard-balance
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -32,4 +38,4 @@ bench:
 # real service path (transport, lb, control plane) still behaves, without
 # re-deriving every simulator figure.
 bench-smoke:
-	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery|HotKeyStampede' -benchtime=1x .
+	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery|HotKeyStampede|TailAtScale' -benchtime=1x .

@@ -71,3 +71,8 @@ func BenchmarkChaosRecovery(b *testing.B) { runExperiment(b, "chaos") }
 func BenchmarkHotKeyStampede(b *testing.B) { runExperiment(b, "hotpath") }
 
 func BenchmarkWriteFanout(b *testing.B) { runExperiment(b, "hotpath") }
+
+// BenchmarkTailAtScale runs the sharded stateful tier through both
+// tail-at-scale regimes: Zipf skew over 1 vs 8 shards at equal offered
+// load, then a slow replica on the hot shard with and without protection.
+func BenchmarkTailAtScale(b *testing.B) { runExperiment(b, "tailatscale") }

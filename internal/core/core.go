@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"dsb/internal/registry"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
+	"dsb/internal/shard"
 	"dsb/internal/trace"
 	"dsb/internal/transport"
 )
@@ -135,6 +137,7 @@ type Instance struct {
 
 	app  *App
 	srv  *rpc.Server
+	meta map[string]string
 	once sync.Once
 
 	mu      sync.Mutex
@@ -170,18 +173,43 @@ func (i *Instance) Kill() {
 }
 
 // Revive restarts a killed replica in place: dispatch resumes and the
-// instance re-enrolls in discovery with a fresh lease and heartbeat.
+// instance re-enrolls in discovery — with its original metadata, so a
+// revived shard replica rejoins the same replica set — under a fresh lease
+// and heartbeat.
 func (i *Instance) Revive() {
 	i.srv.Resume()
-	stopHB, release := i.app.enroll(i.Service, i.Addr)
+	stopHB, release := i.app.enroll(i.Service, i.Addr, i.meta)
 	i.mu.Lock()
 	i.stopHB, i.release = stopHB, release
 	i.mu.Unlock()
 }
 
+// StartRPCShard boots one replica of a sharded stateful service: like
+// StartRPC, but the instance registers with its shard index as metadata
+// (shard.MetaShard) so routing clients can group the service's replicas
+// into replica sets. Every replica of every shard shares the one service
+// name; only the metadata tells them apart.
+func (a *App) StartRPCShard(service string, shardIdx int, register func(*rpc.Server)) (string, error) {
+	inst, err := a.StartRPCShardInstance(service, shardIdx, register)
+	if err != nil {
+		return "", err
+	}
+	return inst.Addr, nil
+}
+
+// StartRPCShardInstance is StartRPCShard returning the replica handle.
+func (a *App) StartRPCShardInstance(service string, shardIdx int, register func(*rpc.Server)) (*Instance, error) {
+	meta := map[string]string{shard.MetaShard: strconv.Itoa(shardIdx)}
+	return a.startRPCInstance(service, meta, register)
+}
+
 // StartRPCInstance is StartRPC returning a handle that can stop the replica
 // individually — the Spawner primitive the control plane scales with.
 func (a *App) StartRPCInstance(service string, register func(*rpc.Server)) (*Instance, error) {
+	return a.startRPCInstance(service, nil, register)
+}
+
+func (a *App) startRPCInstance(service string, meta map[string]string, register func(*rpc.Server)) (*Instance, error) {
 	srv := rpc.NewServer(service)
 	if a.Tracer != nil {
 		srv.Use(trace.ServerInterceptor(a.Tracer))
@@ -194,8 +222,8 @@ func (a *App) StartRPCInstance(service string, register func(*rpc.Server)) (*Ins
 	if err != nil {
 		return nil, fmt.Errorf("start %s: %w", service, err)
 	}
-	inst := &Instance{Service: service, Addr: addr, app: a, srv: srv}
-	inst.stopHB, inst.release = a.enroll(service, addr)
+	inst := &Instance{Service: service, Addr: addr, app: a, srv: srv, meta: meta}
+	inst.stopHB, inst.release = a.enroll(service, addr, meta)
 	a.mu.Lock()
 	a.servers = append(a.servers, srv)
 	a.instances[service] = append(a.instances[service], inst)
@@ -222,17 +250,18 @@ func (a *App) Instances(service string) []*Instance {
 	return out
 }
 
-// enroll places an address into discovery. With LeaseTTL set it registers
-// under a lease kept alive by a heartbeat goroutine; stopHB halts the
-// heartbeat without deregistering (the crash path — eviction is the
-// registry's job now), release additionally removes the address (the clean
-// path). Without leases, stopHB is a no-op and release deregisters.
-func (a *App) enroll(service, addr string) (stopHB, release func()) {
+// enroll places an address into discovery, carrying instance metadata when
+// the replica has any (shard indices). With LeaseTTL set it registers under
+// a lease kept alive by a heartbeat goroutine; stopHB halts the heartbeat
+// without deregistering (the crash path — eviction is the registry's job
+// now), release additionally removes the address (the clean path). Without
+// leases, stopHB is a no-op and release deregisters.
+func (a *App) enroll(service, addr string, meta map[string]string) (stopHB, release func()) {
 	if a.leaseTTL <= 0 {
-		a.Registry.Register(service, addr)
+		a.Registry.RegisterInstance(service, addr, meta)
 		return func() {}, func() { a.Registry.Deregister(service, addr) }
 	}
-	lease := a.Registry.RegisterLease(service, addr, a.leaseTTL)
+	lease := a.Registry.RegisterLeaseMeta(service, addr, a.leaseTTL, meta)
 	stop := make(chan struct{})
 	var once sync.Once
 	stopHB = func() { once.Do(func() { close(stop) }) }
@@ -274,7 +303,7 @@ func (a *App) StartREST(service string, register func(*rest.Server)) (string, er
 	if err != nil {
 		return "", fmt.Errorf("start %s: %w", service, err)
 	}
-	_, release := a.enroll(service, addr)
+	_, release := a.enroll(service, addr, nil)
 	a.mu.Lock()
 	a.rests = append(a.rests, srv)
 	a.mu.Unlock()
@@ -363,6 +392,52 @@ func (a *App) RPC(caller, target string, extra ...transport.Middleware) (*lb.Bal
 		return bal.Close()
 	}))
 	return bal, nil
+}
+
+// ShardedRPC returns a shard router from caller to the sharded service
+// target, for tiers whose replicas were started with StartRPCShard. It is
+// the stateful-tier sibling of RPC: the same middleware composition, but
+// routing is by key rather than round-robin, and two layers move to
+// per-replica positions. The circuit breaker (from Options.Resilience)
+// instruments each replica individually, exactly as on the balanced path;
+// fault injection moves *inside* the breaker — on a sharded tier a fault
+// targets one replica address, and the breaker must time the injected
+// slowness to eject that replica, not have the fault layer hide above it
+// where every sibling would appear slow. Membership follows the registry,
+// so lease eviction of a replica or a whole shard re-forms the ring.
+func (a *App) ShardedRPC(caller, target string, extra ...transport.Middleware) (*shard.Router, error) {
+	instances := a.Registry.Instances(target)
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("registry: no instances of %q", target)
+	}
+	var mws []transport.Middleware
+	if a.Tracer != nil {
+		mws = append(mws, trace.ClientMiddleware(a.Tracer, caller))
+	}
+	mws = append(mws, a.clientMW...)
+	mws = append(mws, extra...)
+	opts := []shard.Option{}
+	if a.Resilience != nil {
+		mws = append(mws, a.Resilience.Stack()...)
+		opts = append(opts, shard.WithReplicaInstrument(a.Resilience.InstrumentedBackendFactory()))
+	}
+	if fmws := a.faultMW(caller); len(fmws) > 0 {
+		opts = append(opts, shard.WithReplicaMiddleware(func(string) []transport.Middleware {
+			return fmws
+		}))
+	}
+	if len(mws) > 0 {
+		opts = append(opts, shard.WithMiddleware(mws...))
+	}
+	router := shard.NewRouter(a.clientNet(caller), target, opts...)
+	router.Sync(instances)
+	stop := make(chan struct{})
+	go router.FollowRegistry(a.Registry, stop)
+	a.track(closerFunc(func() error {
+		close(stop)
+		return router.Close()
+	}))
+	return router, nil
 }
 
 // REST returns a traced REST client from caller to target (first live

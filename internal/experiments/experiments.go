@@ -97,6 +97,7 @@ func All() []Experiment {
 		{"autoscale-live", "Load ramp vs admission control and autoscaling policies (live stack)", AutoscaleLive},
 		{"chaos", "Replica crash and partition vs leases + degradation (Fig 20 extension, live stack)", Chaos},
 		{"hotpath", "Miss coalescing and batched write fan-out (live stack)", HotPath},
+		{"tailatscale", "Zipf skew and a slow shard vs the sharded stateful tier (live stack)", TailAtScale},
 	}
 }
 

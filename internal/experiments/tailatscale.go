@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/fault"
+	"dsb/internal/kv"
+	"dsb/internal/loadgen"
+	"dsb/internal/metrics"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+	"dsb/internal/transport"
+)
+
+// TailAtScale drives the sharded stateful tier through the paper's two
+// tail-at-scale regimes on the live stack. First, request skew (Fig 22b):
+// a Zipf-skewed key stream offered at the same open-loop rate against the
+// same fixed-capacity store run as 1 shard and as 8 shards — one shard
+// absorbs the whole offered load and queues, while consistent hashing
+// spreads it so even the shard owning the hottest key stays far from
+// saturation and the queueing tail collapses. Second, a slow server
+// (Fig 22c): one replica of the shard that owns the hottest key is made
+// slow via fault injection. Unprotected, read rotation sends a third of
+// the hot shard's reads into the injected latency and closed-loop workers
+// stall behind it; protected, the per-replica circuit breaker's slow-call
+// detection ejects the replica and read-one routing falls over to its
+// healthy siblings, whose combined capacity still covers the hot shard's
+// demand — restoring the fault-free goodput.
+func TailAtScale() *Report {
+	r := &Report{
+		ID:    "tailatscale",
+		Title: "Zipf skew and a slow shard vs the sharded stateful tier (live stack)",
+		Header: []string{"config", "shards×reps", "throughput (req/s)", "goodput (req/s)",
+			"normalized", "p50", "p99", "breaker trips"},
+	}
+
+	skew1 := tailSkewRun(1)
+	skew8 := tailSkewRun(8)
+	faultFree := tailSlowRun(false, false)
+	unprotected := tailSlowRun(true, false)
+	protected := tailSlowRun(true, true)
+
+	row := func(name, topo string, res tailResult, base tailResult) {
+		norm := 0.0
+		if base.goodput > 0 {
+			norm = res.goodput / base.goodput
+		}
+		r.Rows = append(r.Rows, []string{
+			name, topo,
+			fmt.Sprintf("%.0f", res.throughput), fmt.Sprintf("%.0f", res.goodput),
+			f2(norm), ms(res.p50), ms(res.p99),
+			fmt.Sprintf("%d", res.breakerTrips),
+		})
+	}
+	row("zipf skew, 1 shard", "1×1", skew1, skew1)
+	row("zipf skew, 8 shards", "8×1", skew8, skew1)
+	row("fault-free", "8×3", faultFree, faultFree)
+	row("slow replica, unprotected", "8×3", unprotected, faultFree)
+	row("slow replica, protected", "8×3", protected, faultFree)
+
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("skew: zipf(s=%.1f) over %d keys offered open-loop at %.0f req/s to single-threaded %.0fms-service shards — 8-way sharding cuts p99 from %s to %s (%.2fx)",
+			tailZipfS, tailKeys, tailOfferedQPS, float64(tailServiceTime)/1e6, ms(skew1.p99), ms(skew8.p99),
+			float64(skew8.p99)/float64(skew1.p99)),
+		fmt.Sprintf("slow shard: hot shard's first replica +%dms; unprotected goodput %.2fx of fault-free, protected %.2fx (breaker ejects the replica, reads fall over to its siblings)",
+			tailSlowLatency/time.Millisecond,
+			unprotected.goodput/faultFree.goodput, protected.goodput/faultFree.goodput),
+		"protected routing composes the PR's layers: per-replica breakers (resilience), Addr-targeted faults (chaos), and read-one fallback (shard router)")
+	return r
+}
+
+const (
+	tailKeys        = 256
+	tailZipfS       = 1.1
+	tailServiceTime = time.Millisecond
+	tailQoS         = 10 * time.Millisecond
+	tailSlowLatency = 25 * time.Millisecond
+	// tailOfferedQPS is the skew arm's open-loop rate: ~80% of one
+	// fixed-capacity shard's ~1000 req/s, so a single shard runs deep into
+	// queueing while eight shards leave even the hottest far below
+	// saturation.
+	tailOfferedQPS = 700.0
+	// tailHotKey is the Zipf distribution's rank-0 key — the one whose
+	// shard carries the most skewed load.
+	tailHotKey = "key-0"
+)
+
+type tailResult struct {
+	throughput   float64 // completed requests per second, measured phase
+	goodput      float64 // of which finished inside the QoS target
+	p50, p99     time.Duration
+	breakerTrips int64
+}
+
+// bootTailKV starts the sharded store on app: shards×replicas kv instances
+// under one service name, each single-threaded with a fixed service time —
+// the fixed-capacity server the paper's queueing figures assume.
+func bootTailKV(app *core.App, shards, replicas int) error {
+	return svcutil.StartShardReplicas(app, "tail.kv", shards, replicas, func(int, int) func(*rpc.Server) {
+		cache := kv.New(16 << 20)
+		return func(srv *rpc.Server) {
+			kv.RegisterService(srv, cache)
+			srv.Use(func(ctx *rpc.Ctx, payload []byte, next rpc.Handler) ([]byte, error) {
+				time.Sleep(tailServiceTime)
+				return next(ctx, payload)
+			})
+			srv.SetConcurrency(1)
+		}
+	})
+}
+
+// tailPreload writes the whole key space so every read hits. It runs
+// before any fault is injected, so setup cost never pollutes the
+// measurement.
+func tailPreload(store svcutil.KV) {
+	ctx := context.Background()
+	for i := 0; i < tailKeys; i++ {
+		store.Set(ctx, fmt.Sprintf("key-%d", i), []byte("v"), 0) //nolint:errcheck // preload; read path verifies
+	}
+}
+
+// tailGet issues one measured read with a generous per-call deadline (so
+// slow calls complete and are *measured* slow rather than erroring into
+// the fallback path), classifying goodness by the QoS latency target.
+func tailGet(store svcutil.KV, key string) (took time.Duration, good bool) {
+	callCtx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	t0 := time.Now()
+	_, found, err := store.Get(callCtx, key)
+	cancel()
+	took = time.Since(t0)
+	return took, err == nil && found && took <= tailQoS
+}
+
+// tailDriveOpen offers Zipf-skewed reads open-loop at qps with Poisson
+// arrivals: the generator never waits for responses, so a queueing server
+// cannot throttle its own offered load — both skew arms see the identical
+// arrival process, which is what "equal offered load" means.
+func tailDriveOpen(store svcutil.KV, qps float64, warmup, measure time.Duration) tailResult {
+	tailPreload(store)
+	zipf := loadgen.NewZipf(tailKeys, tailZipfS, 7)
+	rng := rand.New(rand.NewPCG(13, 0x5EED))
+
+	var done, good atomic.Int64
+	lat := metrics.NewHistogram()
+	start := time.Now()
+	var wg sync.WaitGroup
+	// Arrivals follow an absolute Poisson schedule: each request fires at
+	// its scheduled offset from start, not a sleep after the previous one —
+	// sleep overshoot turns into a small burst instead of silently lowering
+	// the offered rate.
+	var sched time.Duration
+	for {
+		sched += time.Duration(rng.ExpFloat64() * float64(time.Second) / qps)
+		if sched >= warmup+measure {
+			break
+		}
+		if d := sched - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(measured bool) {
+			defer wg.Done()
+			took, ok := tailGet(store, fmt.Sprintf("key-%d", zipf.Draw()))
+			if measured {
+				lat.RecordDuration(took)
+				done.Add(1)
+				if ok {
+					good.Add(1)
+				}
+			}
+		}(sched > warmup)
+	}
+	wg.Wait()
+	return tailResult{
+		throughput: float64(done.Load()) / measure.Seconds(),
+		goodput:    float64(good.Load()) / measure.Seconds(),
+		p50:        lat.PercentileDuration(50),
+		p99:        lat.PercentileDuration(99),
+	}
+}
+
+// tailDriveClosed drives Zipf-skewed reads closed-loop: each worker issues
+// its next request only when the last returns, so a slow replica stalls
+// the workers stuck behind it — the goodput-collapse mechanism of the
+// paper's slow-server figure.
+func tailDriveClosed(store svcutil.KV, workers int, warmup, measure time.Duration) tailResult {
+	tailPreload(store)
+	zipf := loadgen.NewZipf(tailKeys, tailZipfS, 7)
+
+	var done, good atomic.Int64
+	lat := metrics.NewHistogram()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if time.Since(start) >= warmup+measure {
+					return
+				}
+				took, ok := tailGet(store, fmt.Sprintf("key-%d", zipf.Draw()))
+				if time.Since(start) > warmup {
+					lat.RecordDuration(took)
+					done.Add(1)
+					if ok {
+						good.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return tailResult{
+		throughput: float64(done.Load()) / measure.Seconds(),
+		goodput:    float64(good.Load()) / measure.Seconds(),
+		p50:        lat.PercentileDuration(50),
+		p99:        lat.PercentileDuration(99),
+	}
+}
+
+// tailSkewRun measures the skew arm: the same Zipf stream offered at the
+// same open-loop rate against shards fixed-capacity servers. With one
+// shard every request queues behind the whole offered load; with eight,
+// the hash ring spreads it and the tail collapses.
+func tailSkewRun(shards int) tailResult {
+	app := core.NewApp("tail", core.Options{DisableTracing: true})
+	defer app.Close()
+	if err := bootTailKV(app, shards, 1); err != nil {
+		return tailResult{}
+	}
+	router, err := app.ShardedRPC("tail.client", "tail.kv")
+	if err != nil {
+		return tailResult{}
+	}
+	return tailDriveOpen(svcutil.KV{Shards: router}, tailOfferedQPS, 300*time.Millisecond, 1500*time.Millisecond)
+}
+
+// tailSlowRun measures the slow-shard arm on an 8×3 topology. With slow
+// set, one replica of the shard owning the hottest key gets an
+// Addr-targeted latency fault far above the QoS target — the worst-placed
+// slow server, since skew concentrates reads on exactly that shard. Three
+// replicas per shard give the protected arm somewhere to recover to:
+// after the breaker ejects the slow replica, the two survivors still have
+// the capacity the hot shard's skewed demand needs.
+// Protected runs add the per-replica circuit breaker (slow-call
+// detection), which the shard router composes *outside* the fault
+// middleware, so injected slowness is timed and attributed to the faulty
+// replica exactly like real server slowness would be.
+func tailSlowRun(slow, protected bool) tailResult {
+	inj := fault.NewInjector(11)
+	opts := core.Options{DisableTracing: true, Network: inj.Wrap(rpc.NewMem())}
+	if protected {
+		opts.Resilience = &transport.ResilienceConfig{
+			Breaker: &transport.BreakerConfig{
+				Failures: 4,
+				// Longer than the measurement window: once ejected, the slow
+				// replica stays out for the whole run.
+				Cooldown: 5 * time.Second,
+				// Between the healthy service time (~1ms, plus queueing) and
+				// the injected 25ms: real work never trips it, the fault
+				// always does.
+				SlowThreshold:   6 * time.Millisecond,
+				NeutralDeadline: true,
+				// Only the slow replica may be ejected: hot-shard queueing on
+				// healthy replicas cannot cascade into ejecting the tier.
+				MaxEjected: 1,
+			},
+		}
+	}
+	app := core.NewApp("tail", opts)
+	defer app.Close()
+	if err := bootTailKV(app, 8, 3); err != nil {
+		return tailResult{}
+	}
+	router, err := app.ShardedRPC("tail.client", "tail.kv")
+	if err != nil {
+		return tailResult{}
+	}
+	store := svcutil.KV{Shards: router}
+	tailPreload(store)
+	if slow {
+		// Slow the first replica of the shard that owns the hottest key —
+		// by address, so its siblings and the other shards stay healthy.
+		// Stats is sorted by (shard, addr), giving a rotation-independent
+		// pick. The fault lands after preload, so only reads pay it.
+		hot := router.Owner(tailHotKey)
+		for _, st := range router.Stats() {
+			if st.Shard == hot {
+				defer inj.Add(fault.Rule{To: "tail.kv", Addr: st.Addr, Latency: tailSlowLatency})()
+				break
+			}
+		}
+	}
+	// Few enough workers that even a fully saturated lone survivor bounds
+	// the closed-loop queue under the QoS target: the protected arm's cost
+	// is throughput, not violations.
+	res := tailDriveClosed(store, 6, 300*time.Millisecond, 700*time.Millisecond)
+	if app.Transport != nil {
+		res.breakerTrips = app.Transport.BreakerOpened.Value()
+	}
+	return res
+}

@@ -32,6 +32,14 @@ type Rule struct {
 	// From and To name the caller and callee services ("" = any).
 	From, To string
 
+	// Addr narrows call-level faults (Latency, ErrCode, Blackhole) to calls
+	// pinned to one replica address — how a single shard replica of a
+	// sharded tier is made slow while its siblings stay healthy. Only the
+	// shard router stamps transport.Call.Addr, so Addr rules never match
+	// load-balanced calls; connection-level faults (Partition, Reset,
+	// Stall) ignore Addr. Empty matches any call.
+	Addr string
+
 	// Latency delays matching calls; Jitter adds a uniformly distributed
 	// extra in [0, Jitter), drawn from the injector's seeded RNG.
 	Latency, Jitter time.Duration
@@ -188,6 +196,9 @@ func (inj *Injector) Middleware(from string) transport.Middleware {
 	return func(next transport.Invoker) transport.Invoker {
 		return func(ctx context.Context, call *transport.Call) error {
 			for _, r := range inj.snapshot(from, call.Target) {
+				if r.Addr != "" && r.Addr != call.Addr {
+					continue
+				}
 				if r.Blackhole || r.Partition {
 					// A silent peer: nothing comes back, ever. Burn the
 					// caller's deadline the way a real blackhole would.

@@ -32,6 +32,17 @@ type DeleteReq struct{ Key string }
 // DeleteResp reports whether the key existed.
 type DeleteResp struct{ Existed bool }
 
+// MGetReq asks for a batch of keys in one round trip — the timeline
+// hydration path reads K post entries at once, and per-key RPCs make the
+// cache tier's request rate scale with fan-in rather than with requests.
+type MGetReq struct{ Keys []string }
+
+// MGetResp returns parallel arrays: Values[i]/Found[i] answer Keys[i].
+type MGetResp struct {
+	Values [][]byte
+	Found  []bool
+}
+
 // IncrReq adjusts a counter.
 type IncrReq struct {
 	Key   string
@@ -42,7 +53,8 @@ type IncrReq struct {
 type IncrResp struct{ Value int64 }
 
 // RegisterService exposes cache as an RPC microservice on srv with methods
-// Get, Set, Delete, and Incr — the cache tier the application graphs call.
+// Get, MGet, Set, Delete, and Incr — the cache tier the application graphs
+// call.
 func RegisterService(srv *rpc.Server, cache *Cache) {
 	srv.Handle("Get", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req GetReq
@@ -51,6 +63,20 @@ func RegisterService(srv *rpc.Server, cache *Cache) {
 		}
 		v, ver, ok := cache.Get(req.Key)
 		return codec.Marshal(GetResp{Value: v, Version: ver, Found: ok})
+	})
+	srv.Handle("MGet", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req MGetReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		resp := MGetResp{
+			Values: make([][]byte, len(req.Keys)),
+			Found:  make([]bool, len(req.Keys)),
+		}
+		for i, key := range req.Keys {
+			resp.Values[i], _, resp.Found[i] = cache.Get(key)
+		}
+		return codec.Marshal(resp)
 	})
 	srv.Handle("Set", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req SetReq

@@ -28,7 +28,14 @@ type Lease struct {
 // present), so a lease that expires fires Changed exactly once and a lease
 // that is renewed fires nothing.
 func (r *Registry) RegisterLease(service, addr string, ttl time.Duration) *Lease {
-	r.Register(service, addr)
+	return r.RegisterLeaseMeta(service, addr, ttl, nil)
+}
+
+// RegisterLeaseMeta is RegisterLease with instance metadata attached —
+// the leased counterpart of RegisterInstance, used by sharded stateful
+// tiers whose replicas carry a shard index.
+func (r *Registry) RegisterLeaseMeta(service, addr string, ttl time.Duration, meta map[string]string) *Lease {
+	r.RegisterInstance(service, addr, meta)
 	l := &Lease{r: r, service: service, addr: addr, ttl: ttl}
 	l.deadline = time.Now().Add(ttl)
 	l.timer = time.AfterFunc(ttl, l.expire)

@@ -11,19 +11,28 @@ import (
 	"sync"
 )
 
-// Registry maps service names to live instance addresses.
+// Registry maps service names to live instance addresses, each optionally
+// carrying instance metadata (e.g. the shard index of a sharded store
+// replica — see shard.MetaShard).
 type Registry struct {
 	mu      sync.RWMutex
-	entries map[string]map[string]struct{}
+	entries map[string]map[string]map[string]string // service -> addr -> meta (may be nil)
 	watch   map[string][]chan struct{}
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		entries: make(map[string]map[string]struct{}),
+		entries: make(map[string]map[string]map[string]string),
 		watch:   make(map[string][]chan struct{}),
 	}
+}
+
+// Instance is one registered replica: its address plus the metadata it
+// registered with.
+type Instance struct {
+	Addr string
+	Meta map[string]string
 }
 
 // Register adds an instance address for a service. Changed watchers are
@@ -31,14 +40,23 @@ func New() *Registry {
 // re-registers instances as it reconciles, and spurious wakeups would make
 // every balancer re-resolve the whole tier on each no-op.
 func (r *Registry) Register(service, addr string) {
+	r.RegisterInstance(service, addr, nil)
+}
+
+// RegisterInstance is Register with instance metadata attached. Sharded
+// stateful tiers register each replica with its shard index here so
+// routing clients can group the service's otherwise indistinguishable
+// replicas into replica sets deterministically. Re-registering an existing
+// address replaces its metadata without waking watchers.
+func (r *Registry) RegisterInstance(service, addr string, meta map[string]string) {
 	r.mu.Lock()
 	set, ok := r.entries[service]
 	if !ok {
-		set = make(map[string]struct{})
+		set = make(map[string]map[string]string)
 		r.entries[service] = set
 	}
 	_, existed := set[addr]
-	set[addr] = struct{}{}
+	set[addr] = cloneMeta(meta)
 	var watchers []chan struct{}
 	if !existed {
 		watchers = r.watch[service]
@@ -82,6 +100,39 @@ func (r *Registry) Lookup(service string) []string {
 		out = append(out, a)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Instances returns the service's live instances with their metadata,
+// sorted by address — the view shard routers group replicas from.
+func (r *Registry) Instances(service string) []Instance {
+	r.mu.RLock()
+	set := r.entries[service]
+	out := make([]Instance, 0, len(set))
+	for addr, meta := range set {
+		out = append(out, Instance{Addr: addr, Meta: cloneMeta(meta)})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Meta returns the metadata an instance registered with (nil when the
+// instance is unknown or registered without metadata).
+func (r *Registry) Meta(service, addr string) map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return cloneMeta(r.entries[service][addr])
+}
+
+func cloneMeta(meta map[string]string) map[string]string {
+	if meta == nil {
+		return nil
+	}
+	out := make(map[string]string, len(meta))
+	for k, v := range meta {
+		out[k] = v
+	}
 	return out
 }
 

@@ -97,8 +97,32 @@ func registerPostStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoales
 	})
 
 	svcutil.Handle(srv, "ReadBatch", func(ctx *rpc.Ctx, req *ReadPostsReq) (*ReadPostsResp, error) {
+		// Hydrating a timeline reads K posts at once; one MGet replaces K
+		// per-key cache RPCs (and on a sharded cache costs at most one call
+		// per shard). A batch-level failure just skips the optimization.
+		hits := make(map[string][]byte, len(req.IDs))
+		if len(req.IDs) > 1 {
+			keys := make([]string, len(req.IDs))
+			for i, id := range req.IDs {
+				keys[i] = "post:" + id
+			}
+			if got, err := mc.MGet(ctx, keys); err == nil {
+				hits = got
+			}
+		}
 		out := make([]Post, 0, len(req.IDs))
 		for _, id := range req.IDs {
+			if raw, ok := hits["post:"+id]; ok {
+				var p Post
+				if err := codec.Unmarshal(raw, &p); err == nil {
+					out = append(out, p)
+					continue
+				}
+				// Corrupt batch entry: purge and take the single-key path,
+				// which refetches from the store (the ReadPath invariant).
+				mc.Delete(ctx, "post:"+id) //nolint:errcheck
+			}
+			// Miss: the per-key path keeps coalescing and cache population.
 			p, found, err := readOne(ctx, id)
 			if err != nil {
 				return nil, err

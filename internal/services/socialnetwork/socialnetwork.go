@@ -46,6 +46,17 @@ type Config struct {
 	// its own backing-store read. Used by the hotpath experiment's
 	// stampede arm.
 	DisableCoalescing bool
+	// Shards partitions every db/mc storage tier into this many
+	// consistent-hash shards (default 1 = the single-instance layout).
+	// With Shards > 1 or ShardReplicas > 1 the stores boot through
+	// svcutil.StartShardReplicas — each shard replica carries its shard
+	// index in registry metadata — and services reach them through shard
+	// routers instead of load balancers, routing each key to its owning
+	// replica set.
+	Shards int
+	// ShardReplicas is the replica count per storage shard (default 1).
+	// Replicas converge by write-all and read-repair (see svcutil).
+	ShardReplicas int
 }
 
 // replicable names the logic tiers that are safe to run multi-instance:
@@ -84,10 +95,31 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		cfg.CacheBytes = 64 << 20
 	}
 
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardReplicas <= 0 {
+		cfg.ShardReplicas = 1
+	}
+	sharded := cfg.Shards > 1 || cfg.ShardReplicas > 1
+
 	// Storage tiers: one cache and/or document store per backend group,
-	// each its own microservice, as in Figure 4.
+	// each its own microservice, as in Figure 4. In the sharded layout each
+	// backend group becomes Shards×ShardReplicas instances under the same
+	// service name — every (shard, replica) pair owns a *fresh* store, since
+	// replicas converge only through write-all and read-repair.
 	stores := []string{"db-posts", "db-timeline", "db-graph", "db-users", "db-urls", "db-media", "db-favorites"}
 	for _, name := range stores {
+		if sharded {
+			err := svcutil.StartShardReplicas(app, "social."+name, cfg.Shards, cfg.ShardReplicas, func(int, int) func(*rpc.Server) {
+				store := docstore.NewStore()
+				return func(s *rpc.Server) { docstore.RegisterService(s, store) }
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		store := docstore.NewStore()
 		if _, err := app.StartRPC("social."+name, func(s *rpc.Server) {
 			docstore.RegisterService(s, store)
@@ -97,6 +129,16 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	}
 	caches := []string{"mc-posts", "mc-timeline", "mc-users", "mc-urls", "mc-favorites"}
 	for _, name := range caches {
+		if sharded {
+			err := svcutil.StartShardReplicas(app, "social."+name, cfg.Shards, cfg.ShardReplicas, func(int, int) func(*rpc.Server) {
+				cache := kv.New(cfg.CacheBytes)
+				return func(s *rpc.Server) { kv.RegisterService(s, cache) }
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		cache := kv.New(cfg.CacheBytes)
 		if _, err := app.StartRPC("social."+name, func(s *rpc.Server) {
 			kv.RegisterService(s, cache)
@@ -115,6 +157,31 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 			panic(err)
 		}
 		return c
+	}
+	// db and mc wire a service to a storage tier in whichever mode the
+	// deployment runs: a load-balanced caller for the single-instance
+	// layout, a consistent-hash shard router for the sharded one. The typed
+	// clients keep one method surface either way, so the services above
+	// never know which layout they run on.
+	db := func(caller, target string) svcutil.DB {
+		if !sharded {
+			return svcutil.DB{C: must(cl(caller, target))}
+		}
+		router, err := app.ShardedRPC("social."+caller, "social."+target, cfg.Middleware...)
+		if err != nil {
+			panic(err)
+		}
+		return svcutil.DB{Shards: router}
+	}
+	mc := func(caller, target string) svcutil.KV {
+		if !sharded {
+			return svcutil.KV{C: must(cl(caller, target))}
+		}
+		router, err := app.ShardedRPC("social."+caller, "social."+target, cfg.Middleware...)
+		if err != nil {
+			panic(err)
+		}
+		return svcutil.KV{Shards: router}
 	}
 	// Boot order respects the dependency graph, so every client resolves.
 	// startN boots cfg.Replicas[name] replicas of a replicable tier (one
@@ -141,10 +208,10 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		return func(s *rpc.Server) { registerUniqueID(s, uint64(i+1), cfg.Clock) }
 	})
 	start("user", func(s *rpc.Server) {
-		registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))}, cfg.DisableCoalescing)
+		registerUser(s, db("user", "db-users"), mc("user", "mc-users"), cfg.DisableCoalescing)
 	})
 	start("urlShorten", func(s *rpc.Server) {
-		registerURLShorten(s, svcutil.DB{C: must(cl("urlShorten", "db-urls"))}, svcutil.KV{C: must(cl("urlShorten", "mc-urls"))})
+		registerURLShorten(s, db("urlShorten", "db-urls"), mc("urlShorten", "mc-urls"))
 	})
 	start("userTag", func(s *rpc.Server) {
 		registerUserTag(s, must(cl("userTag", "user")))
@@ -153,30 +220,30 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerText(s, must(cl("text", "urlShorten")), must(cl("text", "userTag")))
 	})
 	start("media", func(s *rpc.Server) {
-		registerMedia(s, svcutil.DB{C: must(cl("media", "db-media"))}, must(cl("media", "uniqueID")))
+		registerMedia(s, db("media", "db-media"), must(cl("media", "uniqueID")))
 	})
 	start("socialGraph", func(s *rpc.Server) {
-		registerSocialGraph(s, svcutil.DB{C: must(cl("socialGraph", "db-graph"))}, must(cl("socialGraph", "user")))
+		registerSocialGraph(s, db("socialGraph", "db-graph"), must(cl("socialGraph", "user")))
 	})
 	start("blockedUsers", func(s *rpc.Server) {
-		registerBlockedUsers(s, svcutil.DB{C: must(cl("blockedUsers", "db-graph"))})
+		registerBlockedUsers(s, db("blockedUsers", "db-graph"))
 	})
 	start("postStorage", func(s *rpc.Server) {
-		registerPostStorage(s, svcutil.DB{C: must(cl("postStorage", "db-posts"))}, svcutil.KV{C: must(cl("postStorage", "mc-posts"))}, cfg.DisableCoalescing)
+		registerPostStorage(s, db("postStorage", "db-posts"), mc("postStorage", "mc-posts"), cfg.DisableCoalescing)
 	})
 	start("readPost", func(s *rpc.Server) {
 		registerReadPost(s, must(cl("readPost", "postStorage")))
 	})
 	start("writeTimeline", func(s *rpc.Server) {
 		registerWriteTimeline(s, must(cl("writeTimeline", "socialGraph")),
-			svcutil.DB{C: must(cl("writeTimeline", "db-timeline"))},
-			svcutil.KV{C: must(cl("writeTimeline", "mc-timeline"))},
+			db("writeTimeline", "db-timeline"),
+			mc("writeTimeline", "mc-timeline"),
 			cfg.FanoutWorkers)
 	})
 	start("readTimeline", func(s *rpc.Server) {
 		registerReadTimeline(s,
-			svcutil.DB{C: must(cl("readTimeline", "db-timeline"))},
-			svcutil.KV{C: must(cl("readTimeline", "mc-timeline"))},
+			db("readTimeline", "db-timeline"),
+			mc("readTimeline", "mc-timeline"),
 			must(cl("readTimeline", "readPost")), must(cl("readTimeline", "blockedUsers")),
 			degrade, cfg.DisableCoalescing)
 	})
@@ -196,7 +263,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerRecommender(s, must(cl("recommender", "socialGraph")))
 	})
 	start("favorite", func(s *rpc.Server) {
-		registerFavorite(s, svcutil.DB{C: must(cl("favorite", "db-favorites"))}, svcutil.KV{C: must(cl("favorite", "mc-favorites"))})
+		registerFavorite(s, db("favorite", "db-favorites"), mc("favorite", "mc-favorites"))
 	})
 	start("composePost", func(s *rpc.Server) {
 		registerComposePost(s, composeDeps{

@@ -93,6 +93,9 @@ func (rp *ReadPath[V]) Stats() coalesce.Stats { return rp.group.Stats() }
 // document, creating it if absent and capping the list at max entries
 // (<=0 = unbounded). Returns the resulting list length.
 func (d DB) ListPrepend(ctx context.Context, collection, id, value string, max int) (int, error) {
+	if d.Shards != nil {
+		return d.shardedListPrepend(ctx, collection, id, value, max)
+	}
 	var resp docstore.ListPrependResp
 	req := docstore.ListPrependReq{Collection: collection, ID: id, Value: value, Cap: int64(max)}
 	if err := d.C.Call(ctx, "ListPrepend", req, &resp); err != nil {

@@ -12,6 +12,7 @@ import (
 	"dsb/internal/docstore"
 	"dsb/internal/kv"
 	"dsb/internal/rpc"
+	"dsb/internal/shard"
 	"dsb/internal/transport"
 )
 
@@ -27,12 +28,16 @@ type RPCStarter interface {
 	StartRPC(service string, register func(*rpc.Server)) (string, error)
 }
 
-// StartReplicas boots n replicas of one stateless service tier, calling
-// register(i) to build each replica's registration function — replicas that
-// need distinct identity (a unique-ID worker number, a shard label) derive
-// it from i. n < 1 starts one replica. Only tiers whose state lives in
-// downstream stores may be replicated this way; a tier holding per-instance
-// state would silently shard it across replicas.
+// StartReplicas boots n interchangeable replicas of one *stateless*
+// service tier, calling register(i) to build each replica's registration
+// function — replicas that need distinct worker identity (a unique-ID
+// worker number) derive it from i. n < 1 starts one replica. The replicas
+// register without instance metadata, so balancers treat them as one
+// anonymous pool; a tier holding per-instance state booted this way would
+// silently scatter it across replicas with nothing to route by. Stateful
+// tiers go through StartShardReplicas instead, which attaches each
+// replica's shard index to its registry entry so shard routers can group
+// the pool into replica sets.
 func StartReplicas(app RPCStarter, service string, n int, register func(i int) func(*rpc.Server)) error {
 	if n < 1 {
 		n = 1
@@ -68,10 +73,21 @@ func Handle[Req, Resp any](srv *rpc.Server, method string, fn func(ctx *rpc.Ctx,
 }
 
 // KV is a typed client for a cache tier exposed via kv.RegisterService.
-type KV struct{ C Caller }
+// It runs in one of two modes: with C set, every call goes to that single
+// (possibly load-balanced) backend, the original wrapper behavior; with
+// Shards set, keys route through the consistent-hash ring to the owning
+// replica set with read-one/write-all semantics and read-repair on
+// fallback (see sharded.go). Exactly one of C and Shards should be set.
+type KV struct {
+	C      Caller
+	Shards *shard.Router
+}
 
 // Get fetches a key; found is false on miss.
 func (k KV) Get(ctx context.Context, key string) (value []byte, found bool, err error) {
+	if k.Shards != nil {
+		return k.shardedGet(ctx, key)
+	}
 	var resp kv.GetResp
 	if err := k.C.Call(ctx, "Get", kv.GetReq{Key: key}, &resp); err != nil {
 		return nil, false, err
@@ -81,17 +97,26 @@ func (k KV) Get(ctx context.Context, key string) (value []byte, found bool, err 
 
 // Set stores a key with a TTL (0 = no expiry).
 func (k KV) Set(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	if k.Shards != nil {
+		return k.shardedSet(ctx, key, value, ttl)
+	}
 	return k.C.Call(ctx, "Set", kv.SetReq{Key: key, Value: value, TTLNs: int64(ttl)}, nil)
 }
 
 // Delete removes a key (cache invalidation).
 func (k KV) Delete(ctx context.Context, key string) error {
+	if k.Shards != nil {
+		return k.shardedDelete(ctx, key)
+	}
 	var resp kv.DeleteResp
 	return k.C.Call(ctx, "Delete", kv.DeleteReq{Key: key}, &resp)
 }
 
 // Incr adjusts a counter and returns the new value.
 func (k KV) Incr(ctx context.Context, key string, delta int64) (int64, error) {
+	if k.Shards != nil {
+		return k.shardedIncr(ctx, key, delta)
+	}
 	var resp kv.IncrResp
 	if err := k.C.Call(ctx, "Incr", kv.IncrReq{Key: key, Delta: delta}, &resp); err != nil {
 		return 0, err
@@ -100,16 +125,28 @@ func (k KV) Incr(ctx context.Context, key string, delta int64) (int64, error) {
 }
 
 // DB is a typed client for a document-store tier exposed via
-// docstore.RegisterService.
-type DB struct{ C Caller }
+// docstore.RegisterService. Like KV it is dual-mode: C for the single
+// backend path, Shards for consistent-hash routing with replica sets —
+// point ops route by document ID, Find/FindRange scatter to every shard
+// and merge (see sharded.go).
+type DB struct {
+	C      Caller
+	Shards *shard.Router
+}
 
 // Put stores a document.
 func (d DB) Put(ctx context.Context, collection string, doc docstore.Doc) error {
+	if d.Shards != nil {
+		return d.shardedPut(ctx, collection, doc)
+	}
 	return d.C.Call(ctx, "Put", docstore.PutReq{Collection: collection, Doc: doc}, nil)
 }
 
 // Get fetches a document by ID.
 func (d DB) Get(ctx context.Context, collection, id string) (docstore.Doc, bool, error) {
+	if d.Shards != nil {
+		return d.shardedGet(ctx, collection, id)
+	}
 	var resp docstore.GetResp
 	if err := d.C.Call(ctx, "Get", docstore.GetReq{Collection: collection, ID: id}, &resp); err != nil {
 		return docstore.Doc{}, false, err
@@ -119,6 +156,9 @@ func (d DB) Get(ctx context.Context, collection, id string) (docstore.Doc, bool,
 
 // Find queries an indexed string field.
 func (d DB) Find(ctx context.Context, collection, field, value string, limit int) ([]docstore.Doc, error) {
+	if d.Shards != nil {
+		return d.shardedFind(ctx, collection, field, value, limit)
+	}
 	var resp docstore.FindResp
 	err := d.C.Call(ctx, "Find", docstore.FindReq{Collection: collection, Field: field, Value: value, Limit: int64(limit)}, &resp)
 	return resp.Docs, err
@@ -126,6 +166,9 @@ func (d DB) Find(ctx context.Context, collection, field, value string, limit int
 
 // FindRange queries an indexed numeric field, newest-first.
 func (d DB) FindRange(ctx context.Context, collection, field string, min, max int64, limit int) ([]docstore.Doc, error) {
+	if d.Shards != nil {
+		return d.shardedFindRange(ctx, collection, field, min, max, limit)
+	}
 	var resp docstore.FindResp
 	err := d.C.Call(ctx, "FindRange", docstore.FindRangeReq{Collection: collection, Field: field, Min: min, Max: max, Limit: int64(limit)}, &resp)
 	return resp.Docs, err
@@ -133,6 +176,9 @@ func (d DB) FindRange(ctx context.Context, collection, field string, min, max in
 
 // Delete removes a document.
 func (d DB) Delete(ctx context.Context, collection, id string) (bool, error) {
+	if d.Shards != nil {
+		return d.shardedDocDelete(ctx, collection, id)
+	}
 	var resp docstore.DeleteResp
 	err := d.C.Call(ctx, "Delete", docstore.DeleteReq{Collection: collection, ID: id}, &resp)
 	return resp.Existed, err

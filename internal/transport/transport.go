@@ -61,6 +61,12 @@ type Call struct {
 	// success.
 	Reply []byte
 
+	// Addr is the replica address this call is pinned to, when routing is
+	// per-replica (the shard router stamps it before running the chain).
+	// Load-balanced calls leave it empty — the replica is picked under the
+	// chain, not above it. Fault rules use it to target a single replica.
+	Addr string
+
 	// outrun is set by the hedge middleware when this attempt lost to a
 	// sibling: a peer replica proved the work completes fast, so the loser's
 	// replica — not the request — was the slow party. The breaker reads it
@@ -105,7 +111,7 @@ func (c *Call) Outrun() bool { return c.outrun.Load() }
 // Hedging and retries clone the call so concurrent attempts never share the
 // header map or the reply slot; the payload is shared read-only.
 func (c *Call) Clone() *Call {
-	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload}
+	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Addr: c.Addr}
 	if c.Headers != nil {
 		cp.Headers = make(map[string]string, len(c.Headers))
 		for k, v := range c.Headers {
