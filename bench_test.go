@@ -76,3 +76,8 @@ func BenchmarkWriteFanout(b *testing.B) { runExperiment(b, "hotpath") }
 // tail-at-scale regimes: Zipf skew over 1 vs 8 shards at equal offered
 // load, then a slow replica on the hot shard with and without protection.
 func BenchmarkTailAtScale(b *testing.B) { runExperiment(b, "tailatscale") }
+
+// BenchmarkClusterParity boots all five applications on one registry with
+// a shared machine budget and runs the mixed-tenant flash-crowd isolation
+// experiment, with and without the control plane.
+func BenchmarkClusterParity(b *testing.B) { runExperiment(b, "clusterparity") }

@@ -98,12 +98,15 @@ func main() {
 	}
 	fmt.Printf("  sock-wool stock is now %d (was 40)\n", item.Stock)
 
-	var recs []ecommerce.Item
+	var recs ecommerce.RecommendationsBody
 	if err := fe.Do(ctx, "GET", "/recommend?token="+login.Token, nil, &recs); err != nil {
 		log.Fatalf("recommend: %v", err)
 	}
 	fmt.Println("\nrecommended after this purchase:")
-	for _, it := range recs {
+	if recs.Degraded {
+		fmt.Println("  (recommender degraded — empty list served)")
+	}
+	for _, it := range recs.Items {
 		fmt.Printf("  %-12s %s\n", it.ID, it.Name)
 	}
 }

@@ -61,8 +61,15 @@ func main() {
 			fmt.Printf("  %s: %d steps, %d replans, recognized %q (confident=%v) in %v\n",
 				drone.ID, res.Steps, res.Replans, res.Label, res.Confident, res.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("  telemetry archived: %d location samples, %d frames\n\n",
-			sw.Telemetry.Collection("location").Len(), sw.Telemetry.Collection("images").Len())
+		locations, err := sw.ArchivedSamples(ctx, "location")
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		frames, err := sw.ArchivedSamples(ctx, "images")
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		fmt.Printf("  telemetry archived: %d location samples, %d frames\n\n", locations, frames)
 		app.Close()
 	}
 	fmt.Println("note: the cloud placement pays the wifi hop on every avoidance check —")

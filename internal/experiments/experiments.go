@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"chaos", "Replica crash and partition vs leases + degradation (Fig 20 extension, live stack)", Chaos},
 		{"hotpath", "Miss coalescing and batched write fan-out (live stack)", HotPath},
 		{"tailatscale", "Zipf skew and a slow shard vs the sharded stateful tier (live stack)", TailAtScale},
+		{"clusterparity", "Flash crowd on one tenant of a five-app shared cluster (live stack)", ClusterParity},
 	}
 }
 

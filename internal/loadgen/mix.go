@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dsb/internal/metrics"
+)
+
+// MixEntry is one tenant in a multi-application workload mix: a named
+// request generator and its relative weight in the combined arrival stream.
+type MixEntry struct {
+	// Name labels the tenant in per-app results ("social", "media", ...).
+	Name string
+	// Weight is the entry's share of arrivals, relative to the sum of all
+	// weights. Non-positive weights are dropped from the mix.
+	Weight float64
+	// Do issues one request for this tenant; it must be safe for concurrent
+	// use.
+	Do func(ctx context.Context) error
+}
+
+// Mix assigns each arrival of one open-loop process to a tenant by weighted
+// draw, modelling several applications sharing a cluster: the *combined*
+// offered load follows the arrival process, and every tenant sees a
+// binomially-thinned slice of it — exactly how co-located services share a
+// front door. Pick is safe for concurrent use.
+type Mix struct {
+	entries []MixEntry
+	cdf     []float64
+	src     *Source
+}
+
+// NewMix builds a weighted mix over the entries (non-positive weights are
+// dropped). It panics when no entry has positive weight — a mix with
+// nothing to draw is a composition bug, not a runtime condition.
+func NewMix(seed uint64, entries ...MixEntry) *Mix {
+	m := &Mix{src: NewSource(seed)}
+	var sum float64
+	for _, e := range entries {
+		if e.Weight <= 0 {
+			continue
+		}
+		sum += e.Weight
+		m.entries = append(m.entries, e)
+		m.cdf = append(m.cdf, sum)
+	}
+	if len(m.entries) == 0 {
+		panic("loadgen: mix has no entry with positive weight")
+	}
+	for i := range m.cdf {
+		m.cdf[i] /= sum
+	}
+	return m
+}
+
+// Pick draws the tenant for the next arrival.
+func (m *Mix) Pick() MixEntry {
+	u := m.src.Float64()
+	lo, hi := 0, len(m.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return m.entries[lo]
+}
+
+// RunOpenLoopMix fires the combined arrival stream open-loop for the given
+// duration, routing each arrival to a tenant by weighted draw, and returns
+// one Result per tenant name plus the combined Result under "". Like
+// RunOpenLoop, requests never wait on each other, so a slowdown in one
+// tenant surfaces as queueing there without thinning the others' offered
+// load — the property the mixed-tenant cluster experiment measures.
+func RunOpenLoopMix(ctx context.Context, arrivals Arrivals, duration time.Duration, mix *Mix) map[string]Result {
+	type tally struct {
+		res  Result
+		hist *metrics.Histogram
+	}
+	tallies := make(map[string]*tally, len(mix.entries)+1)
+	for _, e := range mix.entries {
+		tallies[e.Name] = &tally{hist: metrics.NewHistogram()}
+	}
+	tallies[""] = &tally{hist: metrics.NewHistogram()}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	<-timer.C
+	defer timer.Stop()
+	for {
+		if time.Since(start) >= duration || ctx.Err() != nil {
+			break
+		}
+		timer.Reset(arrivals.Next())
+		select {
+		case <-ctx.Done():
+		case <-timer.C:
+		}
+		if ctx.Err() != nil || time.Since(start) >= duration {
+			break
+		}
+		entry := mix.Pick()
+		mu.Lock()
+		tallies[entry.Name].res.Issued++
+		tallies[""].res.Issued++
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			err := entry.Do(ctx)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			for _, tl := range []*tally{tallies[entry.Name], tallies[""]} {
+				if err != nil {
+					tl.res.Errors++
+				} else {
+					tl.res.Completed++
+					tl.hist.RecordDuration(lat)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	out := make(map[string]Result, len(tallies))
+	for name, tl := range tallies {
+		tl.res.Elapsed = elapsed
+		tl.res.Latency = tl.hist.Snapshot()
+		out[name] = tl.res
+	}
+	return out
+}

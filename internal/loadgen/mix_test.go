@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMixPickProportions draws from a 1:2:7 mix and checks each tenant's
+// share converges on its weight.
+func TestMixPickProportions(t *testing.T) {
+	mix := NewMix(42,
+		MixEntry{Name: "a", Weight: 1},
+		MixEntry{Name: "b", Weight: 2},
+		MixEntry{Name: "c", Weight: 7},
+	)
+	const draws = 10000
+	counts := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		counts[mix.Pick().Name]++
+	}
+	want := map[string]float64{"a": 0.1, "b": 0.2, "c": 0.7}
+	for name, frac := range want {
+		got := float64(counts[name]) / draws
+		if math.Abs(got-frac) > 0.02 {
+			t.Errorf("tenant %s share = %.3f, want %.3f ± 0.02", name, got, frac)
+		}
+	}
+}
+
+// TestMixDropsNonPositiveWeights checks zero/negative weights never draw
+// and an all-dropped mix panics.
+func TestMixDropsNonPositiveWeights(t *testing.T) {
+	mix := NewMix(7,
+		MixEntry{Name: "live", Weight: 1},
+		MixEntry{Name: "off", Weight: 0},
+		MixEntry{Name: "neg", Weight: -3},
+	)
+	for i := 0; i < 100; i++ {
+		if got := mix.Pick().Name; got != "live" {
+			t.Fatalf("drew dropped tenant %q", got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty mix did not panic")
+		}
+	}()
+	NewMix(7, MixEntry{Name: "off", Weight: 0})
+}
+
+// TestRunOpenLoopMix runs a two-tenant mix and checks per-tenant and
+// combined accounting line up.
+func TestRunOpenLoopMix(t *testing.T) {
+	var aCalls, bCalls atomic.Int64
+	mix := NewMix(11,
+		MixEntry{Name: "a", Weight: 3, Do: func(ctx context.Context) error {
+			aCalls.Add(1)
+			return nil
+		}},
+		MixEntry{Name: "b", Weight: 1, Do: func(ctx context.Context) error {
+			bCalls.Add(1)
+			return errors.New("tenant b always fails")
+		}},
+	)
+	results := RunOpenLoopMix(context.Background(), ConstantRate{Gap: 200 * time.Microsecond}, 100*time.Millisecond, mix)
+
+	a, b, all := results["a"], results["b"], results[""]
+	if a.Issued == 0 || b.Issued == 0 {
+		t.Fatalf("tenants starved: a=%+v b=%+v", a, b)
+	}
+	if a.Issued+b.Issued != all.Issued {
+		t.Fatalf("combined issued %d != %d + %d", all.Issued, a.Issued, b.Issued)
+	}
+	if a.Issued != aCalls.Load() || b.Issued != bCalls.Load() {
+		t.Fatalf("issued (%d, %d) != calls (%d, %d)", a.Issued, b.Issued, aCalls.Load(), bCalls.Load())
+	}
+	if a.Errors != 0 || a.Completed != a.Issued {
+		t.Fatalf("tenant a = %+v, want all completed", a)
+	}
+	if b.Completed != 0 || b.Errors != b.Issued {
+		t.Fatalf("tenant b = %+v, want all errored", b)
+	}
+	if all.Completed != a.Completed || all.Errors != b.Errors {
+		t.Fatalf("combined = %+v", all)
+	}
+	if a.Issued < 2*b.Issued {
+		t.Fatalf("3:1 weights but issued %d vs %d", a.Issued, b.Issued)
+	}
+}

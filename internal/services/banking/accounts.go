@@ -1,7 +1,9 @@
 package banking
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +26,14 @@ type CustomerResp struct {
 // PutCustomerReq stores a profile.
 type PutCustomerReq struct{ Customer Customer }
 
-// registerCustomerInfo installs the customerInfo service.
-func registerCustomerInfo(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+const customerCacheTTL = 5 * time.Minute
+
+// registerCustomerInfo installs the customerInfo service. Profile lookups —
+// the hottest read in the app, on the path of every lending, card, and
+// summary request — run through the shared cache-aside ReadPath: cached
+// under "cust:<username>" (invalidated by Put), with concurrent misses on
+// one customer coalesced into a single backing Get.
+func registerCustomerInfo(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoalesce bool) {
 	svcutil.Handle(srv, "Put", func(ctx *rpc.Ctx, req *PutCustomerReq) (*struct{}, error) {
 		c := req.Customer
 		if c.Username == "" {
@@ -41,23 +49,34 @@ func registerCustomerInfo(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 		mc.Delete(ctx, "cust:"+c.Username) //nolint:errcheck
 		return nil, nil
 	})
-	svcutil.Handle(srv, "Get", func(ctx *rpc.Ctx, req *CustomerReq) (*CustomerResp, error) {
-		if v, found, err := mc.Get(ctx, "cust:"+req.Username); err == nil && found {
+	custPath := &svcutil.ReadPath[Customer]{
+		MC:         mc,
+		TTL:        customerCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) (Customer, error) {
 			var c Customer
-			if codec.Unmarshal(v, &c) == nil {
-				return &CustomerResp{Customer: c, Found: true}, nil
+			err := codec.Unmarshal(b, &c)
+			return c, err
+		},
+		Fetch: func(ctx context.Context, key string) (Customer, []byte, bool, error) {
+			username := strings.TrimPrefix(key, "cust:")
+			doc, found, err := db.Get(ctx, "customers", username)
+			if err != nil || !found {
+				return Customer{}, nil, false, err
 			}
+			var c Customer
+			if err := codec.Unmarshal(doc.Body, &c); err != nil {
+				return Customer{}, nil, false, fmt.Errorf("customerInfo: corrupt customer %s: %w", username, err)
+			}
+			return c, doc.Body, true, nil
+		},
+	}
+	svcutil.Handle(srv, "Get", func(ctx *rpc.Ctx, req *CustomerReq) (*CustomerResp, error) {
+		c, found, err := custPath.Get(ctx, "cust:"+req.Username)
+		if err != nil {
+			return nil, err
 		}
-		doc, found, err := db.Get(ctx, "customers", req.Username)
-		if err != nil || !found {
-			return &CustomerResp{}, err
-		}
-		var c Customer
-		if err := codec.Unmarshal(doc.Body, &c); err != nil {
-			return nil, fmt.Errorf("customerInfo: corrupt customer %s: %w", req.Username, err)
-		}
-		mc.Set(ctx, "cust:"+req.Username, doc.Body, 5*time.Minute) //nolint:errcheck
-		return &CustomerResp{Customer: c, Found: true}, nil
+		return &CustomerResp{Customer: c, Found: found}, nil
 	})
 }
 

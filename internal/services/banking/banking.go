@@ -6,11 +6,10 @@ import (
 	"time"
 
 	"dsb/internal/core"
-	"dsb/internal/docstore"
-	"dsb/internal/kv"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
+	"dsb/internal/transport"
 )
 
 // SettlementAccount receives credit-card payments; it is opened at boot.
@@ -18,7 +17,42 @@ const settlementOwner = "__bank__"
 
 // Config sizes the deployment.
 type Config struct {
+	// Shards partitions every db/mc storage tier into this many
+	// consistent-hash shards (default 1 = single-instance layout); with
+	// Shards > 1 or ShardReplicas > 1 the tiers boot through
+	// svcutil.StartShardReplicas and services reach them via shard routers.
+	Shards int
+	// ShardReplicas is the replica count per storage shard (default 1).
+	ShardReplicas int
+	// CacheBytes bounds each cache tier (0 = unbounded).
+	CacheBytes int64
+	// Clock overrides time for deterministic tests.
 	Clock func() time.Time
+	// Middleware is installed on every inter-tier client wire.
+	Middleware []transport.Middleware
+	// Replicas scales replicable logic tiers out at boot, keyed by tier name.
+	Replicas map[string]int
+	// DisableDegradation makes the account summary fail hard when the
+	// wealthMgmt tier is unreachable instead of omitting the portfolio.
+	DisableDegradation bool
+	// DisableCoalescing turns off miss coalescing on the customer-profile
+	// read path.
+	DisableCoalescing bool
+	// Spawner, when set, receives replicable tier boots so the control plane
+	// can autoscale them.
+	Spawner svcutil.Definer
+}
+
+// replicable names the logic tiers safe to run multi-instance: their state
+// lives in the db/mc tiers or is static. transactionPosting stays
+// single-instance (it is the single writer of balances and derives account
+// and txn IDs from a per-process sequence), as do customerActivity and
+// creditCard (per-process ID sequences).
+var replicable = map[string]bool{
+	"customerInfo": true, "authentication": true, "acl": true,
+	"payments": true, "personalLending": true, "businessLending": true,
+	"mortgages": true, "wealthMgmt": true, "offerBanners": true,
+	"bankInfo": true, "userPreferences": true,
 }
 
 // Banking is a running Banking System deployment.
@@ -38,90 +72,76 @@ type Banking struct {
 
 // New boots the Banking System.
 func New(app *core.App, cfg Config) (*Banking, error) {
-	for _, name := range []string{"db-customers", "db-accounts", "db-credentials", "db-activity", "db-cards", "db-portfolios", "db-preferences"} {
-		store := docstore.NewStore()
-		if _, err := app.StartRPC("bank."+name, func(s *rpc.Server) {
-			docstore.RegisterService(s, store)
-		}); err != nil {
-			return nil, err
-		}
+	stack := &svcutil.Stack{
+		App:           app,
+		Prefix:        "bank.",
+		Shards:        cfg.Shards,
+		ShardReplicas: cfg.ShardReplicas,
+		CacheBytes:    cfg.CacheBytes,
+		Middleware:    cfg.Middleware,
+		Replicable:    replicable,
+		Replicas:      cfg.Replicas,
+		Spawner:       cfg.Spawner,
 	}
-	for _, name := range []string{"mc-customers", "mc-sessions"} {
-		cache := kv.New(0)
-		if _, err := app.StartRPC("bank."+name, func(s *rpc.Server) {
-			kv.RegisterService(s, cache)
-		}); err != nil {
-			return nil, err
-		}
+	if err := stack.StartStores("db-customers", "db-accounts", "db-credentials", "db-activity", "db-cards", "db-portfolios", "db-preferences"); err != nil {
+		return nil, err
+	}
+	if err := stack.StartCaches("mc-customers", "mc-sessions"); err != nil {
+		return nil, err
 	}
 	infoDB, err := newBankInfoDB()
 	if err != nil {
 		return nil, err
 	}
 
-	cl := func(caller, target string) (svcutil.Caller, error) {
-		return app.RPC("bank."+caller, "bank."+target)
-	}
-	must := func(c svcutil.Caller, err error) svcutil.Caller {
-		if err != nil {
-			panic(err)
-		}
-		return c
+	degrade := !cfg.DisableDegradation
+	cl, db, mc, start := stack.Caller, stack.DB, stack.KV, stack.Start
+
+	start("customerInfo", func(s *rpc.Server) {
+		registerCustomerInfo(s, db("customerInfo", "db-customers"), mc("customerInfo", "mc-customers"), cfg.DisableCoalescing)
+	})
+	start("authentication", func(s *rpc.Server) {
+		registerAuthentication(s, db("authentication", "db-credentials"), mc("authentication", "mc-sessions"))
+	})
+	start("transactionPosting", func(s *rpc.Server) {
+		registerTransactionPosting(s, db("transactionPosting", "db-accounts"), cfg.Clock)
+	})
+	start("acl", func(s *rpc.Server) {
+		registerACL(s, cl("acl", "transactionPosting"))
+	})
+	start("customerActivity", func(s *rpc.Server) {
+		registerCustomerActivity(s, db("customerActivity", "db-activity"), cfg.Clock)
+	})
+	start("payments", func(s *rpc.Server) {
+		registerPayments(s, paymentsDeps{
+			auth:     cl("payments", "authentication"),
+			acl:      cl("payments", "acl"),
+			posting:  cl("payments", "transactionPosting"),
+			activity: cl("payments", "customerActivity"),
+		})
+	})
+	start("personalLending", func(s *rpc.Server) {
+		registerPersonalLending(s, cl("personalLending", "authentication"), cl("personalLending", "customerInfo"))
+	})
+	start("businessLending", func(s *rpc.Server) {
+		registerBusinessLending(s, cl("businessLending", "authentication"))
+	})
+	start("mortgages", func(s *rpc.Server) {
+		registerMortgages(s, cl("mortgages", "authentication"), cl("mortgages", "customerInfo"))
+	})
+	start("wealthMgmt", func(s *rpc.Server) {
+		registerWealthMgmt(s, cl("wealthMgmt", "authentication"), db("wealthMgmt", "db-portfolios"))
+	})
+	start("offerBanners", func(s *rpc.Server) { registerOfferBanners(s, nil) })
+	start("bankInfo", func(s *rpc.Server) { registerBankInfo(s, infoDB) })
+	start("userPreferences", func(s *rpc.Server) {
+		registerUserPreferences(s, db("userPreferences", "db-preferences"))
+	})
+	if err := stack.Boot(); err != nil {
+		return nil, fmt.Errorf("banking: boot: %w", err)
 	}
 
 	b := &Banking{App: app}
-
-	type stage struct {
-		name     string
-		register func(*rpc.Server)
-	}
-	stages := []stage{
-		{"customerInfo", func(s *rpc.Server) {
-			registerCustomerInfo(s, svcutil.DB{C: must(cl("customerInfo", "db-customers"))}, svcutil.KV{C: must(cl("customerInfo", "mc-customers"))})
-		}},
-		{"authentication", func(s *rpc.Server) {
-			registerAuthentication(s, svcutil.DB{C: must(cl("authentication", "db-credentials"))}, svcutil.KV{C: must(cl("authentication", "mc-sessions"))})
-		}},
-		{"transactionPosting", func(s *rpc.Server) {
-			registerTransactionPosting(s, svcutil.DB{C: must(cl("transactionPosting", "db-accounts"))}, cfg.Clock)
-		}},
-		{"acl", func(s *rpc.Server) {
-			registerACL(s, must(cl("acl", "transactionPosting")))
-		}},
-		{"customerActivity", func(s *rpc.Server) {
-			registerCustomerActivity(s, svcutil.DB{C: must(cl("customerActivity", "db-activity"))}, cfg.Clock)
-		}},
-		{"payments", func(s *rpc.Server) {
-			registerPayments(s, paymentsDeps{
-				auth:     must(cl("payments", "authentication")),
-				acl:      must(cl("payments", "acl")),
-				posting:  must(cl("payments", "transactionPosting")),
-				activity: must(cl("payments", "customerActivity")),
-			})
-		}},
-		{"personalLending", func(s *rpc.Server) {
-			registerPersonalLending(s, must(cl("personalLending", "authentication")), must(cl("personalLending", "customerInfo")))
-		}},
-		{"businessLending", func(s *rpc.Server) {
-			registerBusinessLending(s, must(cl("businessLending", "authentication")))
-		}},
-		{"mortgages", func(s *rpc.Server) {
-			registerMortgages(s, must(cl("mortgages", "authentication")), must(cl("mortgages", "customerInfo")))
-		}},
-		{"wealthMgmt", func(s *rpc.Server) {
-			registerWealthMgmt(s, must(cl("wealthMgmt", "authentication")), svcutil.DB{C: must(cl("wealthMgmt", "db-portfolios"))})
-		}},
-		{"offerBanners", func(s *rpc.Server) { registerOfferBanners(s, nil) }},
-		{"bankInfo", func(s *rpc.Server) { registerBankInfo(s, infoDB) }},
-		{"userPreferences", func(s *rpc.Server) {
-			registerUserPreferences(s, svcutil.DB{C: must(cl("userPreferences", "db-preferences"))})
-		}},
-	}
-	for _, st := range stages {
-		if _, err := app.StartRPC("bank."+st.name, st.register); err != nil {
-			return nil, fmt.Errorf("banking: start %s: %w", st.name, err)
-		}
-	}
 
 	// Open the settlement account before the card service needs it.
 	posting, err := app.RPC("boot", "bank.transactionPosting")
@@ -134,33 +154,34 @@ func New(app *core.App, cfg Config) (*Banking, error) {
 	}
 	b.SettlementAccountID = settle.Account.ID
 
-	if _, err := app.StartRPC("bank.creditCard", func(s *rpc.Server) {
+	start("creditCard", func(s *rpc.Server) {
 		registerCreditCard(s,
-			must(cl("creditCard", "authentication")),
-			must(cl("creditCard", "customerInfo")),
-			must(cl("creditCard", "transactionPosting")),
-			must(cl("creditCard", "acl")),
-			svcutil.DB{C: must(cl("creditCard", "db-cards"))},
+			cl("creditCard", "authentication"),
+			cl("creditCard", "customerInfo"),
+			cl("creditCard", "transactionPosting"),
+			cl("creditCard", "acl"),
+			db("creditCard", "db-cards"),
 			b.SettlementAccountID)
-	}); err != nil {
-		return nil, err
+	})
+	if err := stack.Boot(); err != nil {
+		return nil, fmt.Errorf("banking: boot creditCard: %w", err)
 	}
 
 	if _, err := app.StartREST("bank.frontend", func(s *rest.Server) {
 		registerFrontend(s, bankFrontendDeps{
-			auth:      must(cl("frontend", "authentication")),
-			customer:  must(cl("frontend", "customerInfo")),
-			posting:   must(cl("frontend", "transactionPosting")),
-			payments:  must(cl("frontend", "payments")),
-			personal:  must(cl("frontend", "personalLending")),
-			business:  must(cl("frontend", "businessLending")),
-			mortgages: must(cl("frontend", "mortgages")),
-			cards:     must(cl("frontend", "creditCard")),
-			wealth:    must(cl("frontend", "wealthMgmt")),
-			offers:    must(cl("frontend", "offerBanners")),
-			info:      must(cl("frontend", "bankInfo")),
-			activity:  must(cl("frontend", "customerActivity")),
-		})
+			auth:      cl("frontend", "authentication"),
+			customer:  cl("frontend", "customerInfo"),
+			posting:   cl("frontend", "transactionPosting"),
+			payments:  cl("frontend", "payments"),
+			personal:  cl("frontend", "personalLending"),
+			business:  cl("frontend", "businessLending"),
+			mortgages: cl("frontend", "mortgages"),
+			cards:     cl("frontend", "creditCard"),
+			wealth:    cl("frontend", "wealthMgmt"),
+			offers:    cl("frontend", "offerBanners"),
+			info:      cl("frontend", "bankInfo"),
+			activity:  cl("frontend", "customerActivity"),
+		}, degrade)
 	}); err != nil {
 		return nil, err
 	}

@@ -64,8 +64,24 @@ type bankFrontendDeps struct {
 	activity  svcutil.Caller
 }
 
-// registerFrontend installs the Banking REST front door.
-func registerFrontend(srv *rest.Server, d bankFrontendDeps) {
+// SummaryBody is the GET /summary response: the customer's accounts and
+// total balance (critical), plus the wealth-management portfolio value.
+// Degraded marks a summary served without the portfolio because the
+// wealthMgmt tier was unreachable — the non-critical hop the front door
+// sacrifices rather than failing the whole page.
+type SummaryBody struct {
+	Accounts     []Account `json:"accounts"`
+	BalanceCents int64     `json:"balance_cents"`
+	WealthCents  int64     `json:"wealth_cents"`
+	Holdings     []Holding `json:"holdings,omitempty"`
+	Degraded     bool      `json:"degraded,omitempty"`
+}
+
+// registerFrontend installs the Banking REST front door. With degrade on,
+// the wealth-management hop of GET /summary is non-critical: a failure
+// there omits the portfolio and marks the response Degraded instead of
+// erroring.
+func registerFrontend(srv *rest.Server, d bankFrontendDeps, degrade bool) {
 	srv.Handle("POST /login", func(ctx *rest.Ctx, body []byte) (any, error) {
 		var req CredentialsBody
 		if err := rest.DecodeJSON(body, &req); err != nil {
@@ -106,6 +122,36 @@ func registerFrontend(srv *rest.Server, d bankFrontendDeps) {
 			return nil, err
 		}
 		return resp.Accounts, nil
+	})
+
+	srv.Handle("GET /summary", func(ctx *rest.Ctx, body []byte) (any, error) {
+		token := ctx.Query("token")
+		var auth VerifyTokenResp
+		if err := d.auth.Call(ctx, "Verify", VerifyTokenReq{Token: token}, &auth); err != nil {
+			return nil, err
+		}
+		if !auth.Valid {
+			return nil, errUnauthorizedBank
+		}
+		var accounts AccountsResp
+		if err := d.posting.Call(ctx, "ByOwner", AccountsByOwnerReq{Owner: auth.Username}, &accounts); err != nil {
+			return nil, err
+		}
+		out := SummaryBody{Accounts: accounts.Accounts}
+		for _, a := range accounts.Accounts {
+			out.BalanceCents += a.BalanceCents
+		}
+		var portfolio PortfolioResp
+		if err := svcutil.CallBounded(ctx, degrade, d.wealth, "Portfolio", PortfolioReq{Token: token}, &portfolio); err != nil {
+			if !degrade {
+				return nil, err
+			}
+			out.Degraded = true
+			return out, nil
+		}
+		out.WealthCents = portfolio.ValueCents
+		out.Holdings = portfolio.Holdings
+		return out, nil
 	})
 
 	srv.Handle("POST /loans/personal", func(ctx *rest.Ctx, body []byte) (any, error) {

@@ -1,6 +1,7 @@
 package ecommerce
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,8 +44,12 @@ type AdjustStockReq struct {
 const itemCacheTTL = 5 * time.Minute
 
 // registerCatalogue installs the catalogue service (the Go microservice
-// mining memcached and MongoDB in Figure 6).
-func registerCatalogue(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+// mining memcached and MongoDB in Figure 6). Item lookups — the hottest
+// read in the app, hit by browse, search, discounts, and order placement —
+// run through the shared cache-aside ReadPath: cached under "item:<id>"
+// (invalidated by Add and AdjustStock), with concurrent misses on one item
+// coalesced into a single backing Get.
+func registerCatalogue(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoalesce bool) {
 	svcutil.Handle(srv, "Add", func(ctx *rpc.Ctx, req *AddItemReq) (*struct{}, error) {
 		it := req.Item
 		if it.ID == "" || it.Name == "" || it.PriceCents < 0 {
@@ -65,27 +70,31 @@ func registerCatalogue(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 		return nil, nil
 	})
 
-	getItem := func(ctx *rpc.Ctx, id string) (Item, bool, error) {
-		if v, found, err := mc.Get(ctx, "item:"+id); err == nil && found {
+	itemPath := &svcutil.ReadPath[Item]{
+		MC:         mc,
+		TTL:        itemCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) (Item, error) {
 			var it Item
-			if codec.Unmarshal(v, &it) == nil {
-				return it, true, nil
+			err := codec.Unmarshal(b, &it)
+			return it, err
+		},
+		Fetch: func(ctx context.Context, key string) (Item, []byte, bool, error) {
+			id := strings.TrimPrefix(key, "item:")
+			doc, found, err := db.Get(ctx, "items", id)
+			if err != nil || !found {
+				return Item{}, nil, false, err
 			}
-		}
-		doc, found, err := db.Get(ctx, "items", id)
-		if err != nil || !found {
-			return Item{}, false, err
-		}
-		var it Item
-		if err := codec.Unmarshal(doc.Body, &it); err != nil {
-			return Item{}, false, fmt.Errorf("catalogue: corrupt item %s: %w", id, err)
-		}
-		mc.Set(ctx, "item:"+id, doc.Body, itemCacheTTL) //nolint:errcheck
-		return it, true, nil
+			var it Item
+			if err := codec.Unmarshal(doc.Body, &it); err != nil {
+				return Item{}, nil, false, fmt.Errorf("catalogue: corrupt item %s: %w", id, err)
+			}
+			return it, doc.Body, true, nil
+		},
 	}
 
 	svcutil.Handle(srv, "Get", func(ctx *rpc.Ctx, req *GetItemReq) (*GetItemResp, error) {
-		it, found, err := getItem(ctx, req.ID)
+		it, found, err := itemPath.Get(ctx, "item:"+req.ID)
 		if err != nil {
 			return nil, err
 		}

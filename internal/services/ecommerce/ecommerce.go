@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"dsb/internal/core"
-	"dsb/internal/docstore"
-	"dsb/internal/kv"
 	"dsb/internal/mq"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
@@ -32,6 +30,26 @@ type Config struct {
 	// (transactionID's sequence, queueMaster's consumer) and the storage
 	// tiers ignore it. Stages default to one replica.
 	Replicas map[string]int
+	// Shards partitions every db/mc storage tier into this many
+	// consistent-hash shards (default 1 = single-instance layout); with
+	// Shards > 1 or ShardReplicas > 1 the tiers boot through
+	// svcutil.StartShardReplicas and services reach them via shard routers.
+	Shards int
+	// ShardReplicas is the replica count per storage shard (default 1).
+	ShardReplicas int
+	// CacheBytes bounds each cache tier (0 = unbounded, the historical
+	// layout).
+	CacheBytes int64
+	// DisableDegradation makes GET /recommend fail hard when the
+	// recommender tier is unreachable instead of serving an empty, Degraded
+	// recommendation list.
+	DisableDegradation bool
+	// DisableCoalescing turns off miss coalescing on the catalogue item
+	// read path.
+	DisableCoalescing bool
+	// Spawner, when set, receives replicable stage boots so the control
+	// plane can autoscale them.
+	Spawner svcutil.Definer
 }
 
 // replicable names the stages safe to run multi-instance: all their state
@@ -57,113 +75,92 @@ type Ecommerce struct {
 
 // New boots the E-commerce application.
 func New(app *core.App, cfg Config) (*Ecommerce, error) {
-	for _, name := range []string{"db-catalogue", "db-carts", "db-orders", "db-accounts", "db-invoices", "db-wishlists"} {
-		store := docstore.NewStore()
-		if _, err := app.StartRPC("ecom."+name, func(s *rpc.Server) {
-			docstore.RegisterService(s, store)
-		}); err != nil {
-			return nil, err
-		}
+	stack := &svcutil.Stack{
+		App:           app,
+		Prefix:        "ecom.",
+		Shards:        cfg.Shards,
+		ShardReplicas: cfg.ShardReplicas,
+		CacheBytes:    cfg.CacheBytes,
+		Middleware:    cfg.Middleware,
+		Replicable:    replicable,
+		Replicas:      cfg.Replicas,
+		Spawner:       cfg.Spawner,
 	}
-	for _, name := range []string{"mc-catalogue", "mc-accounts"} {
-		cache := kv.New(0)
-		if _, err := app.StartRPC("ecom."+name, func(s *rpc.Server) {
-			kv.RegisterService(s, cache)
-		}); err != nil {
-			return nil, err
-		}
+	if err := stack.StartStores("db-catalogue", "db-carts", "db-orders", "db-accounts", "db-invoices", "db-wishlists"); err != nil {
+		return nil, err
+	}
+	if err := stack.StartCaches("mc-catalogue", "mc-accounts"); err != nil {
+		return nil, err
 	}
 
-	cl := func(caller, target string) (svcutil.Caller, error) {
-		return app.RPC("ecom."+caller, "ecom."+target, cfg.Middleware...)
-	}
-	must := func(c svcutil.Caller, err error) svcutil.Caller {
-		if err != nil {
-			panic(err)
-		}
-		return c
-	}
+	degrade := !cfg.DisableDegradation
+	cl, db, mc, start := stack.Caller, stack.DB, stack.KV, stack.Start
 
 	broker := mq.NewBroker()
 	ec := &Ecommerce{App: app}
 
-	type stage struct {
-		name     string
-		register func(*rpc.Server)
-	}
-	stages := []stage{
-		{"catalogue", func(s *rpc.Server) {
-			registerCatalogue(s, svcutil.DB{C: must(cl("catalogue", "db-catalogue"))}, svcutil.KV{C: must(cl("catalogue", "mc-catalogue"))})
-		}},
-		{"accountInfo", func(s *rpc.Server) {
-			registerAccountInfo(s, svcutil.DB{C: must(cl("accountInfo", "db-accounts"))}, svcutil.KV{C: must(cl("accountInfo", "mc-accounts"))})
-		}},
-		{"search", func(s *rpc.Server) { registerSearch(s, must(cl("search", "catalogue"))) }},
-		{"discounts", func(s *rpc.Server) { registerDiscounts(s, must(cl("discounts", "catalogue")), nil) }},
-		{"cart", func(s *rpc.Server) {
-			registerCart(s, svcutil.DB{C: must(cl("cart", "db-carts"))})
-		}},
-		{"wishlist", func(s *rpc.Server) {
-			registerWishlist(s, svcutil.DB{C: must(cl("wishlist", "db-wishlists"))})
-		}},
-		{"shipping", registerShipping},
-		{"authorization", func(s *rpc.Server) {
-			registerAuthorization(s, must(cl("authorization", "accountInfo")))
-		}},
-		{"payment", func(s *rpc.Server) {
-			registerPayment(s, must(cl("payment", "authorization")), must(cl("payment", "accountInfo")))
-		}},
-		{"transactionID", func(s *rpc.Server) { registerTransactionID(s, cfg.Clock) }},
-		{"invoicing", func(s *rpc.Server) {
-			registerInvoicing(s, svcutil.DB{C: must(cl("invoicing", "db-invoices"))}, cfg.Clock)
-		}},
-		{"queueMaster", func(s *rpc.Server) {
-			ec.qm = registerQueueMaster(s, broker, svcutil.DB{C: must(cl("queueMaster", "db-orders"))}, must(cl("queueMaster", "catalogue")))
-		}},
-		{"orders", func(s *rpc.Server) {
-			registerOrders(s, ordersDeps{
-				user:        must(cl("orders", "accountInfo")),
-				cart:        must(cl("orders", "cart")),
-				catalogue:   must(cl("orders", "catalogue")),
-				shipping:    must(cl("orders", "shipping")),
-				discounts:   must(cl("orders", "discounts")),
-				payment:     must(cl("orders", "payment")),
-				transaction: must(cl("orders", "transactionID")),
-				invoicing:   must(cl("orders", "invoicing")),
-				queueMaster: must(cl("orders", "queueMaster")),
-				db:          svcutil.DB{C: must(cl("orders", "db-orders"))},
-				now:         cfg.Clock,
-			})
-		}},
-		{"recommender", func(s *rpc.Server) {
-			registerRecommender(s, must(cl("recommender", "orders")), must(cl("recommender", "catalogue")))
-		}},
-	}
-	for _, st := range stages {
-		n := 1
-		if replicable[st.name] {
-			if r := cfg.Replicas[st.name]; r > n {
-				n = r
-			}
-		}
-		register := st.register
-		if err := svcutil.StartReplicas(app, "ecom."+st.name, n, func(int) func(*rpc.Server) { return register }); err != nil {
-			return nil, fmt.Errorf("ecommerce: start %s: %w", st.name, err)
-		}
+	start("catalogue", func(s *rpc.Server) {
+		registerCatalogue(s, db("catalogue", "db-catalogue"), mc("catalogue", "mc-catalogue"), cfg.DisableCoalescing)
+	})
+	start("accountInfo", func(s *rpc.Server) {
+		registerAccountInfo(s, db("accountInfo", "db-accounts"), mc("accountInfo", "mc-accounts"))
+	})
+	start("search", func(s *rpc.Server) { registerSearch(s, cl("search", "catalogue")) })
+	start("discounts", func(s *rpc.Server) { registerDiscounts(s, cl("discounts", "catalogue"), nil) })
+	start("cart", func(s *rpc.Server) {
+		registerCart(s, db("cart", "db-carts"))
+	})
+	start("wishlist", func(s *rpc.Server) {
+		registerWishlist(s, db("wishlist", "db-wishlists"))
+	})
+	start("shipping", registerShipping)
+	start("authorization", func(s *rpc.Server) {
+		registerAuthorization(s, cl("authorization", "accountInfo"))
+	})
+	start("payment", func(s *rpc.Server) {
+		registerPayment(s, cl("payment", "authorization"), cl("payment", "accountInfo"))
+	})
+	start("transactionID", func(s *rpc.Server) { registerTransactionID(s, cfg.Clock) })
+	start("invoicing", func(s *rpc.Server) {
+		registerInvoicing(s, db("invoicing", "db-invoices"), cfg.Clock)
+	})
+	start("queueMaster", func(s *rpc.Server) {
+		ec.qm = registerQueueMaster(s, broker, db("queueMaster", "db-orders"), cl("queueMaster", "catalogue"))
+	})
+	start("orders", func(s *rpc.Server) {
+		registerOrders(s, ordersDeps{
+			user:        cl("orders", "accountInfo"),
+			cart:        cl("orders", "cart"),
+			catalogue:   cl("orders", "catalogue"),
+			shipping:    cl("orders", "shipping"),
+			discounts:   cl("orders", "discounts"),
+			payment:     cl("orders", "payment"),
+			transaction: cl("orders", "transactionID"),
+			invoicing:   cl("orders", "invoicing"),
+			queueMaster: cl("orders", "queueMaster"),
+			db:          db("orders", "db-orders"),
+			now:         cfg.Clock,
+		})
+	})
+	start("recommender", func(s *rpc.Server) {
+		registerRecommender(s, cl("recommender", "orders"), cl("recommender", "catalogue"))
+	})
+	if err := stack.Boot(); err != nil {
+		return nil, fmt.Errorf("ecommerce: boot: %w", err)
 	}
 
 	if _, err := app.StartREST("ecom.frontend", func(s *rest.Server) {
 		registerFrontend(s, frontendDeps{
-			user:        must(cl("frontend", "accountInfo")),
-			catalogue:   must(cl("frontend", "catalogue")),
-			search:      must(cl("frontend", "search")),
-			cart:        must(cl("frontend", "cart")),
-			wishlist:    must(cl("frontend", "wishlist")),
-			orders:      must(cl("frontend", "orders")),
-			recommender: must(cl("frontend", "recommender")),
-			discounts:   must(cl("frontend", "discounts")),
-			shipping:    must(cl("frontend", "shipping")),
-		})
+			user:        cl("frontend", "accountInfo"),
+			catalogue:   cl("frontend", "catalogue"),
+			search:      cl("frontend", "search"),
+			cart:        cl("frontend", "cart"),
+			wishlist:    cl("frontend", "wishlist"),
+			orders:      cl("frontend", "orders"),
+			recommender: cl("frontend", "recommender"),
+			discounts:   cl("frontend", "discounts"),
+			shipping:    cl("frontend", "shipping"),
+		}, degrade)
 	}); err != nil {
 		return nil, err
 	}

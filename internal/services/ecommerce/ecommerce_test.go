@@ -307,11 +307,11 @@ func TestRecommenderCoTag(t *testing.T) {
 	if _, err := ec.WaitForOrder(placed.Order.ID, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	var recs []Item
+	var recs RecommendationsBody
 	if err := ec.Frontend.Do(ctx, "GET", "/recommend?token="+token, nil, &recs); err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) == 0 || recs[0].ID != "sock-blue" {
+	if recs.Degraded || len(recs.Items) == 0 || recs.Items[0].ID != "sock-blue" {
 		t.Fatalf("recs = %+v", recs)
 	}
 }

@@ -32,6 +32,14 @@ type WishBody struct {
 	ItemID string `json:"item_id"`
 }
 
+// RecommendationsBody is the GET /recommend response. Degraded marks an
+// empty list served because the recommender tier was unreachable — the
+// non-critical hop the storefront sacrifices rather than failing the page.
+type RecommendationsBody struct {
+	Items    []Item `json:"items"`
+	Degraded bool   `json:"degraded,omitempty"`
+}
+
 type frontendDeps struct {
 	user        svcutil.Caller
 	catalogue   svcutil.Caller
@@ -45,8 +53,9 @@ type frontendDeps struct {
 }
 
 // registerFrontend installs the REST front door (the node.js front-end of
-// Figure 6).
-func registerFrontend(srv *rest.Server, d frontendDeps) {
+// Figure 6). With degrade on, the recommendation hop is non-critical: a
+// failure there yields an empty Degraded list instead of an error.
+func registerFrontend(srv *rest.Server, d frontendDeps, degrade bool) {
 	authed := func(ctx *rest.Ctx, token string) (string, error) {
 		var auth VerifyTokenResp
 		if err := d.user.Call(ctx, "VerifyToken", VerifyTokenReq{Token: token}, &auth); err != nil {
@@ -192,9 +201,12 @@ func registerFrontend(srv *rest.Server, d frontendDeps) {
 			return nil, err
 		}
 		var resp ItemsResp
-		if err := d.recommender.Call(ctx, "Recommend", RecommendItemsReq{Username: user, Limit: 5}, &resp); err != nil {
-			return nil, err
+		if err := svcutil.CallBounded(ctx, degrade, d.recommender, "Recommend", RecommendItemsReq{Username: user, Limit: 5}, &resp); err != nil {
+			if !degrade {
+				return nil, err
+			}
+			return RecommendationsBody{Degraded: true}, nil
 		}
-		return resp.Items, nil
+		return RecommendationsBody{Items: resp.Items}, nil
 	})
 }

@@ -3,11 +3,13 @@ package ecommerce
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dsb/internal/mq"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
+	"dsb/internal/transport"
 )
 
 // registerQueueMaster installs the queueMaster service: Enqueue publishes
@@ -16,11 +18,22 @@ import (
 // committed — strictly in publication order. The single consumer is the
 // point the paper identifies as constraining queueMaster's scalability at
 // high load.
+// maxQueueDepth bounds the order queue. Beyond it, Enqueue sheds with
+// CodeOverloaded — the same admission contract every other tier speaks — so
+// callers see a retryable "not now" instead of unbounded queueing delay.
+const maxQueueDepth = 256
+
+// overloadRetryBackoff spaces redeliveries of an order whose commit was shed
+// by the catalogue tier, so the consumer does not hot-loop on a downstream
+// that just said "not now".
+const overloadRetryBackoff = 5 * time.Millisecond
+
 type queueMaster struct {
 	queue     *mq.Queue
 	db        svcutil.DB
 	catalogue svcutil.Caller
 	wg        sync.WaitGroup
+	closed    atomic.Bool
 }
 
 func registerQueueMaster(srv *rpc.Server, broker *mq.Broker, db svcutil.DB, catalogue svcutil.Caller) *queueMaster {
@@ -28,6 +41,9 @@ func registerQueueMaster(srv *rpc.Server, broker *mq.Broker, db svcutil.DB, cata
 	svcutil.Handle(srv, "Enqueue", func(ctx *rpc.Ctx, req *GetOrderReq) (*struct{}, error) {
 		if req.ID == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "queueMaster: order ID required")
+		}
+		if qm.queue.Len()+qm.queue.InFlight() >= maxQueueDepth {
+			return nil, rpc.Errorf(rpc.CodeOverloaded, "queueMaster: order queue full")
 		}
 		_, err := qm.queue.Publish([]byte(req.ID))
 		return nil, err
@@ -40,7 +56,10 @@ func registerQueueMaster(srv *rpc.Server, broker *mq.Broker, db svcutil.DB, cata
 	return qm
 }
 
-// consume is the serialized commit loop.
+// consume is the serialized commit loop. A commit shed by the catalogue tier
+// (CodeOverloaded) is not a verdict on the order: the message is Nacked back
+// onto the queue and redelivered once the tier has room, instead of being
+// swallowed into a StatusRejected like any other error.
 func (qm *queueMaster) consume() {
 	defer qm.wg.Done()
 	for {
@@ -48,40 +67,57 @@ func (qm *queueMaster) consume() {
 		if !ok {
 			return
 		}
-		qm.commit(string(msg.Body))
+		if retry := qm.commit(string(msg.Body)); retry && !qm.closed.Load() {
+			qm.queue.Nack(msg.ID)
+			time.Sleep(overloadRetryBackoff)
+			continue
+		}
+		// On teardown a still-shed order is dropped from the queue (it keeps
+		// StatusQueued in the store) rather than spinning Close forever —
+		// Receive drains remaining items even after Close.
 		qm.queue.Ack(msg.ID)
 	}
 }
 
-func (qm *queueMaster) commit(orderID string) {
+// commit applies one order's stock decrements. It returns true when the
+// order must be redelivered: the catalogue shed the call with
+// CodeOverloaded, meaning the tier was healthy but full, so the order stays
+// StatusQueued rather than becoming a spurious rejection.
+func (qm *queueMaster) commit(orderID string) (retry bool) {
 	ctx := &rpc.Ctx{Context: context.Background(), Method: "commit", Service: "ecom.queueMaster"}
 	order, found, err := loadOrder(ctx, qm.db, orderID)
 	if err != nil || !found {
-		return
+		return false
 	}
 	if order.Status != StatusQueued {
-		return // already processed (redelivery)
+		return false // already processed (redelivery)
 	}
 	status := StatusCommitted
 	var decremented []CartLine
 	for _, line := range order.Lines {
 		err := qm.catalogue.Call(ctx, "AdjustStock", AdjustStockReq{ItemID: line.ItemID, Delta: -line.Quantity}, nil)
-		if err != nil {
-			status = StatusRejected
-			// Roll back the lines already taken.
-			for _, d := range decremented {
-				qm.catalogue.Call(ctx, "AdjustStock", AdjustStockReq{ItemID: d.ItemID, Delta: d.Quantity}, nil) //nolint:errcheck
-			}
-			break
+		if err == nil {
+			decremented = append(decremented, line)
+			continue
 		}
-		decremented = append(decremented, line)
+		// Roll back the lines already taken.
+		for _, d := range decremented {
+			qm.catalogue.Call(ctx, "AdjustStock", AdjustStockReq{ItemID: d.ItemID, Delta: d.Quantity}, nil) //nolint:errcheck
+		}
+		if transport.IsCode(err, transport.CodeOverloaded) {
+			return true
+		}
+		status = StatusRejected
+		break
 	}
 	order.Status = status
 	storeOrder(ctx, qm.db, order) //nolint:errcheck // terminal status write is best-effort on teardown
+	return false
 }
 
 // Close stops the consumer after draining in-flight work.
 func (qm *queueMaster) Close() {
+	qm.closed.Store(true)
 	qm.queue.Close()
 	qm.wg.Wait()
 }

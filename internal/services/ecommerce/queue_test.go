@@ -1,0 +1,144 @@
+package ecommerce
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsb/internal/core"
+	"dsb/internal/docstore"
+	"dsb/internal/mq"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+	"dsb/internal/transport"
+)
+
+// bootQueueRig wires a queueMaster against a real order store and a stub
+// catalogue whose AdjustStock behavior is driven by adjust(callNumber).
+func bootQueueRig(t *testing.T, adjust func(call int) error) (qm *queueMaster, enqueue svcutil.Caller, db svcutil.DB) {
+	t.Helper()
+	app := core.NewApp("ecom-queue", core.Options{})
+	t.Cleanup(func() { app.Close() })
+	store := docstore.NewStore()
+	if _, err := app.StartRPC("ecom.db-orders", func(s *rpc.Server) {
+		docstore.RegisterService(s, store)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	if _, err := app.StartRPC("ecom.catalogue", func(s *rpc.Server) {
+		svcutil.Handle(s, "AdjustStock", func(ctx *rpc.Ctx, req *AdjustStockReq) (*GetItemResp, error) {
+			if err := adjust(int(calls.Add(1))); err != nil {
+				return nil, err
+			}
+			return &GetItemResp{Found: true}, nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dbC, err := app.RPC("ecom.queueMaster", "ecom.db-orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db = svcutil.DB{C: dbC}
+	cat, err := app.RPC("ecom.queueMaster", "ecom.catalogue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.StartRPC("ecom.queueMaster", func(s *rpc.Server) {
+		qm = registerQueueMaster(s, mq.NewBroker(), db, cat)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(qm.Close)
+	enqueue, err = app.RPC("client", "ecom.queueMaster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, enqueue, db
+}
+
+func queueOrder(t *testing.T, db svcutil.DB, id string) {
+	t.Helper()
+	ctx := &rpc.Ctx{Context: context.Background(), Method: "test", Service: "test"}
+	if err := storeOrder(ctx, db, Order{
+		ID: id, Username: "u", Status: StatusQueued,
+		Lines: []CartLine{{ItemID: "sock", Quantity: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadedCommitRetriesNotRejects sheds the first AdjustStock calls
+// with CodeOverloaded: the order must stay queued and be redelivered until
+// the tier has room, then commit — never a spurious StatusRejected.
+func TestOverloadedCommitRetriesNotRejects(t *testing.T) {
+	qm, enqueue, db := bootQueueRig(t, func(call int) error {
+		if call <= 3 {
+			return rpc.Errorf(rpc.CodeOverloaded, "catalogue: admission shed")
+		}
+		return nil
+	})
+	ctx := context.Background()
+	queueOrder(t, db, "ord-1")
+	if err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: "ord-1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx := &rpc.Ctx{Context: ctx, Method: "test", Service: "test"}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		order, found, err := loadOrder(rctx, db, "ord-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found && order.Status == StatusRejected {
+			t.Fatal("overloaded commit was swallowed into StatusRejected")
+		}
+		if found && order.Status == StatusCommitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("order still %q after shed retries", order.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if qm.queue.Len()+qm.queue.InFlight() != 0 {
+		t.Fatalf("queue not drained: len=%d inflight=%d", qm.queue.Len(), qm.queue.InFlight())
+	}
+}
+
+// TestEnqueueShedsWhenFull pins the consumer on an order whose commit is
+// perpetually shed, fills the queue to maxQueueDepth, and expects the next
+// Enqueue to surface CodeOverloaded to the caller instead of queueing
+// without bound.
+func TestEnqueueShedsWhenFull(t *testing.T) {
+	_, enqueue, db := bootQueueRig(t, func(int) error {
+		return rpc.Errorf(rpc.CodeOverloaded, "catalogue: admission shed")
+	})
+	ctx := context.Background()
+	// ord-0 is real and its commit always sheds: after every redelivery it
+	// returns to the queue front, so nothing behind it ever drains.
+	queueOrder(t, db, "ord-0")
+	if err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: "ord-0"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	filled := 1
+	for i := 1; i < maxQueueDepth; i++ {
+		if err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: "ord-filler"}, nil); err != nil {
+			if transport.IsCode(err, transport.CodeOverloaded) {
+				break // consumer timing already pushed depth to the cap
+			}
+			t.Fatal(err)
+		}
+		filled++
+	}
+	if filled < maxQueueDepth/2 {
+		t.Fatalf("only %d orders enqueued before shed; cap not exercised", filled)
+	}
+	err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: "ord-overflow"}, nil)
+	if !transport.IsCode(err, transport.CodeOverloaded) {
+		t.Fatalf("enqueue beyond cap = %v, want CodeOverloaded", err)
+	}
+}

@@ -8,12 +8,15 @@ import (
 )
 
 // MoviePage is the composePage aggregation: everything the movie page
-// shows, assembled from four tiers in parallel.
+// shows, assembled from four tiers in parallel. Degraded marks a page served
+// without its reviews because the review tier was unreachable — the
+// non-critical hop the page sacrifices rather than failing outright.
 type MoviePage struct {
-	Movie   Movie        `json:"movie"`
-	Plot    string       `json:"plot"`
-	Cast    []CastMember `json:"cast"`
-	Reviews []Review     `json:"reviews"`
+	Movie    Movie        `json:"movie"`
+	Plot     string       `json:"plot"`
+	Cast     []CastMember `json:"cast"`
+	Reviews  []Review     `json:"reviews"`
+	Degraded bool         `json:"degraded,omitempty"`
 }
 
 // ReviewBody is the POST /reviews request.
@@ -50,8 +53,10 @@ type frontendDeps struct {
 
 // registerFrontend installs the REST front door. GET /movies/{title} is the
 // composePage path: movie info, plot, cast, and reviews fetched in parallel
-// and merged, as the real service's page composer does.
-func registerFrontend(srv *rest.Server, d frontendDeps) {
+// and merged, as the real service's page composer does. With degrade on, the
+// reviews hop is non-critical: a failure there yields a Degraded page
+// without reviews instead of an error.
+func registerFrontend(srv *rest.Server, d frontendDeps, degrade bool) {
 	srv.Handle("POST /register", func(ctx *rest.Ctx, body []byte) (any, error) {
 		var req CredentialsBody
 		if err := rest.DecodeJSON(body, &req); err != nil {
@@ -111,8 +116,14 @@ func registerFrontend(srv *rest.Server, d frontendDeps) {
 		go func() {
 			defer wg.Done()
 			var reviews ReviewsResp
-			if err := d.movieReview.Call(ctx, "List", ReviewsByMovieReq{MovieID: movie.Movie.ID, Limit: 10}, &reviews); err != nil {
-				fail(err)
+			if err := svcutil.CallBounded(ctx, degrade, d.movieReview, "List", ReviewsByMovieReq{MovieID: movie.Movie.ID, Limit: 10}, &reviews); err != nil {
+				if !degrade {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				page.Degraded = true
+				mu.Unlock()
 				return
 			}
 			page.Reviews = reviews.Reviews

@@ -7,11 +7,10 @@ import (
 
 	"dsb/internal/blobstore"
 	"dsb/internal/core"
-	"dsb/internal/docstore"
-	"dsb/internal/kv"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
+	"dsb/internal/transport"
 )
 
 // Config sizes the deployment.
@@ -19,8 +18,40 @@ type Config struct {
 	// MovieDBShards and MovieDBReplicas shape the MySQL-equivalent cluster
 	// (defaults 2 and 2).
 	MovieDBShards, MovieDBReplicas int
+	// Shards partitions every db/mc storage tier into this many
+	// consistent-hash shards (default 1 = single-instance layout); with
+	// Shards > 1 or ShardReplicas > 1 the tiers boot through
+	// svcutil.StartShardReplicas and services reach them via shard routers.
+	Shards int
+	// ShardReplicas is the replica count per storage shard (default 1).
+	ShardReplicas int
+	// CacheBytes bounds each cache tier (0 = unbounded, the historical
+	// layout).
+	CacheBytes int64
 	// Clock overrides time for deterministic tests.
 	Clock func() time.Time
+	// Middleware is installed on every inter-tier client wire.
+	Middleware []transport.Middleware
+	// Replicas scales replicable logic tiers out at boot, keyed by tier name.
+	Replicas map[string]int
+	// DisableDegradation makes the movie page fail hard when the review tier
+	// is unreachable instead of serving the page without reviews.
+	DisableDegradation bool
+	// DisableCoalescing turns off miss coalescing on the review-list read
+	// path.
+	DisableCoalescing bool
+	// Spawner, when set, receives replicable tier boots so the control plane
+	// can autoscale them.
+	Spawner svcutil.Definer
+}
+
+// replicable names the logic tiers safe to run multi-instance: their state
+// lives in the db/mc tiers (or the shared movie cluster). composeReview
+// stays single-instance — its review IDs derive from a per-process sequence.
+var replicable = map[string]bool{
+	"movieDB": true, "plot": true, "user": true, "movieID": true,
+	"rating": true, "reviewStorage": true, "movieReview": true,
+	"userReview": true, "rent": true, "recommender": true,
 }
 
 // Media is a running Media Service deployment.
@@ -45,103 +76,92 @@ func New(app *core.App, cfg Config) (*Media, error) {
 		cfg.MovieDBReplicas = 2
 	}
 
-	// Storage tiers.
+	// The MySQL-equivalent movie cluster keeps its own internal shard/replica
+	// shape; the docstore/kv tiers shard through the shared Stack like every
+	// other app in the suite.
 	movieCluster, err := newMovieCluster(cfg.MovieDBShards, cfg.MovieDBReplicas)
 	if err != nil {
 		return nil, err
 	}
-	for _, name := range []string{"db-reviews", "db-users", "db-plots", "db-rentals"} {
-		store := docstore.NewStore()
-		if _, err := app.StartRPC("media."+name, func(s *rpc.Server) {
-			docstore.RegisterService(s, store)
-		}); err != nil {
-			return nil, err
-		}
+	stack := &svcutil.Stack{
+		App:           app,
+		Prefix:        "media.",
+		Shards:        cfg.Shards,
+		ShardReplicas: cfg.ShardReplicas,
+		CacheBytes:    cfg.CacheBytes,
+		Middleware:    cfg.Middleware,
+		Replicable:    replicable,
+		Replicas:      cfg.Replicas,
+		Spawner:       cfg.Spawner,
 	}
-	for _, name := range []string{"mc-reviews", "mc-users"} {
-		cache := kv.New(0)
-		if _, err := app.StartRPC("media."+name, func(s *rpc.Server) {
-			kv.RegisterService(s, cache)
-		}); err != nil {
-			return nil, err
-		}
+	if err := stack.StartStores("db-reviews", "db-users", "db-plots", "db-rentals"); err != nil {
+		return nil, err
+	}
+	if err := stack.StartCaches("mc-reviews", "mc-users"); err != nil {
+		return nil, err
 	}
 
-	cl := func(caller, target string) (svcutil.Caller, error) {
-		return app.RPC("media."+caller, "media."+target)
-	}
-	must := func(c svcutil.Caller, err error) svcutil.Caller {
-		if err != nil {
-			panic(err)
-		}
-		return c
-	}
-	type stage struct {
-		name     string
-		register func(*rpc.Server)
-	}
-	stages := []stage{
-		{"movieDB", func(s *rpc.Server) { registerMovieDB(s, movieCluster) }},
-		{"plot", func(s *rpc.Server) {
-			registerPlot(s, svcutil.DB{C: must(cl("plot", "db-plots"))})
-		}},
-		{"user", func(s *rpc.Server) {
-			registerUser(s, svcutil.DB{C: must(cl("user", "db-users"))}, svcutil.KV{C: must(cl("user", "mc-users"))})
-		}},
-		{"movieID", func(s *rpc.Server) {
-			registerMovieID(s, must(cl("movieID", "movieDB")))
-		}},
-		{"rating", registerRating},
-		{"reviewStorage", func(s *rpc.Server) {
-			registerReviewStorage(s, svcutil.DB{C: must(cl("reviewStorage", "db-reviews"))}, svcutil.KV{C: must(cl("reviewStorage", "mc-reviews"))})
-		}},
-		{"movieReview", func(s *rpc.Server) {
-			registerMovieReview(s, must(cl("movieReview", "reviewStorage")), must(cl("movieReview", "movieDB")))
-		}},
-		{"userReview", func(s *rpc.Server) {
-			registerUserReview(s, must(cl("userReview", "reviewStorage")))
-		}},
-		{"composeReview", func(s *rpc.Server) {
-			registerComposeReview(s, composeReviewDeps{
-				user:        must(cl("composeReview", "user")),
-				movieID:     must(cl("composeReview", "movieID")),
-				rating:      must(cl("composeReview", "rating")),
-				movieReview: must(cl("composeReview", "movieReview")),
-				now:         cfg.Clock,
-			})
-		}},
-		{"rent", func(s *rpc.Server) {
-			registerRent(s, must(cl("rent", "user")), svcutil.DB{C: must(cl("rent", "db-rentals"))}, cfg.Clock)
-		}},
-		{"recommender", func(s *rpc.Server) {
-			registerRecommender(s, must(cl("recommender", "user")), must(cl("recommender", "userReview")), must(cl("recommender", "movieDB")))
-		}},
-	}
-	for _, st := range stages {
-		if _, err := app.StartRPC("media."+st.name, st.register); err != nil {
-			return nil, fmt.Errorf("media: start %s: %w", st.name, err)
-		}
+	degrade := !cfg.DisableDegradation
+	cl, db, mc, start := stack.Caller, stack.DB, stack.KV, stack.Start
+
+	start("movieDB", func(s *rpc.Server) { registerMovieDB(s, movieCluster) })
+	start("plot", func(s *rpc.Server) {
+		registerPlot(s, db("plot", "db-plots"))
+	})
+	start("user", func(s *rpc.Server) {
+		registerUser(s, db("user", "db-users"), mc("user", "mc-users"))
+	})
+	start("movieID", func(s *rpc.Server) {
+		registerMovieID(s, cl("movieID", "movieDB"))
+	})
+	start("rating", registerRating)
+	start("reviewStorage", func(s *rpc.Server) {
+		registerReviewStorage(s, db("reviewStorage", "db-reviews"), mc("reviewStorage", "mc-reviews"), cfg.DisableCoalescing)
+	})
+	start("movieReview", func(s *rpc.Server) {
+		registerMovieReview(s, cl("movieReview", "reviewStorage"), cl("movieReview", "movieDB"))
+	})
+	start("userReview", func(s *rpc.Server) {
+		registerUserReview(s, cl("userReview", "reviewStorage"))
+	})
+	start("composeReview", func(s *rpc.Server) {
+		registerComposeReview(s, composeReviewDeps{
+			user:        cl("composeReview", "user"),
+			movieID:     cl("composeReview", "movieID"),
+			rating:      cl("composeReview", "rating"),
+			movieReview: cl("composeReview", "movieReview"),
+			now:         cfg.Clock,
+		})
+	})
+	start("rent", func(s *rpc.Server) {
+		registerRent(s, cl("rent", "user"), db("rent", "db-rentals"), cfg.Clock)
+	})
+	start("recommender", func(s *rpc.Server) {
+		registerRecommender(s, cl("recommender", "user"), cl("recommender", "userReview"), cl("recommender", "movieDB"))
+	})
+	if err := stack.Boot(); err != nil {
+		return nil, fmt.Errorf("media: boot: %w", err)
 	}
 
 	// Streaming tier (nginx-hls) with its NFS-equivalent blob store.
 	films := blobstore.New()
 	if _, err := app.StartREST("media.streaming", func(s *rest.Server) {
-		registerStreaming(s, films, must(cl("streaming", "rent")))
+		registerStreaming(s, films, cl("streaming", "rent"))
 	}); err != nil {
 		return nil, err
 	}
 	if _, err := app.StartREST("media.frontend", func(s *rest.Server) {
 		registerFrontend(s, frontendDeps{
-			user:          must(cl("frontend", "user")),
-			movieID:       must(cl("frontend", "movieID")),
-			movieDB:       must(cl("frontend", "movieDB")),
-			plot:          must(cl("frontend", "plot")),
-			composeReview: must(cl("frontend", "composeReview")),
-			movieReview:   must(cl("frontend", "movieReview")),
-			userReview:    must(cl("frontend", "userReview")),
-			rent:          must(cl("frontend", "rent")),
-			recommender:   must(cl("frontend", "recommender")),
-		})
+			user:          cl("frontend", "user"),
+			movieID:       cl("frontend", "movieID"),
+			movieDB:       cl("frontend", "movieDB"),
+			plot:          cl("frontend", "plot"),
+			composeReview: cl("frontend", "composeReview"),
+			movieReview:   cl("frontend", "movieReview"),
+			userReview:    cl("frontend", "userReview"),
+			rent:          cl("frontend", "rent"),
+			recommender:   cl("frontend", "recommender"),
+		}, degrade)
 	}); err != nil {
 		return nil, err
 	}

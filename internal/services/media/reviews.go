@@ -1,6 +1,7 @@
 package media
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -48,8 +49,12 @@ type ReviewsResp struct{ Reviews []Review }
 const reviewCacheTTL = 5 * time.Minute
 
 // registerReviewStorage installs the reviewStorage service: the system of
-// record for reviews (memcached + MongoDB pair in Figure 5).
-func registerReviewStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
+// record for reviews (memcached + MongoDB pair in Figure 5). The per-movie
+// review list — the hottest read in the app, hit once per movie-page
+// composition — runs through the shared cache-aside ReadPath: cached under
+// "movie-reviews:<id>" (invalidated by Store), with concurrent misses on one
+// movie coalesced into a single backing Find.
+func registerReviewStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoalesce bool) {
 	svcutil.Handle(srv, "Store", func(ctx *rpc.Ctx, req *StoreReviewReq) (*struct{}, error) {
 		r := req.Review
 		if r.ID == "" || r.MovieID == "" || r.Username == "" {
@@ -74,7 +79,7 @@ func registerReviewStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 		return nil, nil
 	})
 
-	list := func(ctx *rpc.Ctx, field, value string, limit int) ([]Review, error) {
+	list := func(ctx context.Context, field, value string, limit int) ([]Review, error) {
 		docs, err := db.Find(ctx, "reviews", field, value, 0)
 		if err != nil {
 			return nil, err
@@ -97,10 +102,37 @@ func registerReviewStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV) {
 		return out, nil
 	}
 
+	byMovie := &svcutil.ReadPath[[]Review]{
+		MC:         mc,
+		TTL:        reviewCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) ([]Review, error) {
+			var cached ReviewsResp
+			if err := codec.Unmarshal(b, &cached); err != nil {
+				return nil, err
+			}
+			return cached.Reviews, nil
+		},
+		Fetch: func(ctx context.Context, key string) ([]Review, []byte, bool, error) {
+			movieID := strings.TrimPrefix(key, "movie-reviews:")
+			reviews, err := list(ctx, "movie", movieID, 0)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			enc, err := codec.Marshal(ReviewsResp{Reviews: reviews})
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return reviews, enc, true, nil
+		},
+	}
 	svcutil.Handle(srv, "ByMovie", func(ctx *rpc.Ctx, req *ReviewsByMovieReq) (*ReviewsResp, error) {
-		reviews, err := list(ctx, "movie", req.MovieID, int(req.Limit))
+		reviews, _, err := byMovie.Get(ctx, "movie-reviews:"+req.MovieID)
 		if err != nil {
 			return nil, err
+		}
+		if limit := int(req.Limit); limit > 0 && len(reviews) > limit {
+			reviews = reviews[:limit]
 		}
 		return &ReviewsResp{Reviews: reviews}, nil
 	})

@@ -2,28 +2,19 @@ package socialnetwork
 
 import (
 	"context"
-	"time"
 
 	"dsb/internal/svcutil"
 )
 
-// nonCriticalBudget bounds each call to a degradable downstream when
-// graceful degradation is enabled. Without a bound, a *partitioned* (as
-// opposed to fast-failing) tier would hang the call until the request's
-// whole deadline expired, so the degraded fallback would always arrive too
-// late for the caller; with it, a hung hop costs at most this much before
-// the fallback is served. Normal in-process calls finish in microseconds,
-// so the budget only bites when the hop is genuinely sick.
-const nonCriticalBudget = 40 * time.Millisecond
+// nonCriticalBudget aliases the shared degradation budget; the mechanism
+// moved to svcutil so every app in the suite bounds its degradable hops the
+// same way.
+const nonCriticalBudget = svcutil.NonCriticalBudget
 
 // callBounded invokes a degradable downstream under nonCriticalBudget when
 // degrade is on, and transparently when it is off (fail-hard mode keeps the
-// caller's full deadline semantics).
+// caller's full deadline semantics). It delegates to the shared
+// svcutil.CallBounded.
 func callBounded(ctx context.Context, degrade bool, c svcutil.Caller, method string, req, resp any) error {
-	if !degrade {
-		return c.Call(ctx, method, req, resp)
-	}
-	bctx, cancel := context.WithTimeout(ctx, nonCriticalBudget)
-	defer cancel()
-	return c.Call(bctx, method, req, resp)
+	return svcutil.CallBounded(ctx, degrade, c, method, req, resp)
 }

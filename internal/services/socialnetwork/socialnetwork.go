@@ -5,8 +5,6 @@ import (
 	"time"
 
 	"dsb/internal/core"
-	"dsb/internal/docstore"
-	"dsb/internal/kv"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
@@ -57,6 +55,11 @@ type Config struct {
 	// ShardReplicas is the replica count per storage shard (default 1).
 	// Replicas converge by write-all and read-repair (see svcutil).
 	ShardReplicas int
+	// Spawner, when set, receives every index-independent replicable tier
+	// boot (Define + Spawn) so the control plane can autoscale those tiers
+	// at runtime. Stateful tiers and identity-bearing replicas (uniqueID)
+	// never route through it.
+	Spawner svcutil.Definer
 }
 
 // replicable names the logic tiers that are safe to run multi-instance:
@@ -95,112 +98,40 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		cfg.CacheBytes = 64 << 20
 	}
 
-	if cfg.Shards <= 0 {
-		cfg.Shards = 1
+	// All deployment wiring — sharded storage boots, replica scaling,
+	// load-balanced vs. shard-routed clients — goes through the shared
+	// Stack, the same layout vocabulary every app in the suite uses.
+	stack := &svcutil.Stack{
+		App:           app,
+		Prefix:        "social.",
+		Shards:        cfg.Shards,
+		ShardReplicas: cfg.ShardReplicas,
+		CacheBytes:    cfg.CacheBytes,
+		Middleware:    cfg.Middleware,
+		Replicable:    replicable,
+		Replicas:      cfg.Replicas,
+		Spawner:       cfg.Spawner,
 	}
-	if cfg.ShardReplicas <= 0 {
-		cfg.ShardReplicas = 1
-	}
-	sharded := cfg.Shards > 1 || cfg.ShardReplicas > 1
 
 	// Storage tiers: one cache and/or document store per backend group,
 	// each its own microservice, as in Figure 4. In the sharded layout each
 	// backend group becomes Shards×ShardReplicas instances under the same
 	// service name — every (shard, replica) pair owns a *fresh* store, since
 	// replicas converge only through write-all and read-repair.
-	stores := []string{"db-posts", "db-timeline", "db-graph", "db-users", "db-urls", "db-media", "db-favorites"}
-	for _, name := range stores {
-		if sharded {
-			err := svcutil.StartShardReplicas(app, "social."+name, cfg.Shards, cfg.ShardReplicas, func(int, int) func(*rpc.Server) {
-				store := docstore.NewStore()
-				return func(s *rpc.Server) { docstore.RegisterService(s, store) }
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		store := docstore.NewStore()
-		if _, err := app.StartRPC("social."+name, func(s *rpc.Server) {
-			docstore.RegisterService(s, store)
-		}); err != nil {
-			return nil, err
-		}
+	if err := stack.StartStores("db-posts", "db-timeline", "db-graph", "db-users", "db-urls", "db-media", "db-favorites"); err != nil {
+		return nil, err
 	}
-	caches := []string{"mc-posts", "mc-timeline", "mc-users", "mc-urls", "mc-favorites"}
-	for _, name := range caches {
-		if sharded {
-			err := svcutil.StartShardReplicas(app, "social."+name, cfg.Shards, cfg.ShardReplicas, func(int, int) func(*rpc.Server) {
-				cache := kv.New(cfg.CacheBytes)
-				return func(s *rpc.Server) { kv.RegisterService(s, cache) }
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		cache := kv.New(cfg.CacheBytes)
-		if _, err := app.StartRPC("social."+name, func(s *rpc.Server) {
-			kv.RegisterService(s, cache)
-		}); err != nil {
-			return nil, err
-		}
+	if err := stack.StartCaches("mc-posts", "mc-timeline", "mc-users", "mc-urls", "mc-favorites"); err != nil {
+		return nil, err
 	}
 
 	degrade := !cfg.DisableDegradation
 
-	cl := func(caller, target string) (svcutil.Caller, error) {
-		return app.RPC("social."+caller, "social."+target, cfg.Middleware...)
-	}
-	must := func(c svcutil.Caller, err error) svcutil.Caller {
-		if err != nil {
-			panic(err)
-		}
-		return c
-	}
-	// db and mc wire a service to a storage tier in whichever mode the
-	// deployment runs: a load-balanced caller for the single-instance
-	// layout, a consistent-hash shard router for the sharded one. The typed
-	// clients keep one method surface either way, so the services above
-	// never know which layout they run on.
-	db := func(caller, target string) svcutil.DB {
-		if !sharded {
-			return svcutil.DB{C: must(cl(caller, target))}
-		}
-		router, err := app.ShardedRPC("social."+caller, "social."+target, cfg.Middleware...)
-		if err != nil {
-			panic(err)
-		}
-		return svcutil.DB{Shards: router}
-	}
-	mc := func(caller, target string) svcutil.KV {
-		if !sharded {
-			return svcutil.KV{C: must(cl(caller, target))}
-		}
-		router, err := app.ShardedRPC("social."+caller, "social."+target, cfg.Middleware...)
-		if err != nil {
-			panic(err)
-		}
-		return svcutil.KV{Shards: router}
-	}
+	cl, db, mc := stack.Caller, stack.DB, stack.KV
 	// Boot order respects the dependency graph, so every client resolves.
 	// startN boots cfg.Replicas[name] replicas of a replicable tier (one
 	// otherwise), handing each replica its index for identity derivation.
-	var boot []func() error
-	startN := func(name string, register func(i int) func(*rpc.Server)) {
-		n := 1
-		if replicable[name] {
-			if r := cfg.Replicas[name]; r > n {
-				n = r
-			}
-		}
-		boot = append(boot, func() error {
-			return svcutil.StartReplicas(app, "social."+name, n, register)
-		})
-	}
-	start := func(name string, register func(*rpc.Server)) {
-		startN(name, func(int) func(*rpc.Server) { return register })
-	}
+	startN, start := stack.StartN, stack.Start
 
 	// Each unique-ID replica gets its own worker number so IDs never
 	// collide across replicas.
@@ -214,16 +145,16 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerURLShorten(s, db("urlShorten", "db-urls"), mc("urlShorten", "mc-urls"))
 	})
 	start("userTag", func(s *rpc.Server) {
-		registerUserTag(s, must(cl("userTag", "user")))
+		registerUserTag(s, cl("userTag", "user"))
 	})
 	start("text", func(s *rpc.Server) {
-		registerText(s, must(cl("text", "urlShorten")), must(cl("text", "userTag")))
+		registerText(s, cl("text", "urlShorten"), cl("text", "userTag"))
 	})
 	start("media", func(s *rpc.Server) {
-		registerMedia(s, db("media", "db-media"), must(cl("media", "uniqueID")))
+		registerMedia(s, db("media", "db-media"), cl("media", "uniqueID"))
 	})
 	start("socialGraph", func(s *rpc.Server) {
-		registerSocialGraph(s, db("socialGraph", "db-graph"), must(cl("socialGraph", "user")))
+		registerSocialGraph(s, db("socialGraph", "db-graph"), cl("socialGraph", "user"))
 	})
 	start("blockedUsers", func(s *rpc.Server) {
 		registerBlockedUsers(s, db("blockedUsers", "db-graph"))
@@ -232,10 +163,10 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerPostStorage(s, db("postStorage", "db-posts"), mc("postStorage", "mc-posts"), cfg.DisableCoalescing)
 	})
 	start("readPost", func(s *rpc.Server) {
-		registerReadPost(s, must(cl("readPost", "postStorage")))
+		registerReadPost(s, cl("readPost", "postStorage"))
 	})
 	start("writeTimeline", func(s *rpc.Server) {
-		registerWriteTimeline(s, must(cl("writeTimeline", "socialGraph")),
+		registerWriteTimeline(s, cl("writeTimeline", "socialGraph"),
 			db("writeTimeline", "db-timeline"),
 			mc("writeTimeline", "mc-timeline"),
 			cfg.FanoutWorkers)
@@ -244,7 +175,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		registerReadTimeline(s,
 			db("readTimeline", "db-timeline"),
 			mc("readTimeline", "mc-timeline"),
-			must(cl("readTimeline", "readPost")), must(cl("readTimeline", "blockedUsers")),
+			cl("readTimeline", "readPost"), cl("readTimeline", "blockedUsers"),
 			degrade, cfg.DisableCoalescing)
 	})
 	for i := 0; i < cfg.SearchShards; i++ {
@@ -254,49 +185,47 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	start("search", func(s *rpc.Server) {
 		shards := make([]svcutil.Caller, cfg.SearchShards)
 		for i := range shards {
-			shards[i] = must(cl("search", fmt.Sprintf("search-index%d", i)))
+			shards[i] = cl("search", fmt.Sprintf("search-index%d", i))
 		}
 		registerSearch(s, shards)
 	})
 	start("ads", func(s *rpc.Server) { registerAds(s, nil) })
 	start("recommender", func(s *rpc.Server) {
-		registerRecommender(s, must(cl("recommender", "socialGraph")))
+		registerRecommender(s, cl("recommender", "socialGraph"))
 	})
 	start("favorite", func(s *rpc.Server) {
 		registerFavorite(s, db("favorite", "db-favorites"), mc("favorite", "mc-favorites"))
 	})
 	start("composePost", func(s *rpc.Server) {
 		registerComposePost(s, composeDeps{
-			user:     must(cl("composePost", "user")),
-			uniqueID: must(cl("composePost", "uniqueID")),
-			text:     must(cl("composePost", "text")),
-			media:    must(cl("composePost", "media")),
-			storage:  must(cl("composePost", "postStorage")),
-			timeline: must(cl("composePost", "writeTimeline")),
-			search:   must(cl("composePost", "search")),
-			readPost: must(cl("composePost", "readPost")),
+			user:     cl("composePost", "user"),
+			uniqueID: cl("composePost", "uniqueID"),
+			text:     cl("composePost", "text"),
+			media:    cl("composePost", "media"),
+			storage:  cl("composePost", "postStorage"),
+			timeline: cl("composePost", "writeTimeline"),
+			search:   cl("composePost", "search"),
+			readPost: cl("composePost", "readPost"),
 			now:      cfg.Clock,
 		}, degrade)
 	})
-	for _, b := range boot {
-		if err := b(); err != nil {
-			return nil, err
-		}
+	if err := stack.Boot(); err != nil {
+		return nil, err
 	}
 
 	// Front door (nginx tier).
 	if _, err := app.StartREST("social.frontend", func(s *rest.Server) {
 		registerFrontend(s, frontendDeps{
-			compose:      must(cl("frontend", "composePost")),
-			readTimeline: must(cl("frontend", "readTimeline")),
-			readPost:     must(cl("frontend", "readPost")),
-			user:         must(cl("frontend", "user")),
-			graph:        must(cl("frontend", "socialGraph")),
-			blocked:      must(cl("frontend", "blockedUsers")),
-			search:       must(cl("frontend", "search")),
-			ads:          must(cl("frontend", "ads")),
-			recommender:  must(cl("frontend", "recommender")),
-			favorite:     must(cl("frontend", "favorite")),
+			compose:      cl("frontend", "composePost"),
+			readTimeline: cl("frontend", "readTimeline"),
+			readPost:     cl("frontend", "readPost"),
+			user:         cl("frontend", "user"),
+			graph:        cl("frontend", "socialGraph"),
+			blocked:      cl("frontend", "blockedUsers"),
+			search:       cl("frontend", "search"),
+			ads:          cl("frontend", "ads"),
+			recommender:  cl("frontend", "recommender"),
+			favorite:     cl("frontend", "favorite"),
 		})
 	}); err != nil {
 		return nil, err

@@ -50,6 +50,12 @@ type Drone struct {
 	// iteration — a hook for failure injection (e.g. dropping an obstacle
 	// onto the remaining path mid-flight).
 	OnTick func(pos Point, remaining []Point)
+	// Degrade makes the telemetry hops (Report, StoreFrame) non-critical:
+	// when the cloud sensor DBs are unreachable the mission flies on with
+	// samples dropped and the result marked Degraded, instead of aborting
+	// mid-air. Route construction and obstacle avoidance stay critical —
+	// a drone without them cannot safely move.
+	Degrade bool
 }
 
 // MissionResult summarizes one photograph-the-target mission.
@@ -61,6 +67,9 @@ type MissionResult struct {
 	Confident  bool
 	SensorLogs int
 	Elapsed    time.Duration
+	// Degraded marks a mission that completed while shedding telemetry
+	// because the cloud sensor DBs were unreachable.
+	Degraded bool
 }
 
 // maxMissionSteps bounds runaway missions.
@@ -115,9 +124,13 @@ func (d *Drone) FlyTo(ctx context.Context, target Point) (MissionResult, error) 
 		}
 		d.Heading = headingOf(move)
 		if err := d.report(ctx); err != nil {
-			return res, err
+			if !d.Degrade {
+				return res, err
+			}
+			res.Degraded = true
+		} else {
+			res.SensorLogs++
 		}
-		res.SensorLogs++
 	}
 
 	// On target: photograph and recognize.
@@ -127,8 +140,11 @@ func (d *Drone) FlyTo(ctx context.Context, target Point) (MissionResult, error) 
 		return res, err
 	}
 	res.Label, res.Confident = rec.Label, rec.Confident
-	if err := d.Clients.Telemetry.Call(ctx, "StoreFrame", StoreFrameReq{DroneID: d.ID, At: d.Pos, Frame: frame, Label: rec.Label}, nil); err != nil {
-		return res, err
+	if err := svcutil.CallBounded(ctx, d.Degrade, d.Clients.Telemetry, "StoreFrame", StoreFrameReq{DroneID: d.ID, At: d.Pos, Frame: frame, Label: rec.Label}, nil); err != nil {
+		if !d.Degrade {
+			return res, err
+		}
+		res.Degraded = true
 	}
 	d.log(ctx, fmt.Sprintf("recognized %q (confident=%v)", rec.Label, rec.Confident))
 	res.Elapsed = time.Since(start)
@@ -149,7 +165,7 @@ func headingOf(m Point) int64 {
 }
 
 func (d *Drone) report(ctx context.Context) error {
-	return d.Clients.Telemetry.Call(ctx, "Report", SensorReport{
+	return svcutil.CallBounded(ctx, d.Degrade, d.Clients.Telemetry, "Report", SensorReport{
 		DroneID:        d.ID,
 		Location:       d.Pos,
 		SpeedMilli:     5000,

@@ -1,6 +1,7 @@
 package swarm
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -20,13 +21,47 @@ type RouteReq struct {
 // RouteResp returns the waypoints (excluding From, including To).
 type RouteResp struct{ Path []Point }
 
+const routeCacheTTL = time.Minute
+
 // registerConstructRoute installs the cloud constructRoute service (Java
-// tier in Figure 8): BFS shortest path over the shared world map.
-func registerConstructRoute(srv *rpc.Server, world *World) {
+// tier in Figure 8): BFS shortest path over the shared world map. Route
+// construction — the hottest read in the app, hit once per mission plus
+// once per replan by every drone in the fleet — runs through the shared
+// cache-aside ReadPath, keyed by (world version, from, to): a whole fleet
+// launching at the same corner coalesces into one BFS, and any obstacle
+// change bumps the version so stale paths are never served.
+func registerConstructRoute(srv *rpc.Server, world *World, mc svcutil.KV, noCoalesce bool) {
+	routePath := &svcutil.ReadPath[[]Point]{
+		MC:         mc,
+		TTL:        routeCacheTTL,
+		NoCoalesce: noCoalesce,
+		Decode: func(b []byte) ([]Point, error) {
+			var resp RouteResp
+			err := codec.Unmarshal(b, &resp)
+			return resp.Path, err
+		},
+		Fetch: func(ctx context.Context, key string) ([]Point, []byte, bool, error) {
+			var version int64
+			var from, to Point
+			if _, err := fmt.Sscanf(key, "route:v%d:%d,%d-%d,%d", &version, &from.X, &from.Y, &to.X, &to.Y); err != nil {
+				return nil, nil, false, rpc.Errorf(rpc.CodeBadRequest, "constructRoute: bad route key %q", key)
+			}
+			path, err := world.Route(from, to)
+			if err != nil {
+				return nil, nil, false, rpc.Errorf(rpc.CodeBadRequest, "constructRoute: %v", err)
+			}
+			body, err := codec.Marshal(RouteResp{Path: path})
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return path, body, true, nil
+		},
+	}
 	svcutil.Handle(srv, "Construct", func(ctx *rpc.Ctx, req *RouteReq) (*RouteResp, error) {
-		path, err := world.Route(req.From, req.To)
+		key := fmt.Sprintf("route:v%d:%d,%d-%d,%d", world.Version(), req.From.X, req.From.Y, req.To.X, req.To.Y)
+		path, _, err := routePath.Get(ctx, key)
 		if err != nil {
-			return nil, rpc.Errorf(rpc.CodeBadRequest, "constructRoute: %v", err)
+			return nil, err
 		}
 		return &RouteResp{Path: path}, nil
 	})
@@ -115,8 +150,10 @@ type StoreFrameReq struct {
 
 // registerTelemetry installs the cloud sensor databases (LocationDB,
 // SpeedDB, OrientationDB, LuminosityDB, ImageDB of Figure 8) behind one
-// RPC surface writing into per-sensor collections.
-func registerTelemetry(srv *rpc.Server, store *docstore.Store, now func() time.Time) {
+// RPC surface. The tier itself is stateless logic: samples persist into
+// per-sensor collections of the db-telemetry store tier, which shards like
+// every other stateful tier in the suite.
+func registerTelemetry(srv *rpc.Server, db svcutil.DB, now func() time.Time) {
 	if now == nil {
 		now = time.Now
 	}
@@ -140,7 +177,7 @@ func registerTelemetry(srv *rpc.Server, store *docstore.Store, now func() time.T
 				Nums:   map[string]int64{"ts": req.At},
 				Body:   body,
 			}
-			if err := store.Collection(col).Put(doc); err != nil {
+			if err := db.Put(ctx, col, doc); err != nil {
 				return nil, err
 			}
 		}
@@ -156,10 +193,13 @@ func registerTelemetry(srv *rpc.Server, store *docstore.Store, now func() time.T
 			Fields: map[string]string{"drone": req.DroneID, "label": req.Label},
 			Body:   body,
 		}
-		return nil, store.Collection("images").Put(doc)
+		return nil, db.Put(ctx, "images", doc)
 	})
 	svcutil.Handle(srv, "History", func(ctx *rpc.Ctx, req *SensorReport) (*struct{ Count int64 }, error) {
-		docs := store.Collection("location").Find("drone", req.DroneID, 0)
+		docs, err := db.Find(ctx, "location", "drone", req.DroneID, 0)
+		if err != nil {
+			return nil, err
+		}
 		return &struct{ Count int64 }{Count: int64(len(docs))}, nil
 	})
 }

@@ -1,11 +1,11 @@
 package swarm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dsb/internal/core"
-	"dsb/internal/docstore"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
 	"dsb/internal/transport"
@@ -24,6 +24,35 @@ type Config struct {
 	WifiRTT time.Duration
 	// Seed drives world generation and camera noise.
 	Seed uint64
+	// Shards partitions the telemetry/route storage tiers into this many
+	// consistent-hash shards (default 1 = single-instance layout).
+	Shards int
+	// ShardReplicas is the replica count per storage shard (default 1).
+	ShardReplicas int
+	// CacheBytes bounds the route cache tier (0 = unbounded).
+	CacheBytes int64
+	// Middleware is installed on every inter-tier client wire.
+	Middleware []transport.Middleware
+	// Replicas scales replicable logic tiers out at boot, keyed by tier name.
+	Replicas map[string]int
+	// DisableDegradation makes missions abort when the cloud sensor DBs are
+	// unreachable instead of flying on with telemetry shed.
+	DisableDegradation bool
+	// DisableCoalescing turns off miss coalescing on the route-construction
+	// read path.
+	DisableCoalescing bool
+	// Spawner, when set, receives replicable tier boots so the control plane
+	// can autoscale them.
+	Spawner svcutil.Definer
+}
+
+// swarmReplicable names the logic tiers safe to run multi-instance: their
+// state lives in the db/mc tiers or the shared in-process world. The
+// on-drone log tier stays single-instance — its ring buffers live in the
+// process.
+var swarmReplicable = map[string]bool{
+	"constructRoute": true, "telemetry": true,
+	"obstacleAvoidance": true, "imageRecognition": true,
 }
 
 // Swarm is a running deployment: the fleet plus cloud services.
@@ -31,14 +60,15 @@ type Swarm struct {
 	App       *core.App
 	World     *World
 	Drones    []*Drone
-	Telemetry *docstore.Store
+	Telemetry svcutil.DB // client handle onto the cloud sensor DB tier
 	Placement Placement
 }
 
 // New boots the Swarm service in the requested placement. Cloud services
-// (constructRoute, telemetry DBs) always sit behind the wifi hop; the
-// compute tiers (obstacleAvoidance, imageRecognition) run on-drone for
-// Edge and behind the wifi hop for Cloud.
+// (constructRoute, the telemetry tier and its db-telemetry store) always
+// sit behind the wifi hop; the compute tiers (obstacleAvoidance,
+// imageRecognition) run on-drone for Edge and behind the wifi hop for
+// Cloud.
 func New(app *core.App, cfg Config) (*Swarm, error) {
 	if cfg.Drones <= 0 {
 		cfg.Drones = 4
@@ -50,35 +80,47 @@ func New(app *core.App, cfg Config) (*Swarm, error) {
 		cfg.WifiRTT = 2 * time.Millisecond
 	}
 	world := NewWorld(cfg.WorldSize, cfg.Seed)
-	telemetryStore := docstore.NewStore()
 	stock := NewStockDB()
 
-	// Cloud services.
-	if _, err := app.StartRPC("swarm.constructRoute", func(s *rpc.Server) {
-		registerConstructRoute(s, world)
-	}); err != nil {
+	stack := &svcutil.Stack{
+		App:           app,
+		Prefix:        "swarm.",
+		Shards:        cfg.Shards,
+		ShardReplicas: cfg.ShardReplicas,
+		CacheBytes:    cfg.CacheBytes,
+		Middleware:    cfg.Middleware,
+		Replicable:    swarmReplicable,
+		Replicas:      cfg.Replicas,
+		Spawner:       cfg.Spawner,
+	}
+	if err := stack.StartStores("db-telemetry"); err != nil {
 		return nil, err
 	}
-	if _, err := app.StartRPC("swarm.telemetry", func(s *rpc.Server) {
-		registerTelemetry(s, telemetryStore, nil)
-	}); err != nil {
-		return nil, err
-	}
-	// Compute tiers exist once; placement decides which side of the wifi
-	// hop the *callers* are on.
-	if _, err := app.StartRPC("swarm.obstacleAvoidance", registerObstacleAvoidance); err != nil {
-		return nil, err
-	}
-	if _, err := app.StartRPC("swarm.imageRecognition", func(s *rpc.Server) {
-		registerImageRecognition(s, stock)
-	}); err != nil {
-		return nil, err
-	}
-	if _, err := app.StartRPC("swarm.log", registerLog); err != nil {
+	if err := stack.StartCaches("mc-routes"); err != nil {
 		return nil, err
 	}
 
-	sw := &Swarm{App: app, World: world, Telemetry: telemetryStore, Placement: cfg.Placement}
+	db, mc, start := stack.DB, stack.KV, stack.Start
+
+	// Cloud services.
+	start("constructRoute", func(s *rpc.Server) {
+		registerConstructRoute(s, world, mc("constructRoute", "mc-routes"), cfg.DisableCoalescing)
+	})
+	start("telemetry", func(s *rpc.Server) {
+		registerTelemetry(s, db("telemetry", "db-telemetry"), nil)
+	})
+	// Compute tiers exist once; placement decides which side of the wifi
+	// hop the *callers* are on.
+	start("obstacleAvoidance", registerObstacleAvoidance)
+	start("imageRecognition", func(s *rpc.Server) {
+		registerImageRecognition(s, stock)
+	})
+	start("log", registerLog)
+	if err := stack.Boot(); err != nil {
+		return nil, fmt.Errorf("swarm: boot: %w", err)
+	}
+
+	sw := &Swarm{App: app, World: world, Telemetry: db("client", "db-telemetry"), Placement: cfg.Placement}
 	for i := 0; i < cfg.Drones; i++ {
 		droneID := fmt.Sprintf("drone-%02d", i)
 		clients, err := wireClients(app, droneID, cfg)
@@ -91,6 +133,7 @@ func New(app *core.App, cfg Config) (*Swarm, error) {
 			Pos:     Point{0, 0},
 			Seed:    cfg.Seed + uint64(i),
 			Clients: clients,
+			Degrade: !cfg.DisableDegradation,
 		})
 	}
 	return sw, nil
@@ -131,6 +174,20 @@ func wireClients(app *core.App, droneID string, cfg Config) (Clients, error) {
 		return c, err
 	}
 	return c, nil
+}
+
+// ArchivedSamples counts telemetry documents in one sensor collection
+// across the fleet (the boot-time drone IDs).
+func (s *Swarm) ArchivedSamples(ctx context.Context, collection string) (int, error) {
+	total := 0
+	for _, d := range s.Drones {
+		docs, err := s.Telemetry.Find(ctx, collection, "drone", d.ID, 0)
+		if err != nil {
+			return 0, err
+		}
+		total += len(docs)
+	}
+	return total, nil
 }
 
 // PlaceObstacle injects a dynamic obstacle (for avoidance/replan tests and

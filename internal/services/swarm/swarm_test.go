@@ -130,11 +130,20 @@ func TestMissionEdgeAndCloud(t *testing.T) {
 				t.Fatalf("res = %+v", res)
 			}
 			// Telemetry archived in the cloud DBs.
-			if n := sw.Telemetry.Collection("location").Len(); n < res.Steps {
-				t.Fatalf("location samples = %d, steps = %d", n, res.Steps)
+			ctx := context.Background()
+			locs, err := sw.Telemetry.Find(ctx, "location", "drone", drone.ID, 0)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if n := sw.Telemetry.Collection("images").Len(); n != 1 {
-				t.Fatalf("archived frames = %d", n)
+			if len(locs) < res.Steps {
+				t.Fatalf("location samples = %d, steps = %d", len(locs), res.Steps)
+			}
+			frames, err := sw.ArchivedSamples(ctx, "images")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frames != 1 {
+				t.Fatalf("archived frames = %d", frames)
 			}
 		})
 	}

@@ -10,6 +10,7 @@ package swarm
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 )
 
 // Cell contents in the world grid.
@@ -27,7 +28,13 @@ type World struct {
 	Size    int64
 	grid    []byte
 	Targets map[Point]string // target position -> object label
+	// version counts grid mutations; constructRoute keys its route cache by
+	// it, so any obstacle change instantly orphans every cached path.
+	version atomic.Int64
 }
+
+// Version returns the current world-mutation counter.
+func (w *World) Version() int64 { return w.version.Load() }
 
 // NewWorld generates a deterministic world: obstacle density ~15%, plus
 // labeled targets drawn from the stock-object set.
@@ -85,6 +92,7 @@ func (w *World) set(p Point, v byte) {
 			delete(w.Targets, p)
 		}
 		w.grid[w.idx(p)] = v
+		w.version.Add(1)
 	}
 }
 

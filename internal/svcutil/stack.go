@@ -1,0 +1,263 @@
+package svcutil
+
+import (
+	"context"
+	"time"
+
+	"dsb/internal/docstore"
+	"dsb/internal/kv"
+	"dsb/internal/lb"
+	"dsb/internal/rpc"
+	"dsb/internal/shard"
+	"dsb/internal/transport"
+)
+
+// AppWiring is the slice of the composition root (core.App) that the shared
+// service wiring drives: booting replicas, booting shard replicas, and
+// building load-balanced or shard-routed clients. Declared here so svcutil
+// never imports core.
+type AppWiring interface {
+	RPCStarter
+	ShardStarter
+	RPC(caller, target string, extra ...transport.Middleware) (*lb.Balanced, error)
+	ShardedRPC(caller, target string, extra ...transport.Middleware) (*shard.Router, error)
+}
+
+// Definer is the slice of controlplane.AppSpawner that a Stack can route
+// stateless-tier boots through: Define records how to build an instance of a
+// service, Spawn starts one. Tiers booted this way are visible to the
+// autoscaling controller, which can add and remove instances at runtime.
+// Only index-independent registrations may go through a Definer — every
+// spawned instance runs the same registration function.
+type Definer interface {
+	Define(service string, register func(*rpc.Server))
+	Spawn(service string) (addr string, err error)
+}
+
+// Stack is the shared deployment wiring every application in the suite boots
+// through. It holds the knobs that used to be copy-pasted into each app's
+// constructor — shard/replica counts for the storage tiers, cache sizing,
+// per-wire middleware, static replica counts for stateless tiers — and
+// exposes the small vocabulary the constructors are written in: StartStores /
+// StartCaches for the stateful tiers, Start / StartN for logic tiers, and
+// Caller / DB / KV for clients that transparently pick load-balanced or
+// shard-routed mode to match the layout.
+type Stack struct {
+	// App is the composition root (*core.App satisfies this).
+	App AppWiring
+	// Prefix namespaces every service this stack boots ("social.", "media.").
+	Prefix string
+	// Shards partitions every store/cache tier into this many consistent-hash
+	// shards (default 1 = single-instance layout).
+	Shards int
+	// ShardReplicas is the replica count per storage shard (default 1).
+	// Replicas converge by write-all and read-repair (see sharded.go).
+	ShardReplicas int
+	// CacheBytes bounds each cache tier booted by StartCaches (0 = unbounded).
+	CacheBytes int64
+	// Middleware is installed on every inter-tier client wire.
+	Middleware []transport.Middleware
+	// Replicable names the logic tiers safe to run multi-instance (state
+	// external or derived per replica). Tiers absent from the set always boot
+	// exactly one replica regardless of Replicas.
+	Replicable map[string]bool
+	// Replicas scales replicable tiers out at boot, keyed by tier name.
+	Replicas map[string]int
+	// Spawner, when set, receives every index-independent replicable tier
+	// boot via Define+Spawn so the control plane can autoscale those tiers.
+	Spawner Definer
+
+	boot []func() error
+}
+
+func (st *Stack) shape() (shards, replicas int) {
+	shards, replicas = st.Shards, st.ShardReplicas
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return shards, replicas
+}
+
+// Sharded reports whether the storage tiers run in the sharded layout.
+func (st *Stack) Sharded() bool {
+	shards, replicas := st.shape()
+	return shards > 1 || replicas > 1
+}
+
+// Name returns the fully-qualified service name for a tier.
+func (st *Stack) Name(tier string) string { return st.Prefix + tier }
+
+// StartStores boots one document-store tier per name. In the sharded layout
+// each tier becomes Shards×ShardReplicas instances under the same service
+// name, every (shard, replica) pair owning a *fresh* store — replicas
+// converge only through write-all and read-repair — with the shard index in
+// registry metadata for the routers. Otherwise each tier is one instance.
+func (st *Stack) StartStores(names ...string) error {
+	shards, replicas := st.shape()
+	for _, name := range names {
+		if st.Sharded() {
+			err := StartShardReplicas(st.App, st.Name(name), shards, replicas, func(int, int) func(*rpc.Server) {
+				store := docstore.NewStore()
+				return func(s *rpc.Server) { docstore.RegisterService(s, store) }
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		store := docstore.NewStore()
+		if _, err := st.App.StartRPC(st.Name(name), func(s *rpc.Server) {
+			docstore.RegisterService(s, store)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartCaches boots one kv cache tier per name, sharded exactly like
+// StartStores when the stack runs the sharded layout.
+func (st *Stack) StartCaches(names ...string) error {
+	shards, replicas := st.shape()
+	for _, name := range names {
+		if st.Sharded() {
+			err := StartShardReplicas(st.App, st.Name(name), shards, replicas, func(int, int) func(*rpc.Server) {
+				cache := kv.New(st.CacheBytes)
+				return func(s *rpc.Server) { kv.RegisterService(s, cache) }
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		cache := kv.New(st.CacheBytes)
+		if _, err := st.App.StartRPC(st.Name(name), func(s *rpc.Server) {
+			kv.RegisterService(s, cache)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Caller builds a load-balanced client from one tier to another. Wiring
+// errors panic: they are deterministic composition bugs (a typo'd service
+// name), not runtime conditions, and every constructor treated them that way
+// before the extraction.
+func (st *Stack) Caller(caller, target string) Caller {
+	c, err := st.App.RPC(st.Name(caller), st.Name(target), st.Middleware...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DB wires a service to a document-store tier in whichever mode the
+// deployment runs: a load-balanced caller for the single-instance layout, a
+// consistent-hash shard router for the sharded one. The typed client keeps
+// one method surface either way, so services never know which layout they
+// run on.
+func (st *Stack) DB(caller, target string) DB {
+	if !st.Sharded() {
+		return DB{C: st.Caller(caller, target)}
+	}
+	router, err := st.App.ShardedRPC(st.Name(caller), st.Name(target), st.Middleware...)
+	if err != nil {
+		panic(err)
+	}
+	return DB{Shards: router}
+}
+
+// KV is the cache-tier counterpart of DB.
+func (st *Stack) KV(caller, target string) KV {
+	if !st.Sharded() {
+		return KV{C: st.Caller(caller, target)}
+	}
+	router, err := st.App.ShardedRPC(st.Name(caller), st.Name(target), st.Middleware...)
+	if err != nil {
+		panic(err)
+	}
+	return KV{Shards: router}
+}
+
+// StartN queues a logic tier for boot with per-replica registration (the
+// replica index feeds identity derivation, e.g. unique-ID worker numbers).
+// The replica count is Replicas[name] when the tier is in Replicable, else 1.
+// Index-dependent tiers never route through the Spawner — spawned instances
+// cannot carry distinct identity.
+func (st *Stack) StartN(name string, register func(i int) func(*rpc.Server)) {
+	n := st.replicaCount(name)
+	st.boot = append(st.boot, func() error {
+		return StartReplicas(st.App, st.Name(name), n, register)
+	})
+}
+
+// Start queues an index-independent logic tier for boot. When a Spawner is
+// configured and the tier is replicable, the registration is Defined there
+// and each boot replica Spawned, so the control plane can scale the tier.
+func (st *Stack) Start(name string, register func(*rpc.Server)) {
+	n := st.replicaCount(name)
+	full := st.Name(name)
+	if st.Spawner != nil && st.Replicable[name] {
+		st.boot = append(st.boot, func() error {
+			st.Spawner.Define(full, register)
+			for i := 0; i < n; i++ {
+				if _, err := st.Spawner.Spawn(full); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return
+	}
+	st.boot = append(st.boot, func() error {
+		return StartReplicas(st.App, full, n, func(int) func(*rpc.Server) { return register })
+	})
+}
+
+func (st *Stack) replicaCount(name string) int {
+	n := 1
+	if st.Replicable[name] {
+		if r := st.Replicas[name]; r > n {
+			n = r
+		}
+	}
+	return n
+}
+
+// Boot runs the queued tier boots in the order they were declared (the
+// declaration order must respect the dependency graph so every client
+// resolves) and clears the queue.
+func (st *Stack) Boot() error {
+	for _, b := range st.boot {
+		if err := b(); err != nil {
+			return err
+		}
+	}
+	st.boot = nil
+	return nil
+}
+
+// NonCriticalBudget bounds each call to a degradable downstream when
+// graceful degradation is enabled. Without a bound, a *partitioned* (as
+// opposed to fast-failing) tier would hang the call until the request's
+// whole deadline expired, so the degraded fallback would always arrive too
+// late for the caller; with it, a hung hop costs at most this much before
+// the fallback is served. Normal in-process calls finish in microseconds,
+// so the budget only bites when the hop is genuinely sick.
+const NonCriticalBudget = 40 * time.Millisecond
+
+// CallBounded invokes a degradable downstream under NonCriticalBudget when
+// degrade is on, and transparently when it is off (fail-hard mode keeps the
+// caller's full deadline semantics).
+func CallBounded(ctx context.Context, degrade bool, c Caller, method string, req, resp any) error {
+	if !degrade {
+		return c.Call(ctx, method, req, resp)
+	}
+	bctx, cancel := context.WithTimeout(ctx, NonCriticalBudget)
+	defer cancel()
+	return c.Call(bctx, method, req, resp)
+}
