@@ -81,3 +81,8 @@ func BenchmarkTailAtScale(b *testing.B) { runExperiment(b, "tailatscale") }
 // a shared machine budget and runs the mixed-tenant flash-crowd isolation
 // experiment, with and without the control plane.
 func BenchmarkClusterParity(b *testing.B) { runExperiment(b, "clusterparity") }
+
+// BenchmarkAsyncFanout walks the sync, pipelined, and broker-backed async
+// write-path layouts up an offered-load ladder at a fixed p99 QoS target —
+// the async backbone's headline contrast.
+func BenchmarkAsyncFanout(b *testing.B) { runExperiment(b, "asyncfanout") }

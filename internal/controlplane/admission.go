@@ -85,6 +85,12 @@ type Admission struct {
 	sojourn  *metrics.Windowed
 	wait     *metrics.Windowed
 
+	// lagFn, when set, reports the consumer-group backlog this replica
+	// drains; Report copies it into LoadReport.Lag. Async consumers need
+	// it because their pending work lives in the broker, not in the
+	// admission queue this controller can see.
+	lagFn func() int64
+
 	mu         sync.Mutex
 	ewmaNs     float64   // EWMA of handler service time
 	firstAbove time.Time // CoDel: when delay first exceeded target
@@ -255,10 +261,22 @@ func (a *Admission) nextDropGap() time.Duration {
 	return time.Duration(float64(a.cfg.CoDelInterval) / math.Sqrt(float64(a.dropCount)))
 }
 
+// SetLagProbe attaches the backlog source an async-consumer replica reports
+// through LoadReport.Lag (typically a broker Stats call for its consumer
+// group). Call before the replica starts serving load probes.
+func (a *Admission) SetLagProbe(fn func() int64) {
+	a.mu.Lock()
+	a.lagFn = fn
+	a.mu.Unlock()
+}
+
 // Report snapshots the replica's windowed load view.
 func (a *Admission) Report() LoadReport {
 	s := a.sojourn.Snapshot()
 	w := a.wait.Snapshot()
+	a.mu.Lock()
+	lagFn := a.lagFn
+	a.mu.Unlock()
 	r := LoadReport{
 		Workers:       a.cfg.MaxConcurrent,
 		QueueDepth:    a.queued.Value(),
@@ -279,6 +297,9 @@ func (a *Admission) Report() LoadReport {
 		if r.Utilization > 1 {
 			r.Utilization = 1
 		}
+	}
+	if lagFn != nil {
+		r.Lag = lagFn()
 	}
 	return r
 }

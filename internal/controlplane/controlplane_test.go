@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -563,5 +564,116 @@ func TestOverloadRoundTripOverREST(t *testing.T) {
 	held.Wait()
 	if got := a.Report().Shed; got < shedCalls {
 		t.Fatalf("server recorded %d sheds, want >= %d", got, shedCalls)
+	}
+}
+
+func TestLagAwarePolicy(t *testing.T) {
+	p := LagAware{TargetPerReplica: 32}
+	cases := []struct {
+		agg  Aggregate
+		want int
+	}{
+		// Backlog of 100 against a 32/replica target: jump straight to 4.
+		{Aggregate{Replicas: 1, Reporting: 1, Lag: 100}, 4},
+		// Backlog within the current tier's target: hold.
+		{Aggregate{Replicas: 4, Reporting: 4, Lag: 120}, 4},
+		// Fully drained: release one replica per pass, never below 1.
+		{Aggregate{Replicas: 4, Reporting: 4, Lag: 0}, 3},
+		{Aggregate{Replicas: 1, Reporting: 1, Lag: 0}, 1},
+		// No reports: hold, lag unknown is not lag zero.
+		{Aggregate{Replicas: 3, Reporting: 0, Lag: 0}, 3},
+	}
+	for i, c := range cases {
+		if got := p.Desired(c.agg); got != c.want {
+			t.Errorf("case %d: Desired(%+v) = %d, want %d", i, c.agg, got, c.want)
+		}
+	}
+}
+
+func TestAggregateLagIsMaxNotSum(t *testing.T) {
+	// Three members of one consumer group each report the same shared
+	// backlog; summing would triple-count it and over-scale 3x.
+	agg := AggregateReports("consumers", 3, []LoadReport{
+		{Lag: 40}, {Lag: 40}, {Lag: 38},
+	})
+	if agg.Lag != 40 {
+		t.Fatalf("Aggregate.Lag = %d, want 40 (max)", agg.Lag)
+	}
+}
+
+// TestLagDrivenAutoscaleUp is the acceptance test for lag-driven
+// autoscaling: a consumer tier whose broker backlog grows must be scaled up
+// by the controller on lag alone — its request-side signals (utilization,
+// queue depth) stay idle because async consumers pull work — and released
+// again once the group drains.
+func TestLagDrivenAutoscaleUp(t *testing.T) {
+	reg := registry.New()
+	sp := &fakeSpawner{reg: reg}
+	if _, err := sp.Spawn("fanout"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shared group backlog every replica reports: it shrinks as the
+	// tier grows, the way real consumers eat a fixed backlog.
+	var mu sync.Mutex
+	lag := int64(100)
+	c := NewController(ControllerConfig{
+		Registry: reg,
+		Spawner:  sp,
+		Policy:   LagAware{TargetPerReplica: 25},
+		Services: []ManagedService{{Name: "fanout", Min: 1, Max: 8}},
+		fetch: func(ctx context.Context, service, addr string) (LoadReport, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			// Request-side signals idle: lag is the only thing moving.
+			return LoadReport{Workers: 2, Utilization: 0.01, Lag: lag}, nil
+		},
+	})
+
+	// Backlog 100 @ 25/replica: one tick jumps 1 -> 4, no per-tick creep.
+	d := c.Tick()[0]
+	if d.From != 1 || d.To != 4 {
+		t.Fatalf("scale-up tick: %d -> %d (%s), want 1 -> 4", d.From, d.To, d.Reason)
+	}
+	if got := len(reg.Lookup("fanout")); got != 4 {
+		t.Fatalf("live replicas = %d, want 4", got)
+	}
+
+	// The grown tier eats the backlog; a partially-drained group holds.
+	mu.Lock()
+	lag = 60
+	mu.Unlock()
+	if d := c.Tick()[0]; d.To != 4 {
+		t.Fatalf("draining tick: To = %d (%s), want hold at 4", d.To, d.Reason)
+	}
+
+	// Drained: release one per tick back toward Min.
+	mu.Lock()
+	lag = 0
+	mu.Unlock()
+	for i, want := range []int{3, 2, 1, 1} {
+		if d := c.Tick()[0]; d.To != want {
+			t.Fatalf("drain tick %d: To = %d (%s), want %d", i, d.To, d.Reason, want)
+		}
+	}
+}
+
+func TestLagProbeFlowsThroughReport(t *testing.T) {
+	p := NewPlane(PlaneConfig{})
+	srv := rpc.NewServer("consumer")
+	p.HookRPC("consumer", srv)
+	// Probe attached AFTER the replica started: must reach it anyway.
+	var lag atomic.Int64
+	lag.Store(17)
+	p.SetLagProbe("consumer", lag.Load)
+	r := p.Admissions("consumer")[0].Report()
+	if r.Lag != 17 {
+		t.Fatalf("Report.Lag = %d, want 17", r.Lag)
+	}
+	// Replicas added after the probe inherit it.
+	srv2 := rpc.NewServer("consumer")
+	p.HookRPC("consumer", srv2)
+	if r := p.Admissions("consumer")[1].Report(); r.Lag != 17 {
+		t.Fatalf("late replica Report.Lag = %d, want 17", r.Lag)
 	}
 }

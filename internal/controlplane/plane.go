@@ -29,11 +29,16 @@ type Plane struct {
 
 	mu         sync.Mutex
 	admissions map[string][]*Admission // by service, in start order
+	lagProbes  map[string]func() int64 // by service; attached to every replica
 }
 
 // NewPlane builds a Plane.
 func NewPlane(cfg PlaneConfig) *Plane {
-	return &Plane{cfg: cfg, admissions: make(map[string][]*Admission)}
+	return &Plane{
+		cfg:        cfg,
+		admissions: make(map[string][]*Admission),
+		lagProbes:  make(map[string]func() int64),
+	}
 }
 
 func (p *Plane) admissionFor(service string) *Admission {
@@ -44,8 +49,27 @@ func (p *Plane) admissionFor(service string) *Admission {
 	a := NewAdmission(cfg)
 	p.mu.Lock()
 	p.admissions[service] = append(p.admissions[service], a)
+	probe := p.lagProbes[service]
 	p.mu.Unlock()
+	if probe != nil {
+		a.SetLagProbe(probe)
+	}
 	return a
+}
+
+// SetLagProbe attaches a consumer-backlog source to every replica of an
+// async-consumer service — those already started and those spawned later —
+// so their load reports carry the lag a LagAware policy scales on. Every
+// replica of the service shares the probe: group backlog is a per-group
+// fact, not a per-replica one, and the aggregator takes the max.
+func (p *Plane) SetLagProbe(service string, fn func() int64) {
+	p.mu.Lock()
+	p.lagProbes[service] = fn
+	existing := append([]*Admission(nil), p.admissions[service]...)
+	p.mu.Unlock()
+	for _, a := range existing {
+		a.SetLagProbe(fn)
+	}
 }
 
 // HookRPC matches core.Options.RPCServerHook: it guards the replica with a

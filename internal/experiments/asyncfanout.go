@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/core"
+	"dsb/internal/metrics"
+	"dsb/internal/services/socialnetwork"
+	"dsb/internal/svcutil"
+	"dsb/internal/transport"
+)
+
+// Knobs for the asyncfanout experiment. The timeline store is modeled as a
+// fixed-capacity server (afStoreSlots concurrent ListPrepends, each costing
+// afStoreRTT), so its saturation point is deterministic:
+// afStoreSlots/(afFollowers·afStoreRTT) ≈ 250 posts/s of inline fan-out
+// work. The level ladder straddles that point — the async arm is the only
+// one whose write path can sustain offered load beyond it, because the
+// broker absorbs the backlog and the consumer group works it off at the
+// store's own pace. The service time is deliberately coarse (2ms): sleep
+// granularity overshoots by ~100µs-1ms depending on the kernel's timer
+// resolution, and a coarse base keeps that noise a small fraction of the
+// model instead of dominating it.
+const (
+	afFollowers  = 8
+	afStoreSlots = 4
+	afStoreRTT   = 2 * time.Millisecond
+	afQoS        = 40 * time.Millisecond
+	afWarmup     = 200 * time.Millisecond
+	afMeasure    = 800 * time.Millisecond
+)
+
+// afLevels is the offered-load ladder (posts/s). The store saturates
+// between 180 and 300: every inline arm must fail by 300, while the async
+// arm's ack path stays far below QoS through 420.
+var afLevels = []float64{30, 60, 120, 180, 300, 420}
+
+// afMode selects the write-path layout under test.
+type afMode int
+
+const (
+	// afSync is the paper's layout: Append walks the follower list
+	// sequentially, one store round-trip at a time.
+	afSync afMode = iota
+	// afPipelined keeps the fan-out inline but pipelines the per-follower
+	// prepends — afStoreSlots requests in flight over the multiplexed conn,
+	// so the inline cost collapses from F·RTT to ceil(F/slots)·RTT.
+	afPipelined
+	// afAsync moves the fan-out off the write path entirely: Append
+	// prepends the author's own timeline, publishes a FanoutEvent, and
+	// returns at broker ack; the fanout consumer group hydrates followers
+	// behind the write.
+	afAsync
+)
+
+func (m afMode) String() string {
+	switch m {
+	case afSync:
+		return "sync"
+	case afPipelined:
+		return "pipelined"
+	default:
+		return "async"
+	}
+}
+
+// afLevelResult is one (arm, offered-load) measurement.
+type afLevelResult struct {
+	qps        float64
+	throughput float64
+	p50, p99   time.Duration
+	errs       int64
+	// good means the level is sustained: every measured Append completed
+	// and the p99 met the QoS target.
+	good bool
+	// delivered/appended is the async arm's completeness probe: after
+	// draining the consumer group, the probe follower's stored timeline
+	// must hold every post of the run.
+	appended, delivered int
+	drain               time.Duration
+}
+
+// afArmResult is one arm's walk up the ladder.
+type afArmResult struct {
+	mode      afMode
+	levels    []afLevelResult
+	sustained float64 // highest offered load with good=true (0 = none)
+}
+
+// afRun boots a fresh Social Network in the given layout and offers Append
+// traffic open-loop at qps with Poisson arrivals (absolute schedule: sleep
+// overshoot becomes a small burst, never a silently lower rate). The store
+// capacity model rides the middleware wire: every ListPrepend to
+// social.db-timeline — from writeTimeline and from the fanout consumers
+// alike — takes one of afStoreSlots service slots for afStoreRTT, so
+// inline arms queue on exactly the resource the async arm's write path
+// avoids.
+func afRun(mode afMode, qps float64) (afLevelResult, error) {
+	app := core.NewApp("asyncfanout", core.Options{DisableTracing: true})
+	defer app.Close()
+	sem := make(chan struct{}, afStoreSlots)
+	mw := func(next transport.Invoker) transport.Invoker {
+		return func(ctx context.Context, call *transport.Call) error {
+			if call.Target == "social.db-timeline" && call.Method == "ListPrepend" {
+				sem <- struct{}{}
+				time.Sleep(afStoreRTT)
+				<-sem
+			}
+			return next(ctx, call)
+		}
+	}
+	cfg := socialnetwork.Config{
+		SearchShards: 2,
+		Middleware:   []transport.Middleware{mw},
+	}
+	switch mode {
+	case afSync:
+		cfg.FanoutWorkers = 1
+	case afPipelined:
+		cfg.FanoutWorkers = afStoreSlots
+	case afAsync:
+		cfg.AsyncFanout = true
+		cfg.FanoutConsumers = 2
+		cfg.FanoutWorkers = afStoreSlots
+	}
+	sn, err := socialnetwork.New(app, cfg)
+	if err != nil {
+		return afLevelResult{}, err
+	}
+	defer sn.Close()
+	ctx := context.Background()
+	if err := sn.User.Call(ctx, "Register", socialnetwork.RegisterReq{Username: "author", Password: "pw"}, nil); err != nil {
+		return afLevelResult{}, err
+	}
+	for i := 0; i < afFollowers; i++ {
+		u := fmt.Sprintf("f%d", i)
+		if err := sn.User.Call(ctx, "Register", socialnetwork.RegisterReq{Username: u, Password: "pw"}, nil); err != nil {
+			return afLevelResult{}, err
+		}
+		if err := sn.Graph.Call(ctx, "Follow", socialnetwork.FollowReq{Follower: u, Followee: "author"}, nil); err != nil {
+			return afLevelResult{}, err
+		}
+	}
+	wt, err := app.RPC("asyncfanout", "social.writeTimeline")
+	if err != nil {
+		return afLevelResult{}, err
+	}
+
+	var done, errs atomic.Int64
+	lat := metrics.NewHistogram()
+	rng := rand.New(rand.NewPCG(17, 0x5EED))
+	start := time.Now()
+	var wg sync.WaitGroup
+	appended := 0
+	var sched time.Duration
+	for {
+		sched += time.Duration(rng.ExpFloat64() * float64(time.Second) / qps)
+		if sched >= afWarmup+afMeasure {
+			break
+		}
+		if d := sched - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		appended++
+		req := socialnetwork.AppendTimelineReq{
+			Author: "author", PostID: fmt.Sprintf("p%06d", appended), Ts: int64(appended),
+		}
+		wg.Add(1)
+		go func(at time.Duration, measured bool) {
+			defer wg.Done()
+			// Generous per-call deadline so a queued Append completes and is
+			// *measured* slow instead of vanishing into an error.
+			cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			err := wt.Call(cctx, "Append", req, nil)
+			cancel()
+			if measured {
+				// Latency from the scheduled arrival, not the actual send:
+				// open-loop measurements must charge launch delay to the
+				// system, or saturation hides inside the generator.
+				lat.RecordDuration(time.Since(start) - at)
+				done.Add(1)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(sched, sched > afWarmup)
+	}
+	wg.Wait()
+
+	res := afLevelResult{
+		qps:        qps,
+		throughput: float64(done.Load()) / afMeasure.Seconds(),
+		p50:        lat.PercentileDuration(50),
+		p99:        lat.PercentileDuration(99),
+		errs:       errs.Load(),
+		appended:   appended,
+	}
+	// Completeness probe: drain the consumer group (a no-op for the inline
+	// arms) and count the posts that actually reached a probe follower's
+	// stored timeline — async must deliver everything it acked, just later.
+	t0 := time.Now()
+	if err := sn.DrainFanout(30 * time.Second); err != nil {
+		return res, err
+	}
+	res.drain = time.Since(t0)
+	dbCaller, err := app.RPC("asyncfanout", "social.db-timeline")
+	if err != nil {
+		return res, err
+	}
+	doc, found, err := svcutil.DB{C: dbCaller}.Get(ctx, "timelines", "tl:f0")
+	if err != nil {
+		return res, err
+	}
+	if found {
+		var ids []string
+		if err := codec.Unmarshal(doc.Body, &ids); err != nil {
+			return res, err
+		}
+		res.delivered = len(ids)
+	}
+	res.good = res.errs == 0 && res.p99 <= afQoS && res.delivered >= res.appended
+	return res, nil
+}
+
+// afLadder walks one arm up the offered-load ladder, stopping at the first
+// level it fails to sustain (offered load is monotone; levels above a
+// failed one only queue deeper).
+func afLadder(mode afMode) (afArmResult, error) {
+	arm := afArmResult{mode: mode}
+	for _, qps := range afLevels {
+		res, err := afRun(mode, qps)
+		if err != nil {
+			return arm, err
+		}
+		arm.levels = append(arm.levels, res)
+		if !res.good {
+			break
+		}
+		arm.sustained = qps
+	}
+	return arm, nil
+}
+
+// AsyncFanout contrasts three write-path layouts for the Social Network's
+// follower fan-out — the paper's most expensive query class — at a fixed
+// p99 QoS target. The sync arm pays F sequential store round-trips inline;
+// the pipelined arm overlaps them over the multiplexed conn, cutting inline
+// latency ~F/slots-fold but still coupling the write path to the store's
+// capacity; the async arm publishes to the broker and returns at ack, so
+// offered load beyond the store's saturation point lands as consumer-group
+// backlog instead of write-path queueing. The table prints each arm's walk
+// up the ladder; the headline number is the highest offered load each arm
+// sustains inside QoS.
+func AsyncFanout() *Report {
+	r := &Report{
+		ID:    "asyncfanout",
+		Title: "Sync vs pipelined vs broker-backed async fan-out at fixed p99 QoS (live stack)",
+		Header: []string{"arm", "offered (posts/s)", "throughput", "p50", "p99",
+			fmt.Sprintf("p99<=%s", ms(afQoS)), "delivered", "drain"},
+	}
+	var arms []afArmResult
+	for _, mode := range []afMode{afSync, afPipelined, afAsync} {
+		arm, err := afLadder(mode)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("asyncfanout %s: %v", mode, err))
+			continue
+		}
+		arms = append(arms, arm)
+		for _, lv := range arm.levels {
+			verdict := "yes"
+			if !lv.good {
+				verdict = "NO"
+			}
+			r.Rows = append(r.Rows, []string{
+				mode.String(), qpsStr(lv.qps), qpsStr(lv.throughput),
+				ms(lv.p50), ms(lv.p99), verdict,
+				fmt.Sprintf("%d/%d", lv.delivered, lv.appended),
+				fmt.Sprintf("%.0fms", float64(lv.drain)/1e6),
+			})
+		}
+	}
+	if len(arms) == 3 {
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("sustained offered load at p99<=%s: sync %s, pipelined %s, async %s posts/s (%d followers, store = %d slots x %s per prepend, saturation ~%.0f posts/s of inline fan-out)",
+				ms(afQoS), qpsStr(arms[0].sustained), qpsStr(arms[1].sustained), qpsStr(arms[2].sustained),
+				afFollowers, afStoreSlots, us(afStoreRTT),
+				float64(afStoreSlots)/(afFollowers*afStoreRTT.Seconds())),
+			"async sustains load past store saturation because the ack path is author-prepend + broker publish; the backlog drains at the store's own pace after the burst (drain column), with every acked post delivered",
+			"pipelining shares sync's capacity ceiling (same store) but collapses inline p50 ~F/slots-fold: ceil(F/slots) waves of in-flight prepends instead of F sequential round-trips")
+	}
+	return r
+}

@@ -99,6 +99,7 @@ func All() []Experiment {
 		{"hotpath", "Miss coalescing and batched write fan-out (live stack)", HotPath},
 		{"tailatscale", "Zipf skew and a slow shard vs the sharded stateful tier (live stack)", TailAtScale},
 		{"clusterparity", "Flash crowd on one tenant of a five-app shared cluster (live stack)", ClusterParity},
+		{"asyncfanout", "Sync vs pipelined vs broker-backed async fan-out at fixed p99 QoS (live stack)", AsyncFanout},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -168,15 +169,12 @@ func TestHeavyExperimentsSmoke(t *testing.T) {
 	}
 }
 
-// TestAutoscaleLiveShape asserts the directional claims of the
-// autoscale-live experiment: without admission control the overload phase
-// collapses (Fig 17); admission keeps goodput above half the offered load
-// with served requests inside QoS; the latency-aware autoscaler grows the
-// compose tier and rides out the ramp near-cleanly.
-func TestAutoscaleLiveShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("live autoscale ramp skipped in -short mode")
-	}
+// autoscaleLiveViolations runs the autoscale-live experiment once and
+// returns the directional claims that did not hold. Structural problems
+// (wrong row count, unparsable cells) still fail the test immediately —
+// those are deterministic bugs, not timing noise.
+func autoscaleLiveViolations(t *testing.T) []string {
+	t.Helper()
 	rep := AutoscaleLive()
 	if len(rep.Rows) != 12 { // 4 configs × 3 phases
 		t.Fatalf("rows = %d, want 12:\n%s", len(rep.Rows), rep)
@@ -202,29 +200,56 @@ func TestAutoscaleLiveShape(t *testing.T) {
 	latency := overload["autoscale latency-aware"]
 	threshold := overload["autoscale threshold"]
 
+	var v []string
 	qosMS := float64(aslQoS) / 1e6
 	if noadm.ratio >= 0.45 {
-		t.Errorf("no-admission overload good/offered = %.2f, want < 0.45 (backpressure collapse)", noadm.ratio)
+		v = append(v, fmt.Sprintf("no-admission overload good/offered = %.2f, want < 0.45 (backpressure collapse)", noadm.ratio))
 	}
 	if noadm.p99ms <= qosMS {
-		t.Errorf("no-admission overload p99 = %.1fms, want > QoS %.0fms", noadm.p99ms, qosMS)
+		v = append(v, fmt.Sprintf("no-admission overload p99 = %.1fms, want > QoS %.0fms", noadm.p99ms, qosMS))
 	}
 	if adm.ratio < 0.5 {
-		t.Errorf("admission overload good/offered = %.2f, want >= 0.5 (sheds protect served requests)", adm.ratio)
+		v = append(v, fmt.Sprintf("admission overload good/offered = %.2f, want >= 0.5 (sheds protect served requests)", adm.ratio))
 	}
 	if latency.ratio < 0.75 {
-		t.Errorf("latency-aware overload good/offered = %.2f, want >= 0.75", latency.ratio)
+		v = append(v, fmt.Sprintf("latency-aware overload good/offered = %.2f, want >= 0.75", latency.ratio))
 	}
 	if latency.ratio <= noadm.ratio {
-		t.Errorf("latency-aware ratio %.2f not above no-admission %.2f", latency.ratio, noadm.ratio)
+		v = append(v, fmt.Sprintf("latency-aware ratio %.2f not above no-admission %.2f", latency.ratio, noadm.ratio))
 	}
 	if latency.p99ms > qosMS {
-		t.Errorf("latency-aware overload p99 = %.1fms, want <= QoS %.0fms", latency.p99ms, qosMS)
+		v = append(v, fmt.Sprintf("latency-aware overload p99 = %.1fms, want <= QoS %.0fms", latency.p99ms, qosMS))
 	}
 	if latency.replicas <= 2 {
-		t.Errorf("latency-aware compose replicas = %.0f, want > 2 (scaled up)", latency.replicas)
+		v = append(v, fmt.Sprintf("latency-aware compose replicas = %.0f, want > 2 (scaled up)", latency.replicas))
 	}
 	if threshold.replicas <= 2 {
-		t.Errorf("threshold compose replicas = %.0f, want > 2 (utilization crossed Up)", threshold.replicas)
+		v = append(v, fmt.Sprintf("threshold compose replicas = %.0f, want > 2 (utilization crossed Up)", threshold.replicas))
+	}
+	return v
+}
+
+// TestAutoscaleLiveShape asserts the directional claims of the
+// autoscale-live experiment: without admission control the overload phase
+// collapses (Fig 17); admission keeps goodput above half the offered load
+// with served requests inside QoS; the latency-aware autoscaler grows the
+// compose tier and rides out the ramp near-cleanly. The ramp is a
+// wall-clock queueing measurement, so the shape gets three attempts and
+// passes on the first clean one; a real regression fails all three.
+func TestAutoscaleLiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live autoscale ramp skipped in -short mode")
+	}
+	const attempts = 3
+	var last []string
+	for i := 1; i <= attempts; i++ {
+		last = autoscaleLiveViolations(t)
+		if len(last) == 0 {
+			return
+		}
+		t.Logf("attempt %d/%d violated the shape: %v", i, attempts, last)
+	}
+	for _, violation := range last {
+		t.Error(violation)
 	}
 }

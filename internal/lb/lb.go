@@ -335,6 +335,24 @@ func (b *Balanced) Call(ctx context.Context, method string, req, resp any) error
 	return nil
 }
 
+// CallOneWay issues a fire-and-forget call on a policy-picked backend: the
+// balanced middleware chain runs with Call.OneWay set and the terminal
+// client completes at send without registering a reply waiter. Only
+// send-side errors come back; see rpc.Client.CallOneWay for the contract.
+func (b *Balanced) CallOneWay(ctx context.Context, method string, req any) error {
+	var payload []byte
+	if req != nil {
+		var err error
+		payload, err = codec.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("lb: marshal %s.%s: %w", b.target, method, err)
+		}
+	}
+	call := transport.NewCall(b.target, method, payload)
+	call.OneWay = true
+	return b.invoke(ctx, call)
+}
+
 // Invoke runs the balanced middleware chain for a caller-built call.
 func (b *Balanced) Invoke(ctx context.Context, call *transport.Call) error {
 	return b.invoke(ctx, call)

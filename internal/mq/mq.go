@@ -5,6 +5,13 @@
 // the front of the queue, so a crashed worker never loses an order. This
 // serialization point is exactly the scalability constraint Section 7 of
 // the paper attributes to queueMaster.
+//
+// Beyond plain queues the broker offers topics with consumer groups (see
+// groups.go): every subscribed group receives each published message once,
+// and members of a group share the partition. A broker can also be served
+// over RPC (see service.go) so producer, broker, and consumers run as
+// separate tiers, which is how the e-commerce and social-network apps use
+// it for async order commit and timeline fan-out.
 package mq
 
 import (
@@ -13,6 +20,10 @@ import (
 
 	"dsb/internal/rpc"
 )
+
+// DeadLetterSuffix names the queue that collects messages exhausted by
+// MaxAttempts: queue "orders" dead-letters into "orders.dlq".
+const DeadLetterSuffix = ".dlq"
 
 // Message is one queued item.
 type Message struct {
@@ -24,25 +35,69 @@ type Message struct {
 	Attempts int
 }
 
-// Broker holds named queues.
+// QueueConfig bounds a queue's retry and depth behavior. The zero value
+// means unbounded: no dead-lettering, no depth limit.
+type QueueConfig struct {
+	// MaxAttempts caps deliveries per message. A message that is nacked or
+	// lease-expires after its MaxAttempts'th delivery moves to the
+	// dead-letter queue instead of returning to the front — otherwise one
+	// poison message would block the head of a FIFO queue forever.
+	MaxAttempts int
+	// MaxDepth bounds queued+in-flight messages; Publish sheds with
+	// CodeOverloaded beyond it. Counting in-flight matters: a queue with
+	// 0 queued and 256 leased is not empty, it is saturated.
+	MaxDepth int
+}
+
+// Stats is a point-in-time snapshot of one queue, the backlog signal the
+// control plane's lag-driven autoscaling consumes.
+type Stats struct {
+	// Queued is the number of deliverable messages (excludes in-flight).
+	Queued int
+	// InFlight is the number of leased, unacked messages.
+	InFlight int
+	// Published, Acked, Redelivered, and DeadLettered are lifetime counters.
+	Published    int64
+	Acked        int64
+	Redelivered  int64
+	DeadLettered int64
+	// OldestAge is the age of the oldest queued message.
+	OldestAge time.Duration
+}
+
+// Lag is the consumer backlog: messages not yet successfully processed.
+func (s Stats) Lag() int64 { return int64(s.Queued + s.InFlight) }
+
+// Broker holds named queues and topics.
 type Broker struct {
 	mu     sync.Mutex
 	queues map[string]*queue
+	topics map[string]*Topic
 	now    func() time.Time
 }
 
 type queue struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
+	name     string
 	items    []*item // FIFO: items[0] is next
 	inflight map[uint64]*item
 	nextID   uint64
 	closed   bool
 	now      func() time.Time
+
+	cfg QueueConfig
+	dlq *queue // destination when MaxAttempts is exhausted; nil = drop to requeue
+
+	published    int64
+	acked        int64
+	redelivered  int64
+	deadLettered int64
 }
 
 type item struct {
 	msg      Message
+	enqueued time.Time
 	leasedAt time.Time
 	lease    time.Duration
 }
@@ -57,7 +112,7 @@ func WithClock(now func() time.Time) Option {
 
 // NewBroker returns an empty broker.
 func NewBroker(opts ...Option) *Broker {
-	b := &Broker{queues: make(map[string]*queue), now: time.Now}
+	b := &Broker{queues: make(map[string]*queue), topics: make(map[string]*Topic), now: time.Now}
 	for _, o := range opts {
 		o(b)
 	}
@@ -68,13 +123,35 @@ func NewBroker(opts ...Option) *Broker {
 func (b *Broker) Queue(name string) *Queue {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return &Queue{q: b.queueLocked(name), name: name}
+}
+
+func (b *Broker) queueLocked(name string) *queue {
 	q, ok := b.queues[name]
 	if !ok {
-		q = &queue{inflight: make(map[uint64]*item), now: b.now}
+		q = &queue{name: name, inflight: make(map[uint64]*item), now: b.now}
 		q.cond = sync.NewCond(&q.mu)
 		b.queues[name] = q
 	}
-	return &Queue{q: q, name: name}
+	return q
+}
+
+// Configure sets the named queue's retry/depth bounds and returns it. When
+// MaxAttempts is positive the companion dead-letter queue (name +
+// DeadLetterSuffix) is created to receive exhausted messages.
+func (b *Broker) Configure(name string, cfg QueueConfig) *Queue {
+	b.mu.Lock()
+	qq := b.queueLocked(name)
+	var dlq *queue
+	if cfg.MaxAttempts > 0 {
+		dlq = b.queueLocked(name + DeadLetterSuffix)
+	}
+	b.mu.Unlock()
+	qq.mu.Lock()
+	qq.cfg = cfg
+	qq.dlq = dlq
+	qq.mu.Unlock()
+	return &Queue{q: qq, name: name}
 }
 
 // Queue is a handle on one named queue.
@@ -86,7 +163,9 @@ type Queue struct {
 // Name returns the queue name.
 func (q *Queue) Name() string { return q.name }
 
-// Publish appends a message and returns its ID.
+// Publish appends a message and returns its ID. When the queue is
+// configured with MaxDepth, publishes beyond it fail with CodeOverloaded so
+// producers shed instead of growing the backlog without bound.
 func (q *Queue) Publish(body []byte) (uint64, error) {
 	qq := q.q
 	qq.mu.Lock()
@@ -94,10 +173,15 @@ func (q *Queue) Publish(body []byte) (uint64, error) {
 	if qq.closed {
 		return 0, rpc.Errorf(rpc.CodeUnavailable, "mq: queue %q closed", q.name)
 	}
+	if qq.cfg.MaxDepth > 0 && len(qq.items)+len(qq.inflight) >= qq.cfg.MaxDepth {
+		return 0, rpc.Errorf(rpc.CodeOverloaded, "mq: queue %q full: %d queued + %d in flight >= max depth %d",
+			q.name, len(qq.items), len(qq.inflight), qq.cfg.MaxDepth)
+	}
 	qq.nextID++
+	qq.published++
 	cp := make([]byte, len(body))
 	copy(cp, body)
-	qq.items = append(qq.items, &item{msg: Message{ID: qq.nextID, Body: cp}})
+	qq.items = append(qq.items, &item{msg: Message{ID: qq.nextID, Body: cp}, enqueued: qq.now()})
 	qq.cond.Signal()
 	return qq.nextID, nil
 }
@@ -106,6 +190,41 @@ func (q *Queue) Publish(body []byte) (uint64, error) {
 // leases it to the caller for leaseFor; if not acked in time, the message
 // is redelivered. leaseFor <= 0 means a 30s default.
 func (q *Queue) Receive(leaseFor time.Duration) (Message, bool) {
+	return q.receive(leaseFor, nil)
+}
+
+// ReceiveWait is Receive bounded by a wait budget: it returns ok=false once
+// wait elapses with nothing deliverable. This is the long-poll primitive the
+// networked broker service builds Consume on — consumers park here instead
+// of hot-polling, and a publish or lease expiry wakes them early.
+func (q *Queue) ReceiveWait(leaseFor, wait time.Duration) (Message, bool) {
+	if wait <= 0 {
+		return q.TryReceive(leaseFor)
+	}
+	timedOut := false
+	qq := q.q
+	// sync.Cond has no timed wait; a timer flips timedOut under the queue
+	// lock and broadcasts so the parked receiver re-checks and gives up.
+	timer := time.AfterFunc(wait, func() {
+		qq.mu.Lock()
+		timedOut = true
+		qq.cond.Broadcast()
+		qq.mu.Unlock()
+	})
+	defer timer.Stop()
+	return q.receive(leaseFor, &timedOut)
+}
+
+// TryReceive is Receive without blocking; ok is false when empty.
+func (q *Queue) TryReceive(leaseFor time.Duration) (Message, bool) {
+	expired := true
+	return q.receive(leaseFor, &expired)
+}
+
+// receive is the shared dequeue path. timedOut, when non-nil, is read under
+// the queue lock: the loop gives up once it is true and nothing is
+// deliverable (nil means block until delivery or close).
+func (q *Queue) receive(leaseFor time.Duration, timedOut *bool) (Message, bool) {
 	if leaseFor <= 0 {
 		leaseFor = 30 * time.Second
 	}
@@ -123,36 +242,16 @@ func (q *Queue) Receive(leaseFor time.Duration) (Message, bool) {
 			qq.inflight[it.msg.ID] = it
 			return it.msg, true
 		}
-		if qq.closed {
+		if qq.closed || (timedOut != nil && *timedOut) {
 			return Message{}, false
 		}
 		qq.cond.Wait()
 	}
 }
 
-// TryReceive is Receive without blocking; ok is false when empty.
-func (q *Queue) TryReceive(leaseFor time.Duration) (Message, bool) {
-	if leaseFor <= 0 {
-		leaseFor = 30 * time.Second
-	}
-	qq := q.q
-	qq.mu.Lock()
-	defer qq.mu.Unlock()
-	qq.reclaimExpiredLocked()
-	if len(qq.items) == 0 {
-		return Message{}, false
-	}
-	it := qq.items[0]
-	qq.items = qq.items[1:]
-	it.msg.Attempts++
-	it.leasedAt = qq.now()
-	it.lease = leaseFor
-	qq.inflight[it.msg.ID] = it
-	return it.msg, true
-}
-
 // reclaimExpiredLocked returns timed-out in-flight messages to the front of
-// the queue, preserving ID order among reclaimed items.
+// the queue, preserving ID order among reclaimed items. Messages that have
+// exhausted MaxAttempts divert to the dead-letter queue instead.
 func (qq *queue) reclaimExpiredLocked() {
 	if len(qq.inflight) == 0 {
 		return
@@ -161,8 +260,12 @@ func (qq *queue) reclaimExpiredLocked() {
 	var expired []*item
 	for id, it := range qq.inflight {
 		if now.Sub(it.leasedAt) >= it.lease {
-			expired = append(expired, it)
 			delete(qq.inflight, id)
+			if qq.deadLetterLocked(it) {
+				continue
+			}
+			qq.redelivered++
+			expired = append(expired, it)
 		}
 	}
 	if len(expired) == 0 {
@@ -178,6 +281,29 @@ func (qq *queue) reclaimExpiredLocked() {
 	qq.cond.Broadcast()
 }
 
+// deadLetterLocked moves an exhausted message to the DLQ, reporting whether
+// it did. Called with qq.mu held; takes the DLQ's lock, which is safe
+// because a dead-letter queue never has a DLQ of its own (no cycle).
+func (qq *queue) deadLetterLocked(it *item) bool {
+	if qq.cfg.MaxAttempts <= 0 || it.msg.Attempts < qq.cfg.MaxAttempts || qq.dlq == nil {
+		return false
+	}
+	qq.deadLettered++
+	d := qq.dlq
+	d.mu.Lock()
+	if !d.closed {
+		d.nextID++
+		d.published++
+		d.items = append(d.items, &item{
+			msg:      Message{ID: d.nextID, Body: it.msg.Body, Attempts: it.msg.Attempts},
+			enqueued: d.now(),
+		})
+		d.cond.Signal()
+	}
+	d.mu.Unlock()
+	return true
+}
+
 // Ack confirms processing of a leased message; returns false for unknown
 // or already-expired leases.
 func (q *Queue) Ack(id uint64) bool {
@@ -188,10 +314,13 @@ func (q *Queue) Ack(id uint64) bool {
 		return false
 	}
 	delete(qq.inflight, id)
+	qq.acked++
 	return true
 }
 
-// Nack returns a leased message to the front of the queue immediately.
+// Nack returns a leased message to the front of the queue immediately —
+// unless it has exhausted MaxAttempts, in which case it dead-letters so a
+// perpetually failing message cannot head-of-line-block the queue.
 func (q *Queue) Nack(id uint64) bool {
 	qq := q.q
 	qq.mu.Lock()
@@ -201,12 +330,18 @@ func (q *Queue) Nack(id uint64) bool {
 		return false
 	}
 	delete(qq.inflight, id)
+	if qq.deadLetterLocked(it) {
+		return true
+	}
+	qq.redelivered++
 	qq.items = append([]*item{it}, qq.items...)
 	qq.cond.Signal()
 	return true
 }
 
-// Len returns the number of queued (not in-flight) messages.
+// Len returns the number of queued (not in-flight) messages. Depth checks
+// should use Stats().Lag() instead: a queue with everything leased out
+// reports Len 0 while still holding unprocessed work.
 func (q *Queue) Len() int {
 	q.q.mu.Lock()
 	defer q.q.mu.Unlock()
@@ -218,6 +353,32 @@ func (q *Queue) InFlight() int {
 	q.q.mu.Lock()
 	defer q.q.mu.Unlock()
 	return len(q.q.inflight)
+}
+
+// Stats snapshots the queue. Expired leases are reclaimed first so the
+// queued/in-flight split reflects reality, not stale leases.
+func (q *Queue) Stats() Stats {
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	qq.reclaimExpiredLocked()
+	s := Stats{
+		Queued:       len(qq.items),
+		InFlight:     len(qq.inflight),
+		Published:    qq.published,
+		Acked:        qq.acked,
+		Redelivered:  qq.redelivered,
+		DeadLettered: qq.deadLettered,
+	}
+	if len(qq.items) > 0 {
+		now := qq.now()
+		for _, it := range qq.items {
+			if age := now.Sub(it.enqueued); age > s.OldestAge {
+				s.OldestAge = age
+			}
+		}
+	}
+	return s
 }
 
 // Close wakes all blocked receivers; subsequent publishes fail and

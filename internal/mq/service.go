@@ -1,0 +1,271 @@
+package mq
+
+import (
+	"context"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/rpc"
+	"dsb/internal/transport"
+)
+
+// Wire messages for the broker's RPC interface. Consumers address work by
+// (Topic, Group); plain queues (no fan-out) use Topic="" and Queue set.
+
+// PublishReq publishes one message to a topic (fan-out to all subscribed
+// groups) or, when Topic is empty, to the named plain queue.
+type PublishReq struct {
+	Topic string
+	Queue string
+	Body  []byte
+}
+
+// PublishResp acknowledges the publish; the broker has durably enqueued the
+// message for every subscribed group by the time this returns.
+type PublishResp struct{ ID uint64 }
+
+// SubscribeReq registers a consumer group on a topic and configures the
+// group queue's bounds (zero values mean unbounded).
+type SubscribeReq struct {
+	Topic       string
+	Group       string
+	MaxAttempts int
+	MaxDepth    int
+}
+
+// ConsumeReq long-polls one message. LeaseNs bounds processing time before
+// redelivery (<=0 means the 30s default); WaitNs bounds the poll.
+type ConsumeReq struct {
+	Topic   string
+	Group   string
+	Queue   string
+	LeaseNs int64
+	WaitNs  int64
+}
+
+// ConsumeResp returns the leased message; OK=false means the wait expired
+// with nothing deliverable.
+type ConsumeResp struct {
+	ID       uint64
+	Body     []byte
+	Attempts int
+	OK       bool
+}
+
+// AckReq settles a lease: acknowledge (done) or negative-acknowledge
+// (redeliver, or dead-letter once attempts are exhausted).
+type AckReq struct {
+	Topic string
+	Group string
+	Queue string
+	ID    uint64
+}
+
+// AckResp reports whether the lease was still live.
+type AckResp struct{ OK bool }
+
+// StatsReq asks for one group queue's snapshot.
+type StatsReq struct {
+	Topic string
+	Group string
+	Queue string
+}
+
+// StatsResp mirrors Stats over the wire.
+type StatsResp struct {
+	Queued       int
+	InFlight     int
+	Published    int64
+	Acked        int64
+	Redelivered  int64
+	DeadLettered int64
+	OldestAgeNs  int64
+}
+
+// Lag is the consumer backlog (queued + in-flight).
+func (s StatsResp) Lag() int64 { return int64(s.Queued + s.InFlight) }
+
+// queueFor resolves the queue a request addresses: a topic's group queue,
+// or a plain named queue. Consume on a topic implies Subscribe, so a
+// consumer that outlives a broker restart re-registers its group on first
+// poll; publishes before that first poll still require the boot-time
+// Subscribe to be fanned out.
+func queueFor(b *Broker, topic, group, queue string) (*Queue, error) {
+	if topic != "" {
+		if group == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: topic %q requires a group", topic)
+		}
+		return b.Topic(topic).Subscribe(group), nil
+	}
+	if queue == "" {
+		return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: no topic or queue named")
+	}
+	return b.Queue(queue), nil
+}
+
+// RegisterService exposes broker as an RPC microservice on srv with methods
+// Publish, Subscribe, Consume, Ack, Nack, and Stats — the networked broker
+// tier the async application paths publish through. Ack and Nack are safe
+// to invoke one-way: a lost settle only costs a redelivery, which
+// at-least-once consumers already tolerate.
+func RegisterService(srv *rpc.Server, broker *Broker) {
+	srv.Handle("Publish", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req PublishReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		if req.Topic != "" {
+			id, err := broker.Topic(req.Topic).Publish(req.Body)
+			if err != nil {
+				return nil, err
+			}
+			return codec.Marshal(PublishResp{ID: id})
+		}
+		if req.Queue == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: no topic or queue named")
+		}
+		id, err := broker.Queue(req.Queue).Publish(req.Body)
+		if err != nil {
+			return nil, err
+		}
+		return codec.Marshal(PublishResp{ID: id})
+	})
+	srv.Handle("Subscribe", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req SubscribeReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		if req.Topic == "" || req.Group == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: subscribe requires topic and group")
+		}
+		t := broker.Topic(req.Topic)
+		if req.MaxAttempts != 0 || req.MaxDepth != 0 {
+			t.Configure(QueueConfig{MaxAttempts: req.MaxAttempts, MaxDepth: req.MaxDepth})
+		}
+		t.Subscribe(req.Group)
+		return nil, nil
+	})
+	srv.Handle("Consume", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req ConsumeReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		q, err := queueFor(broker, req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return nil, err
+		}
+		wait := time.Duration(req.WaitNs)
+		// Never park past the caller's deadline: a long-poll that outlives
+		// the RPC would pin a server goroutine answering no one.
+		if dl, ok := ctx.Deadline(); ok {
+			if budget := time.Until(dl) - 10*time.Millisecond; budget < wait {
+				wait = budget
+			}
+		}
+		msg, ok := q.ReceiveWait(time.Duration(req.LeaseNs), wait)
+		if !ok {
+			return codec.Marshal(ConsumeResp{})
+		}
+		return codec.Marshal(ConsumeResp{ID: msg.ID, Body: msg.Body, Attempts: msg.Attempts, OK: true})
+	})
+	srv.Handle("Ack", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req AckReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		q, err := queueFor(broker, req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return nil, err
+		}
+		return codec.Marshal(AckResp{OK: q.Ack(req.ID)})
+	})
+	srv.Handle("Nack", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req AckReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		q, err := queueFor(broker, req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return nil, err
+		}
+		return codec.Marshal(AckResp{OK: q.Nack(req.ID)})
+	})
+	srv.Handle("Stats", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req StatsReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		q, err := queueFor(broker, req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return nil, err
+		}
+		s := q.Stats()
+		return codec.Marshal(StatsResp{
+			Queued:       s.Queued,
+			InFlight:     s.InFlight,
+			Published:    s.Published,
+			Acked:        s.Acked,
+			Redelivered:  s.Redelivered,
+			DeadLettered: s.DeadLettered,
+			OldestAgeNs:  int64(s.OldestAge),
+		})
+	})
+}
+
+// Client is a typed view of the broker service over any transport.Caller
+// (an *lb.Balanced, an *rpc.Client, or a shard router).
+type Client struct{ C transport.Caller }
+
+// Publish sends one message to a topic and returns after the broker has
+// enqueued it for every subscribed group — the "returns after broker ack"
+// contract async producers rely on.
+func (c Client) Publish(ctx context.Context, topic string, body []byte) (uint64, error) {
+	var resp PublishResp
+	if err := c.C.Call(ctx, "Publish", PublishReq{Topic: topic, Body: body}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Subscribe registers a consumer group on a topic with the given bounds.
+func (c Client) Subscribe(ctx context.Context, topic, group string, cfg QueueConfig) error {
+	return c.C.Call(ctx, "Subscribe", SubscribeReq{
+		Topic: topic, Group: group, MaxAttempts: cfg.MaxAttempts, MaxDepth: cfg.MaxDepth,
+	}, nil)
+}
+
+// Consume long-polls one message for the group.
+func (c Client) Consume(ctx context.Context, topic, group string, lease, wait time.Duration) (ConsumeResp, error) {
+	var resp ConsumeResp
+	err := c.C.Call(ctx, "Consume", ConsumeReq{
+		Topic: topic, Group: group, LeaseNs: int64(lease), WaitNs: int64(wait),
+	}, &resp)
+	return resp, err
+}
+
+// Ack settles a lease as done. When the underlying transport supports
+// fire-and-forget it goes one-way: a lost ack only costs a redelivery,
+// which at-least-once consumers already tolerate, so the consumer loop
+// skips the settle round trip on its hot path.
+func (c Client) Ack(ctx context.Context, topic, group string, id uint64) error {
+	req := AckReq{Topic: topic, Group: group, ID: id}
+	if ow, ok := c.C.(transport.OneWayCaller); ok {
+		return ow.CallOneWay(ctx, "Ack", req)
+	}
+	return c.C.Call(ctx, "Ack", req, nil)
+}
+
+// Nack returns a lease for redelivery (or dead-lettering, once attempts are
+// exhausted). Synchronous: a nacking consumer is already off its hot path
+// and the caller usually wants to know the settle landed.
+func (c Client) Nack(ctx context.Context, topic, group string, id uint64) error {
+	var resp AckResp
+	return c.C.Call(ctx, "Nack", AckReq{Topic: topic, Group: group, ID: id}, &resp)
+}
+
+// Stats snapshots a group queue.
+func (c Client) Stats(ctx context.Context, topic, group string) (StatsResp, error) {
+	var resp StatsResp
+	err := c.C.Call(ctx, "Stats", StatsReq{Topic: topic, Group: group}, &resp)
+	return resp, err
+}

@@ -104,11 +104,88 @@ func (c *Client) Invoke(ctx context.Context, call *transport.Call) error {
 	return c.invoke(ctx, call)
 }
 
+// CallOneWay issues a fire-and-forget request: it completes once the frame
+// is written, the server never sends a reply, and no reply waiter is
+// registered, so a one-way burst costs one wire write per call with zero
+// round trips. Errors returned here are send-side only (marshal, dial, a
+// dead connection); anything that goes wrong after the frame leaves —
+// admission shed, handler failure — surfaces in the server's OneWayErrors
+// stat, never to this caller. The call still runs the full middleware
+// chain with Call.OneWay set, so per-hop stats and fault rules apply.
+func (c *Client) CallOneWay(ctx context.Context, method string, req any) error {
+	var payload []byte
+	if req != nil {
+		var err error
+		payload, err = codec.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal %s.%s: %w", c.target, method, err)
+		}
+	}
+	call := transport.NewCall(c.target, method, payload)
+	call.OneWay = true
+	return c.invoke(ctx, call)
+}
+
+// Pending is one in-flight pipelined call issued with Go. Wait blocks until
+// the reply (or error) arrives; Done exposes the completion channel for
+// select-based collection.
+type Pending struct {
+	done chan struct{}
+	err  error
+}
+
+// Done is closed when the call completes.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the call completes and returns its error. The decoded
+// response passed to Go is fully written before Wait returns.
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// Go issues a pipelined call: the request is sent immediately and the
+// caller collects the reply later through the returned Pending, so N calls
+// issued back-to-back share the multiplexed connection with N requests in
+// flight at once and replies matched out of order by sequence number —
+// wall-clock cost ~one round trip instead of N. The middleware chain wraps
+// each call end-to-end exactly as with Call.
+func (c *Client) Go(ctx context.Context, method string, req, resp any) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	var payload []byte
+	if req != nil {
+		var err error
+		payload, err = codec.Marshal(req)
+		if err != nil {
+			p.err = fmt.Errorf("rpc: marshal %s.%s: %w", c.target, method, err)
+			close(p.done)
+			return p
+		}
+	}
+	go func() {
+		defer close(p.done)
+		call := transport.NewCall(c.target, method, payload)
+		if err := c.invoke(ctx, call); err != nil {
+			p.err = err
+			return
+		}
+		if resp != nil {
+			if err := codec.Unmarshal(call.Reply, resp); err != nil {
+				p.err = fmt.Errorf("rpc: unmarshal %s.%s reply: %w", c.target, method, err)
+			}
+		}
+	}()
+	return p
+}
+
 // exchangeCall is the terminal invoker: it stamps the deadline header from
 // the (possibly budget-shrunken) context and performs the wire exchange.
 func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
 	if dl, ok := ctx.Deadline(); ok {
 		call.SetHeader(transport.DeadlineHeader, transport.EncodeDeadline(dl))
+	}
+	if call.OneWay {
+		return c.sendOneWay(call.Method, call.Headers, call.Payload)
 	}
 	reply, err := c.exchange(ctx, call.Method, call.Headers, call.Payload)
 	if err != nil {
@@ -116,6 +193,27 @@ func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
 	}
 	call.Reply = reply
 	return nil
+}
+
+// sendOneWay writes a one-way frame and returns at send: no waiter, no
+// reply. Like exchange, a dead-on-arrival pooled connection gets one
+// transparent redial — the frame never left, so the retry is free.
+func (c *Client) sendOneWay(method string, headers map[string]string, payload []byte) error {
+	for attempt := 0; ; attempt++ {
+		cc, err := c.pick()
+		if err != nil {
+			return err
+		}
+		f := &frame{kind: kindOneWay, method: method, headers: headers, payload: payload}
+		if err := cc.sendNoReply(f); err != nil {
+			cc.fail(err)
+			if attempt == 0 && !cc.delivered() {
+				continue
+			}
+			return fmt.Errorf("rpc: send to %s: %w", c.target, err)
+		}
+		return nil
+	}
 }
 
 func (c *Client) exchange(ctx context.Context, method string, headers map[string]string, payload []byte) ([]byte, error) {
@@ -273,6 +371,21 @@ func (cc *clientConn) send(f *frame) (chan *frame, uint64, error) {
 		return nil, 0, err
 	}
 	return ch, seq, nil
+}
+
+// sendNoReply assigns a sequence number and writes the frame without
+// registering a reply waiter — the one-way wire path.
+func (cc *clientConn) sendNoReply(f *frame) error {
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	}
+	cc.seq++
+	f.seq = cc.seq
+	cc.mu.Unlock()
+	return cc.cw.write(f)
 }
 
 // abandon drops the waiter for seq after a local timeout; a late reply for

@@ -6,11 +6,13 @@ import (
 )
 
 // Frame kinds. A request carries a method; a reply or error carries the
-// originating sequence number only.
+// originating sequence number only. A one-way frame is a request the server
+// never answers: the client completes at send and registers no reply waiter.
 const (
 	kindRequest = 0
 	kindReply   = 1
 	kindError   = 2
+	kindOneWay  = 3
 )
 
 // maxFrameSize bounds a single frame; movie "video" payloads in the suite
@@ -31,7 +33,7 @@ type frame struct {
 func appendFrame(buf []byte, f *frame) []byte {
 	buf = append(buf, f.kind)
 	buf = binary.AppendUvarint(buf, f.seq)
-	if f.kind == kindRequest {
+	if f.kind == kindRequest || f.kind == kindOneWay {
 		buf = appendString(buf, f.method)
 	}
 	if f.kind == kindError {
@@ -68,7 +70,7 @@ func parseFrame(body []byte) (*frame, error) {
 	if f.seq, rest, err = readUvarint(rest); err != nil {
 		return nil, err
 	}
-	if f.kind == kindRequest {
+	if f.kind == kindRequest || f.kind == kindOneWay {
 		if f.method, rest, err = readString(rest); err != nil {
 			return nil, err
 		}

@@ -61,6 +61,12 @@ type Server struct {
 	wg           sync.WaitGroup
 	sem          chan struct{} // nil = unlimited concurrency
 	hung         atomic.Bool
+
+	// onewayErrs counts one-way requests whose handler (or an interceptor)
+	// failed. There is no reply frame to carry the error back, so this
+	// counter is where post-send failures surface — the stats half of the
+	// fire-and-forget contract.
+	onewayErrs atomic.Int64
 }
 
 // NewServer creates a server for the named service.
@@ -109,6 +115,12 @@ func (s *Server) Resume() { s.hung.Store(false) }
 
 // Hung reports whether the server is currently dropping requests.
 func (s *Server) Hung() bool { return s.hung.Load() }
+
+// OneWayErrors returns how many one-way requests failed server-side. The
+// caller of a one-way RPC only sees send failures; everything after the
+// frame is on the wire — admission sheds, missing methods, handler errors —
+// lands here instead of in a reply.
+func (s *Server) OneWayErrors() int64 { return s.onewayErrs.Load() }
 
 // Handle registers a raw handler for method.
 func (s *Server) Handle(method string, h Handler) {
@@ -206,7 +218,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if f.kind != kindRequest {
+		if f.kind != kindRequest && f.kind != kindOneWay {
 			continue // ignore stray frames
 		}
 		if s.hung.Load() {
@@ -254,6 +266,15 @@ func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byt
 			}
 		}
 		resp, err = safeCall(wrapped, ctx, payload)
+	}
+
+	if f.kind == kindOneWay {
+		// Fire-and-forget: the full interceptor chain and handler ran, but
+		// nothing goes back on the wire. Failures are counted, not replied.
+		if err != nil {
+			s.onewayErrs.Add(1)
+		}
+		return
 	}
 
 	out := &frame{seq: f.seq, headers: ctx.ReplyHeaders}

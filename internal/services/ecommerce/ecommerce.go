@@ -47,6 +47,11 @@ type Config struct {
 	// DisableCoalescing turns off miss coalescing on the catalogue item
 	// read path.
 	DisableCoalescing bool
+	// OrderWorkers sizes the queueMaster commit pool (default 1, the
+	// paper's serialized layout). Workers are members of one broker
+	// consumer group, so raising it parallelizes commits without
+	// double-delivering orders.
+	OrderWorkers int
 	// Spawner, when set, receives replicable stage boots so the control
 	// plane can autoscale them.
 	Spawner svcutil.Definer
@@ -69,6 +74,10 @@ type Ecommerce struct {
 	Orders    svcutil.Caller
 	User      svcutil.Caller
 	Cart      svcutil.Caller
+
+	// Broker is the message-broker tier behind the async order path;
+	// exported so tests and experiments can read backlog stats directly.
+	Broker *mq.Broker
 
 	qm *queueMaster
 }
@@ -96,7 +105,6 @@ func New(app *core.App, cfg Config) (*Ecommerce, error) {
 	degrade := !cfg.DisableDegradation
 	cl, db, mc, start := stack.Caller, stack.DB, stack.KV, stack.Start
 
-	broker := mq.NewBroker()
 	ec := &Ecommerce{App: app}
 
 	start("catalogue", func(s *rpc.Server) {
@@ -124,8 +132,13 @@ func New(app *core.App, cfg Config) (*Ecommerce, error) {
 	start("invoicing", func(s *rpc.Server) {
 		registerInvoicing(s, db("invoicing", "db-invoices"), cfg.Clock)
 	})
+	// The broker tier boots just before queueMaster: its configure hook
+	// declares the order topic and subscribes the commit group, so no
+	// publish can miss the group.
+	ec.Broker = stack.StartBroker("broker", ConfigureOrderBroker)
 	start("queueMaster", func(s *rpc.Server) {
-		ec.qm = registerQueueMaster(s, broker, db("queueMaster", "db-orders"), cl("queueMaster", "catalogue"))
+		ec.qm = registerQueueMaster(s, stack.MQ("queueMaster", "broker"),
+			db("queueMaster", "db-orders"), cl("queueMaster", "catalogue"), cfg.OrderWorkers)
 	})
 	start("orders", func(s *rpc.Server) {
 		registerOrders(s, ordersDeps{
@@ -148,6 +161,9 @@ func New(app *core.App, cfg Config) (*Ecommerce, error) {
 	if err := stack.Boot(); err != nil {
 		return nil, fmt.Errorf("ecommerce: boot: %w", err)
 	}
+	// Stop the commit consumers on app teardown even when the caller never
+	// calls Ecommerce.Close: their long polls must not outlive the stack.
+	app.OnClose(ec.Close)
 
 	if _, err := app.StartREST("ecom.frontend", func(s *rest.Server) {
 		registerFrontend(s, frontendDeps{

@@ -13,69 +13,128 @@ import (
 )
 
 // registerQueueMaster installs the queueMaster service: Enqueue publishes
-// the order ID to the orderQueue broker, and a single consumer goroutine
-// receives, validates stock, decrements inventory, and marks each order
-// committed — strictly in publication order. The single consumer is the
-// point the paper identifies as constraining queueMaster's scalability at
-// high load.
-// maxQueueDepth bounds the order queue. Beyond it, Enqueue sheds with
-// CodeOverloaded — the same admission contract every other tier speaks — so
-// callers see a retryable "not now" instead of unbounded queueing delay.
+// the order ID to the broker tier's orderQueue topic and returns once the
+// broker has acknowledged it, and a pool of consumer workers in the
+// "commit" consumer group receives, validates stock, decrements inventory,
+// and marks each order committed. The broker redelivers any order whose
+// worker dies mid-commit (lease expiry), so a crashed worker never loses an
+// order; with one worker, commits stay strictly serialized — the point the
+// paper identifies as constraining queueMaster's scalability at high load.
+
+// orderTopic and orderGroup name the broker topic orders flow through and
+// the consumer group that commits them.
+const (
+	orderTopic = "orderQueue"
+	orderGroup = "commit"
+)
+
+// maxQueueDepth bounds the order queue, enforced broker-side against
+// queued AND in-flight orders (a queue with everything leased out is
+// saturated, not empty). Beyond it, Publish sheds with CodeOverloaded —
+// the same admission contract every other tier speaks — so callers see a
+// retryable "not now" instead of unbounded queueing delay.
 const maxQueueDepth = 256
+
+// orderMaxAttempts is the poison guard: an order redelivered this many
+// times moves to the dead-letter queue instead of head-of-line-blocking
+// the topic forever. Sized far above any transient-overload retry run.
+const orderMaxAttempts = 512
 
 // overloadRetryBackoff spaces redeliveries of an order whose commit was shed
 // by the catalogue tier, so the consumer does not hot-loop on a downstream
 // that just said "not now".
 const overloadRetryBackoff = 5 * time.Millisecond
 
+// consumePoll bounds each long-poll against the broker; it is also the
+// worst-case delay between Close and a parked worker noticing.
+const consumePoll = 250 * time.Millisecond
+
+// orderLease bounds one commit attempt before the broker assumes the
+// worker died and redelivers.
+const orderLease = 30 * time.Second
+
+// ConfigureOrderBroker declares the order topic on a broker with the
+// depth/retry bounds above and subscribes the commit group — it must run at
+// broker boot, before any producer, so no publish misses the group.
+func ConfigureOrderBroker(b *mq.Broker) {
+	t := b.Topic(orderTopic)
+	t.Configure(mq.QueueConfig{MaxDepth: maxQueueDepth, MaxAttempts: orderMaxAttempts})
+	t.Subscribe(orderGroup)
+}
+
 type queueMaster struct {
-	queue     *mq.Queue
+	bus       mq.Client
 	db        svcutil.DB
 	catalogue svcutil.Caller
 	wg        sync.WaitGroup
+	stop      chan struct{}
 	closed    atomic.Bool
 }
 
-func registerQueueMaster(srv *rpc.Server, broker *mq.Broker, db svcutil.DB, catalogue svcutil.Caller) *queueMaster {
-	qm := &queueMaster{queue: broker.Queue("orderQueue"), db: db, catalogue: catalogue}
+func registerQueueMaster(srv *rpc.Server, bus mq.Client, db svcutil.DB, catalogue svcutil.Caller, workers int) *queueMaster {
+	if workers < 1 {
+		workers = 1
+	}
+	qm := &queueMaster{bus: bus, db: db, catalogue: catalogue, stop: make(chan struct{})}
 	svcutil.Handle(srv, "Enqueue", func(ctx *rpc.Ctx, req *GetOrderReq) (*struct{}, error) {
 		if req.ID == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "queueMaster: order ID required")
 		}
-		if qm.queue.Len()+qm.queue.InFlight() >= maxQueueDepth {
-			return nil, rpc.Errorf(rpc.CodeOverloaded, "queueMaster: order queue full")
-		}
-		_, err := qm.queue.Publish([]byte(req.ID))
+		// Publish returns after the broker ack; a full topic surfaces the
+		// broker's CodeOverloaded to the caller unchanged.
+		_, err := qm.bus.Publish(ctx, orderTopic, []byte(req.ID))
 		return nil, err
 	})
 	svcutil.Handle(srv, "Depth", func(ctx *rpc.Ctx, req *struct{}) (*struct{ Depth int64 }, error) {
-		return &struct{ Depth int64 }{Depth: int64(qm.queue.Len() + qm.queue.InFlight())}, nil
+		s, err := qm.bus.Stats(ctx, orderTopic, orderGroup)
+		if err != nil {
+			return nil, err
+		}
+		return &struct{ Depth int64 }{Depth: s.Lag()}, nil
 	})
-	qm.wg.Add(1)
-	go qm.consume()
+	qm.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go qm.consume()
+	}
 	return qm
 }
 
-// consume is the serialized commit loop. A commit shed by the catalogue tier
+// consume is one commit worker: a member of the "commit" consumer group
+// long-polling the broker. A commit shed by the catalogue tier
 // (CodeOverloaded) is not a verdict on the order: the message is Nacked back
-// onto the queue and redelivered once the tier has room, instead of being
+// to the broker and redelivered once the tier has room, instead of being
 // swallowed into a StatusRejected like any other error.
 func (qm *queueMaster) consume() {
 	defer qm.wg.Done()
+	ctx := context.Background()
 	for {
-		msg, ok := qm.queue.Receive(30 * time.Second)
-		if !ok {
+		select {
+		case <-qm.stop:
 			return
+		default:
+		}
+		cctx, cancel := context.WithTimeout(ctx, consumePoll+time.Second)
+		msg, err := qm.bus.Consume(cctx, orderTopic, orderGroup, orderLease, consumePoll)
+		cancel()
+		if err != nil {
+			if qm.closed.Load() {
+				return
+			}
+			time.Sleep(overloadRetryBackoff) // broker unreachable: don't hot-loop
+			continue
+		}
+		if !msg.OK {
+			continue // poll expired empty
 		}
 		if retry := qm.commit(string(msg.Body)); retry && !qm.closed.Load() {
-			qm.queue.Nack(msg.ID)
+			qm.bus.Nack(ctx, orderTopic, orderGroup, msg.ID) //nolint:errcheck // lease expiry redelivers anyway
 			time.Sleep(overloadRetryBackoff)
 			continue
 		}
-		// On teardown a still-shed order is dropped from the queue (it keeps
-		// StatusQueued in the store) rather than spinning Close forever —
-		// Receive drains remaining items even after Close.
-		qm.queue.Ack(msg.ID)
+		// On teardown a still-shed order is acked away (it keeps StatusQueued
+		// in the store) rather than spinning Close forever. The ack itself is
+		// one-way: a lost ack only costs a redelivery.
+		qm.bus.Ack(ctx, orderTopic, orderGroup, msg.ID) //nolint:errcheck
 	}
 }
 
@@ -115,9 +174,13 @@ func (qm *queueMaster) commit(orderID string) (retry bool) {
 	return false
 }
 
-// Close stops the consumer after draining in-flight work.
+// Close stops the consumer workers; a worker parked in a long poll notices
+// within consumePoll. Unprocessed orders stay with the broker. Idempotent:
+// both the deployment's Close and the app's OnClose hook may call it.
 func (qm *queueMaster) Close() {
-	qm.closed.Store(true)
-	qm.queue.Close()
+	if !qm.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(qm.stop)
 	qm.wg.Wait()
 }

@@ -14,9 +14,10 @@ import (
 	"dsb/internal/transport"
 )
 
-// bootQueueRig wires a queueMaster against a real order store and a stub
-// catalogue whose AdjustStock behavior is driven by adjust(callNumber).
-func bootQueueRig(t *testing.T, adjust func(call int) error) (qm *queueMaster, enqueue svcutil.Caller, db svcutil.DB) {
+// bootQueueRig wires a queueMaster against a real order store, a networked
+// broker tier, and a stub catalogue whose AdjustStock behavior is driven by
+// adjust(callNumber).
+func bootQueueRig(t *testing.T, adjust func(call int) error) (broker *mq.Broker, enqueue svcutil.Caller, db svcutil.DB) {
 	t.Helper()
 	app := core.NewApp("ecom-queue", core.Options{})
 	t.Cleanup(func() { app.Close() })
@@ -37,6 +38,13 @@ func bootQueueRig(t *testing.T, adjust func(call int) error) (qm *queueMaster, e
 	}); err != nil {
 		t.Fatal(err)
 	}
+	broker = mq.NewBroker()
+	ConfigureOrderBroker(broker)
+	if _, err := app.StartRPC("ecom.broker", func(s *rpc.Server) {
+		mq.RegisterService(s, broker)
+	}); err != nil {
+		t.Fatal(err)
+	}
 	dbC, err := app.RPC("ecom.queueMaster", "ecom.db-orders")
 	if err != nil {
 		t.Fatal(err)
@@ -46,8 +54,13 @@ func bootQueueRig(t *testing.T, adjust func(call int) error) (qm *queueMaster, e
 	if err != nil {
 		t.Fatal(err)
 	}
+	busC, err := app.RPC("ecom.queueMaster", "ecom.broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qm *queueMaster
 	if _, err := app.StartRPC("ecom.queueMaster", func(s *rpc.Server) {
-		qm = registerQueueMaster(s, mq.NewBroker(), db, cat)
+		qm = registerQueueMaster(s, mq.Client{C: busC}, db, cat, 1)
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +69,7 @@ func bootQueueRig(t *testing.T, adjust func(call int) error) (qm *queueMaster, e
 	if err != nil {
 		t.Fatal(err)
 	}
-	return qm, enqueue, db
+	return broker, enqueue, db
 }
 
 func queueOrder(t *testing.T, db svcutil.DB, id string) {
@@ -74,7 +87,7 @@ func queueOrder(t *testing.T, db svcutil.DB, id string) {
 // with CodeOverloaded: the order must stay queued and be redelivered until
 // the tier has room, then commit — never a spurious StatusRejected.
 func TestOverloadedCommitRetriesNotRejects(t *testing.T) {
-	qm, enqueue, db := bootQueueRig(t, func(call int) error {
+	broker, enqueue, db := bootQueueRig(t, func(call int) error {
 		if call <= 3 {
 			return rpc.Errorf(rpc.CodeOverloaded, "catalogue: admission shed")
 		}
@@ -104,8 +117,16 @@ func TestOverloadedCommitRetriesNotRejects(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if qm.queue.Len()+qm.queue.InFlight() != 0 {
-		t.Fatalf("queue not drained: len=%d inflight=%d", qm.queue.Len(), qm.queue.InFlight())
+	// The commit is visible before the (one-way) ack necessarily lands at
+	// the broker; poll the group backlog to zero rather than snapshot it.
+	lagDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if lag := broker.Topic(orderTopic).GroupLag(orderGroup); lag == 0 {
+			break
+		} else if time.Now().After(lagDeadline) {
+			t.Fatalf("order group not drained: lag=%d", lag)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

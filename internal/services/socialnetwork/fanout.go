@@ -1,0 +1,170 @@
+package socialnetwork
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/mq"
+	"dsb/internal/rpc"
+	"dsb/internal/svcutil"
+)
+
+// Async timeline fan-out: with Config.AsyncFanout, composePost's Append no
+// longer pays for the follower fan-out inline. The author's own timeline is
+// prepended synchronously (read-your-writes: authors always see their own
+// post immediately), a FanoutEvent is published to the broker's timeline
+// topic, and Append returns as soon as the broker acks. The "fanout"
+// consumer-group tier hydrates follower timelines behind the write, and the
+// broker redelivers any event whose consumer dies mid-push. Followers
+// converge within the group's drain time — the eventual-consistency window
+// DrainFanout bounds for deterministic tests.
+
+// timelineTopic and fanoutGroup name the broker topic fan-out events flow
+// through and the consumer group that delivers them.
+const (
+	timelineTopic = "timeline"
+	fanoutGroup   = "fanout"
+)
+
+// fanoutMaxAttempts dead-letters a fan-out event after this many failed
+// deliveries so one poisoned event cannot head-of-line-block every timeline
+// behind it.
+const fanoutMaxAttempts = 8
+
+// fanoutLease bounds one delivery attempt before the broker assumes the
+// consumer died and redelivers.
+const fanoutLease = 30 * time.Second
+
+// fanoutPoll bounds each consumer long-poll; it is also the worst-case
+// delay between Close and a parked consumer noticing.
+const fanoutPoll = 250 * time.Millisecond
+
+// FanoutEvent is the broker message behind one async fan-out: deliver
+// Author's post to every follower timeline.
+type FanoutEvent struct {
+	Author string
+	PostID string
+}
+
+// ConfigureTimelineBroker declares the timeline topic and subscribes the
+// fanout group — it must run at broker boot, before composePost starts, so
+// no publish misses the group.
+func ConfigureTimelineBroker(b *mq.Broker) {
+	t := b.Topic(timelineTopic)
+	t.Configure(mq.QueueConfig{MaxAttempts: fanoutMaxAttempts})
+	t.Subscribe(fanoutGroup)
+}
+
+// fanoutPush prepends a post to each listed user's timeline and invalidates
+// their cache entries, walking the list with a bounded worker pool. Shared
+// by the synchronous Append path and the async consumer.
+func fanoutPush(ctx context.Context, db svcutil.DB, mc svcutil.KV, users []string, postID string, workers int) error {
+	return svcutil.Parallel(workers, len(users), func(i int) error {
+		key := "tl:" + users[i]
+		if _, err := db.ListPrepend(ctx, "timelines", key, postID, timelineCap); err != nil {
+			return err
+		}
+		mc.Delete(ctx, key) //nolint:errcheck // invalidation is best-effort
+		return nil
+	})
+}
+
+// fanoutConsumer is one replica of the fanout tier: a member of the
+// "fanout" consumer group draining the timeline topic.
+type fanoutConsumer struct {
+	bus     mq.Client
+	graph   svcutil.Caller
+	db      svcutil.DB
+	mc      svcutil.KV
+	workers int
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// registerFanoutConsumer installs a fanout-tier replica on srv (the server
+// exists to give the replica service identity — load reports and the
+// control plane's lag probe attach to it) and starts its consume loop.
+func registerFanoutConsumer(srv *rpc.Server, bus mq.Client, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int) *fanoutConsumer {
+	if workers <= 0 {
+		workers = defaultFanoutWorkers
+	}
+	fc := &fanoutConsumer{
+		bus: bus, graph: graph, db: db, mc: mc, workers: workers,
+		stop: make(chan struct{}),
+	}
+	// Lag is served RPC-side too, so anything holding a caller to the tier
+	// (experiments, debugging) can read the group backlog it works against.
+	svcutil.Handle(srv, "Lag", func(ctx *rpc.Ctx, req *struct{}) (*struct{ Lag int64 }, error) {
+		s, err := fc.bus.Stats(ctx, timelineTopic, fanoutGroup)
+		if err != nil {
+			return nil, err
+		}
+		return &struct{ Lag int64 }{Lag: s.Lag()}, nil
+	})
+	fc.wg.Add(1)
+	go fc.run()
+	return fc
+}
+
+// run is the consume loop: long-poll, deliver, settle. Delivery failures
+// nack for redelivery (another replica may succeed); the broker
+// dead-letters the event after fanoutMaxAttempts.
+func (fc *fanoutConsumer) run() {
+	defer fc.wg.Done()
+	ctx := context.Background()
+	for {
+		select {
+		case <-fc.stop:
+			return
+		default:
+		}
+		cctx, cancel := context.WithTimeout(ctx, fanoutPoll+time.Second)
+		msg, err := fc.bus.Consume(cctx, timelineTopic, fanoutGroup, fanoutLease, fanoutPoll)
+		cancel()
+		if err != nil {
+			select {
+			case <-fc.stop:
+				return
+			case <-time.After(5 * time.Millisecond): // broker unreachable: don't hot-loop
+			}
+			continue
+		}
+		if !msg.OK {
+			continue // poll expired empty
+		}
+		if err := fc.deliver(ctx, msg.Body); err != nil {
+			fc.bus.Nack(ctx, timelineTopic, fanoutGroup, msg.ID) //nolint:errcheck // lease expiry redelivers anyway
+			continue
+		}
+		fc.bus.Ack(ctx, timelineTopic, fanoutGroup, msg.ID) //nolint:errcheck // one-way; a lost ack costs a redelivery
+	}
+}
+
+// deliver hydrates follower timelines for one event. The author's own
+// timeline was already written synchronously by Append, so only followers
+// are pushed here; ListPrepend de-dup is not needed because redelivery
+// after a partial push re-prepends at most once per follower and timeline
+// reads tolerate (and cap away) the rare duplicate — at-least-once, like
+// every real fan-out service.
+func (fc *fanoutConsumer) deliver(ctx context.Context, body []byte) error {
+	var ev FanoutEvent
+	if err := codec.Unmarshal(body, &ev); err != nil {
+		return err
+	}
+	dctx, cancel := context.WithTimeout(ctx, fanoutLease/2)
+	defer cancel()
+	var followers NeighborsResp
+	if err := fc.graph.Call(dctx, "Followers", NeighborsReq{User: ev.Author}, &followers); err != nil {
+		return err
+	}
+	return fanoutPush(dctx, fc.db, fc.mc, followers.Users, ev.PostID, fc.workers)
+}
+
+// Close stops the consume loop; a replica parked in a long poll notices
+// within fanoutPoll.
+func (fc *fanoutConsumer) Close() {
+	close(fc.stop)
+	fc.wg.Wait()
+}

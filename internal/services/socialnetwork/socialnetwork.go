@@ -2,9 +2,11 @@ package socialnetwork
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dsb/internal/core"
+	"dsb/internal/mq"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
@@ -39,6 +41,17 @@ type Config struct {
 	// timelines (default 8). 1 reproduces the old sequential fan-out — the
 	// hotpath experiment's contrast arm.
 	FanoutWorkers int
+	// AsyncFanout moves the follower fan-out off the compose write path:
+	// writeTimeline publishes a FanoutEvent to the broker tier and returns
+	// at broker ack; the "fanout" consumer-group tier hydrates follower
+	// timelines behind the write. Authors still read their own writes
+	// synchronously; followers converge within the group's drain time
+	// (bounded by DrainFanout in tests).
+	AsyncFanout bool
+	// FanoutConsumers sizes the fanout consumer tier at boot (default 2).
+	// Only meaningful with AsyncFanout; the control plane can grow the tier
+	// further on lag through the Spawner.
+	FanoutConsumers int
 	// DisableCoalescing turns off miss coalescing on the cache-aside read
 	// paths (timelines, posts, profiles), so every concurrent miss becomes
 	// its own backing-store read. Used by the hotpath experiment's
@@ -72,6 +85,9 @@ var replicable = map[string]bool{
 	"postStorage": true, "readPost": true, "writeTimeline": true,
 	"readTimeline": true, "search": true, "ads": true, "recommender": true,
 	"favorite": true, "composePost": true,
+	// fanout replicas are members of one broker consumer group — they share
+	// the partition, so scaling the tier out never double-delivers.
+	"fanout": true,
 }
 
 // SocialNetwork is a running deployment: the REST front door plus direct
@@ -86,6 +102,56 @@ type SocialNetwork struct {
 	User         svcutil.Caller
 	Graph        svcutil.Caller
 	Search       svcutil.Caller
+
+	// Broker is the message-broker tier behind async fan-out (nil unless
+	// Config.AsyncFanout); exported so tests and experiments can read
+	// backlog stats directly.
+	Broker *mq.Broker
+
+	mu        sync.Mutex
+	consumers []*fanoutConsumer
+}
+
+// addConsumer records a fanout replica for teardown; replicas spawned by
+// the control plane at runtime register here too.
+func (sn *SocialNetwork) addConsumer(fc *fanoutConsumer) {
+	sn.mu.Lock()
+	sn.consumers = append(sn.consumers, fc)
+	sn.mu.Unlock()
+}
+
+// DrainFanout blocks until the fanout consumer group's backlog reaches
+// zero — every published timeline event delivered and settled — or the
+// timeout elapses. This is the read-your-writes grace bound deterministic
+// tests use before asserting follower-visible state. A nil-broker (sync
+// fan-out) deployment drains trivially.
+func (sn *SocialNetwork) DrainFanout(timeout time.Duration) error {
+	if sn.Broker == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		lag := sn.Broker.Topic(timelineTopic).GroupLag(fanoutGroup)
+		if lag == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("socialnetwork: fanout backlog still %d after %v", lag, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the fanout consumer replicas; call before closing the app.
+// Synchronous deployments have none and close trivially.
+func (sn *SocialNetwork) Close() {
+	sn.mu.Lock()
+	consumers := sn.consumers
+	sn.consumers = nil
+	sn.mu.Unlock()
+	for _, fc := range consumers {
+		fc.Close()
+	}
 }
 
 // New boots the full Social Network on the given app: storage tiers first,
@@ -101,6 +167,22 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	// All deployment wiring — sharded storage boots, replica scaling,
 	// load-balanced vs. shard-routed clients — goes through the shared
 	// Stack, the same layout vocabulary every app in the suite uses.
+	replicas := cfg.Replicas
+	if cfg.AsyncFanout {
+		// The fanout tier's boot size rides the same replica map as every
+		// other tier; copy so the caller's map is never mutated.
+		replicas = make(map[string]int, len(cfg.Replicas)+1)
+		for k, v := range cfg.Replicas {
+			replicas[k] = v
+		}
+		if replicas["fanout"] <= 0 {
+			n := cfg.FanoutConsumers
+			if n <= 0 {
+				n = 2
+			}
+			replicas["fanout"] = n
+		}
+	}
 	stack := &svcutil.Stack{
 		App:           app,
 		Prefix:        "social.",
@@ -109,7 +191,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		CacheBytes:    cfg.CacheBytes,
 		Middleware:    cfg.Middleware,
 		Replicable:    replicable,
-		Replicas:      cfg.Replicas,
+		Replicas:      replicas,
 		Spawner:       cfg.Spawner,
 	}
 
@@ -126,6 +208,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	}
 
 	degrade := !cfg.DisableDegradation
+	sn := &SocialNetwork{App: app}
 
 	cl, db, mc := stack.Caller, stack.DB, stack.KV
 	// Boot order respects the dependency graph, so every client resolves.
@@ -165,12 +248,33 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	start("readPost", func(s *rpc.Server) {
 		registerReadPost(s, cl("readPost", "postStorage"))
 	})
+	// The broker tier boots just before writeTimeline when fan-out is
+	// async: its configure hook declares the timeline topic and subscribes
+	// the fanout group, so no publish misses the group.
+	if cfg.AsyncFanout {
+		sn.Broker = stack.StartBroker("broker", ConfigureTimelineBroker)
+	}
 	start("writeTimeline", func(s *rpc.Server) {
+		var bus *mq.Client
+		if cfg.AsyncFanout {
+			b := stack.MQ("writeTimeline", "broker")
+			bus = &b
+		}
 		registerWriteTimeline(s, cl("writeTimeline", "socialGraph"),
 			db("writeTimeline", "db-timeline"),
 			mc("writeTimeline", "mc-timeline"),
-			cfg.FanoutWorkers)
+			cfg.FanoutWorkers, bus)
 	})
+	if cfg.AsyncFanout {
+		start("fanout", func(s *rpc.Server) {
+			sn.addConsumer(registerFanoutConsumer(s,
+				stack.MQ("fanout", "broker"),
+				cl("fanout", "socialGraph"),
+				db("fanout", "db-timeline"),
+				mc("fanout", "mc-timeline"),
+				cfg.FanoutWorkers))
+		})
+	}
 	start("readTimeline", func(s *rpc.Server) {
 		registerReadTimeline(s,
 			db("readTimeline", "db-timeline"),
@@ -212,6 +316,9 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 	if err := stack.Boot(); err != nil {
 		return nil, err
 	}
+	// Stop the fanout consumers on app teardown even when the caller never
+	// calls SocialNetwork.Close: their long polls must not outlive the stack.
+	app.OnClose(sn.Close)
 
 	// Front door (nginx tier).
 	if _, err := app.StartREST("social.frontend", func(s *rest.Server) {
@@ -231,7 +338,6 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		return nil, err
 	}
 
-	sn := &SocialNetwork{App: app}
 	var err error
 	if sn.Frontend, err = app.REST("client", "social.frontend"); err != nil {
 		return nil, err

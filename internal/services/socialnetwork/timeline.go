@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dsb/internal/codec"
+	"dsb/internal/mq"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
 )
@@ -57,7 +58,13 @@ const defaultFanoutWorkers = 8
 // here used to lose concurrent appends), and the audience is walked by a
 // bounded worker pool so a high-follower author costs ~ceil(F/workers)
 // sequential RPC round-trips instead of F.
-func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int) {
+//
+// With bus set (Config.AsyncFanout) the follower fan-out leaves the write
+// path entirely: Append prepends the author's own timeline synchronously —
+// authors always read their own writes — then publishes a FanoutEvent and
+// returns at broker ack. The fanout consumer group pushes follower
+// timelines behind the write (see fanout.go).
+func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int, bus *mq.Client) {
 	if workers <= 0 {
 		workers = defaultFanoutWorkers
 	}
@@ -65,20 +72,25 @@ func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB,
 		if req.Author == "" || req.PostID == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "writeTimeline: author and post required")
 		}
+		if bus != nil {
+			if err := fanoutPush(ctx, db, mc, []string{req.Author}, req.PostID, 1); err != nil {
+				return nil, err
+			}
+			body, err := codec.Marshal(FanoutEvent{Author: req.Author, PostID: req.PostID})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := bus.Publish(ctx, timelineTopic, body); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
 		var followers NeighborsResp
 		if err := graph.Call(ctx, "Followers", NeighborsReq{User: req.Author}, &followers); err != nil {
 			return nil, err
 		}
 		audience := append(followers.Users, req.Author)
-		err := svcutil.Parallel(workers, len(audience), func(i int) error {
-			key := "tl:" + audience[i]
-			if _, err := db.ListPrepend(ctx, "timelines", key, req.PostID, timelineCap); err != nil {
-				return err
-			}
-			mc.Delete(ctx, key) //nolint:errcheck // invalidation is best-effort
-			return nil
-		})
-		if err != nil {
+		if err := fanoutPush(ctx, db, mc, audience, req.PostID, workers); err != nil {
 			return nil, err
 		}
 		return nil, nil

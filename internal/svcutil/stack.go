@@ -7,6 +7,7 @@ import (
 	"dsb/internal/docstore"
 	"dsb/internal/kv"
 	"dsb/internal/lb"
+	"dsb/internal/mq"
 	"dsb/internal/rpc"
 	"dsb/internal/shard"
 	"dsb/internal/transport"
@@ -141,6 +142,37 @@ func (st *Stack) StartCaches(names ...string) error {
 		}
 	}
 	return nil
+}
+
+// StartBroker queues a message-broker tier for boot: one instance serving
+// the mq RPC interface under the stack's prefix. The broker is created (and
+// returned) immediately so the composition root can hold it for white-box
+// stats, but configure — where topics are declared and consumer groups
+// subscribed — runs at boot time, before any producer or consumer tier
+// starts. Subscribing at boot is what guarantees every group sees every
+// publish: a topic publish fans out only to groups subscribed at that
+// moment. The broker is deliberately single-instance: it is the
+// serialization point the paper's Section 7 attributes to queueMaster, and
+// the asyncfanout experiment measures what that buys and costs.
+func (st *Stack) StartBroker(name string, configure func(*mq.Broker)) *mq.Broker {
+	broker := mq.NewBroker()
+	st.boot = append(st.boot, func() error {
+		if configure != nil {
+			configure(broker)
+		}
+		_, err := st.App.StartRPC(st.Name(name), func(s *rpc.Server) {
+			mq.RegisterService(s, broker)
+		})
+		return err
+	})
+	return broker
+}
+
+// MQ builds a typed broker client from one tier to the broker tier. Acks
+// ride the one-way fast path automatically when the underlying wire
+// supports it.
+func (st *Stack) MQ(caller, target string) mq.Client {
+	return mq.Client{C: st.Caller(caller, target)}
 }
 
 // Caller builds a load-balanced client from one tier to another. Wiring

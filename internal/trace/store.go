@@ -18,7 +18,8 @@ type Collector struct {
 	ch      chan envelope
 	dropped metrics.Counter
 	wg      sync.WaitGroup
-	once    sync.Once
+	mu      sync.RWMutex
+	closed  bool
 }
 
 // envelope carries either a span or a flush barrier.
@@ -47,8 +48,17 @@ func NewCollector(store *Store, buffer int) *Collector {
 	return c
 }
 
-// Submit enqueues a span, dropping it if the collector is saturated.
+// Submit enqueues a span, dropping it if the collector is saturated or
+// already closed. Spans can legitimately finish during shutdown — an
+// async consumer's in-flight call completing as the app tears down — so a
+// late span counts as dropped rather than panicking the process.
 func (c *Collector) Submit(s Span) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		c.dropped.Inc()
+		return
+	}
 	select {
 	case c.ch <- envelope{span: s}:
 	default:
@@ -59,12 +69,17 @@ func (c *Collector) Submit(s Span) {
 // Flush blocks until every span submitted before the call has been written
 // to the store, so callers can query traces mid-run.
 func (c *Collector) Flush() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return
+	}
 	done := make(chan struct{})
 	select {
 	case c.ch <- envelope{sync: done}:
 		<-done
 	default:
-		// Saturated or closed; nothing stronger we can promise.
+		// Saturated; nothing stronger we can promise.
 	}
 }
 
@@ -73,7 +88,12 @@ func (c *Collector) Dropped() int64 { return c.dropped.Value() }
 
 // Close drains buffered spans into the store and stops the collector.
 func (c *Collector) Close() {
-	c.once.Do(func() { close(c.ch) })
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
 	c.wg.Wait()
 }
 

@@ -67,6 +67,14 @@ type Call struct {
 	// chain, not above it. Fault rules use it to target a single replica.
 	Addr string
 
+	// OneWay marks a fire-and-forget call: the terminal invoker completes at
+	// send and the server never writes a reply frame, so Reply stays nil and
+	// post-send failures surface through server-side stats rather than to the
+	// caller. It is a call option, not a separate path — the call still flows
+	// through the full middleware chain, so stats, breakers, and fault
+	// injection observe every one-way hop exactly like a synchronous one.
+	OneWay bool
+
 	// outrun is set by the hedge middleware when this attempt lost to a
 	// sibling: a peer replica proved the work completes fast, so the loser's
 	// replica — not the request — was the slow party. The breaker reads it
@@ -111,7 +119,7 @@ func (c *Call) Outrun() bool { return c.outrun.Load() }
 // Hedging and retries clone the call so concurrent attempts never share the
 // header map or the reply slot; the payload is shared read-only.
 func (c *Call) Clone() *Call {
-	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Addr: c.Addr}
+	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Addr: c.Addr, OneWay: c.OneWay}
 	if c.Headers != nil {
 		cp.Headers = make(map[string]string, len(c.Headers))
 		for k, v := range c.Headers {
@@ -156,6 +164,15 @@ func Build(terminal Invoker, mws ...Middleware) Invoker {
 type Caller interface {
 	Call(ctx context.Context, method string, req, resp any) error
 	Target() string
+}
+
+// OneWayCaller is the optional fire-and-forget extension of Caller.
+// *rpc.Client and *lb.Balanced implement it; typed clients with a
+// naturally idempotent method (e.g. the broker's Ack under at-least-once
+// delivery) type-assert for it and fall back to a synchronous Call when the
+// underlying caller is a fake or an older transport.
+type OneWayCaller interface {
+	CallOneWay(ctx context.Context, method string, req any) error
 }
 
 // AnnotateFunc records a key/value on the active trace span in ctx, if any.
