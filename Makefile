@@ -41,4 +41,4 @@ bench:
 # re-deriving every simulator figure.
 bench-smoke:
 	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery|HotKeyStampede|TailAtScale|ClusterParity|AsyncFanout' -benchtime=1x .
-	$(GO) test -run 'TestClusterParityShape|TestAsyncFanoutShape' -count=1 ./internal/experiments/
+	$(GO) test -run 'TestClusterParityShape|TestAsyncFanoutShape|TestBrokerCrashShape' -count=1 ./internal/experiments/

@@ -83,6 +83,11 @@ func BenchmarkTailAtScale(b *testing.B) { runExperiment(b, "tailatscale") }
 func BenchmarkClusterParity(b *testing.B) { runExperiment(b, "clusterparity") }
 
 // BenchmarkAsyncFanout walks the sync, pipelined, and broker-backed async
-// write-path layouts up an offered-load ladder at a fixed p99 QoS target —
-// the async backbone's headline contrast.
-func BenchmarkAsyncFanout(b *testing.B) { runExperiment(b, "asyncfanout") }
+// write-path layouts (single, capacity-capped, and partitioned broker
+// tiers) up an offered-load ladder at a fixed p99 QoS target — the async
+// backbone's headline contrast — then runs the broker-crash arms:
+// replicated vs unreplicated partitioned tiers under a mid-fanout kill.
+func BenchmarkAsyncFanout(b *testing.B) {
+	runExperiment(b, "asyncfanout")
+	runExperiment(b, "brokercrash")
+}

@@ -311,6 +311,19 @@ func (c *Collection) Update(id string, fn func(Doc) Doc) error {
 // writers push post IDs onto follower timelines concurrently, and a plain
 // Get/modify/Put cycle would lose updates under contention.
 func (c *Collection) ListPrepend(id, value string, max int) (int, error) {
+	return c.listPrepend(id, value, max, false)
+}
+
+// ListPrependUnique is ListPrepend that skips the write when value is
+// already in the list, returning the unchanged length. It is the
+// store-level idempotency backstop for at-least-once delivery pipelines:
+// whatever slips past consumer-side dedup — a redelivery consumed by a
+// different replica, a crash-window replay — cannot double-prepend here.
+func (c *Collection) ListPrependUnique(id, value string, max int) (int, error) {
+	return c.listPrepend(id, value, max, true)
+}
+
+func (c *Collection) listPrepend(id, value string, max int, unique bool) (int, error) {
 	if id == "" {
 		return 0, rpc.Errorf(rpc.CodeBadRequest, "docstore: empty document ID")
 	}
@@ -330,6 +343,13 @@ func (c *Collection) ListPrepend(id, value string, max int) (int, error) {
 	if len(d.Body) > 0 {
 		if err := codec.Unmarshal(d.Body, &list); err != nil {
 			return 0, fmt.Errorf("docstore: %s/%s body is not a list: %w", c.name, id, err)
+		}
+	}
+	if unique {
+		for _, v := range list {
+			if v == value {
+				return len(list), nil
+			}
 		}
 	}
 	list = append(list, "")

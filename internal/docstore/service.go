@@ -62,6 +62,9 @@ type ListPrependReq struct {
 	ID         string
 	Value      string
 	Cap        int64
+	// Unique skips the prepend when Value is already present — the
+	// idempotency backstop async delivery pipelines write through.
+	Unique bool
 }
 
 // ListPrependResp returns the list length after the prepend.
@@ -107,7 +110,7 @@ func RegisterService(srv *rpc.Server, store *Store) {
 		if err := codec.Unmarshal(payload, &req); err != nil {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
 		}
-		n, err := store.Collection(req.Collection).ListPrepend(req.ID, req.Value, int(req.Cap))
+		n, err := store.Collection(req.Collection).listPrepend(req.ID, req.Value, int(req.Cap), req.Unique)
 		if err != nil {
 			return nil, err
 		}

@@ -9,9 +9,16 @@ import (
 // directional claims that did not hold. An empty list is a clean pass.
 func afShapeViolations() []string {
 	var v []string
-	arms := make(map[afMode]afArmResult, 3)
+	arms := make(map[afMode]afArmResult, 5)
 	for _, mode := range []afMode{afSync, afPipelined, afAsync} {
-		arm, err := afLadder(mode)
+		arm, err := afLadder(mode, afLevels)
+		if err != nil {
+			return []string{fmt.Sprintf("%s arm failed: %v", mode, err)}
+		}
+		arms[mode] = arm
+	}
+	for _, mode := range []afMode{afAsyncCapped, afAsyncPart} {
+		arm, err := afLadder(mode, afPartLevels)
 		if err != nil {
 			return []string{fmt.Sprintf("%s arm failed: %v", mode, err)}
 		}
@@ -53,13 +60,31 @@ func afShapeViolations() []string {
 	}
 	_ = pipeQ
 
-	// At-least-once completeness: every level the async arm sustained must
+	// At-least-once completeness: every level the async arms sustained must
 	// have delivered every acked post to the probe follower after drain.
-	for _, lv := range arms[afAsync].levels {
-		if lv.good && lv.delivered < lv.appended {
-			v = append(v, fmt.Sprintf("async at %.0f posts/s delivered %d/%d after drain — acked posts went missing",
-				lv.qps, lv.delivered, lv.appended))
+	for _, mode := range []afMode{afAsync, afAsyncCapped, afAsyncPart} {
+		for _, lv := range arms[mode].levels {
+			if lv.good && lv.delivered < lv.appended {
+				v = append(v, fmt.Sprintf("%s at %.0f posts/s delivered %d/%d after drain — acked posts went missing",
+					mode, lv.qps, lv.delivered, lv.appended))
+			}
 		}
+	}
+
+	// Partitioning the broker tier is what scales the ack path past one
+	// instance's publish capacity (modeled at 1/afBrokerRTT = 500/s): the
+	// capped single broker must fail the 600 posts/s rung that two shards
+	// sustain.
+	cappedQ, partQ := arms[afAsyncCapped].sustained, arms[afAsyncPart].sustained
+	if cappedQ >= afPartLevels[len(afPartLevels)-1] {
+		v = append(v, fmt.Sprintf("single capacity-capped broker sustained %.0f posts/s — the publish-capacity model is not binding", cappedQ))
+	}
+	if partQ < afPartLevels[len(afPartLevels)-1] {
+		v = append(v, fmt.Sprintf("two-shard broker tier sustained only %.0f posts/s — partitioning should carry the top rung (%.0f)",
+			partQ, afPartLevels[len(afPartLevels)-1]))
+	}
+	if partQ <= cappedQ {
+		v = append(v, fmt.Sprintf("partitioned broker sustained %.0f posts/s, single %.0f — partitioning must be strictly higher", partQ, cappedQ))
 	}
 	return v
 }

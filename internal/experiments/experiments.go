@@ -100,6 +100,7 @@ func All() []Experiment {
 		{"tailatscale", "Zipf skew and a slow shard vs the sharded stateful tier (live stack)", TailAtScale},
 		{"clusterparity", "Flash crowd on one tenant of a five-app shared cluster (live stack)", ClusterParity},
 		{"asyncfanout", "Sync vs pipelined vs broker-backed async fan-out at fixed p99 QoS (live stack)", AsyncFanout},
+		{"brokercrash", "Broker crash mid-fanout: replicated vs unreplicated partitioned tier (live stack)", BrokerCrash},
 	}
 }
 

@@ -85,15 +85,16 @@ func (t *Topic) Groups() []string {
 // group's queue sheds on MaxDepth the error is returned, but groups already
 // appended keep the message — at-least-once delivery, never silent loss.
 func (t *Topic) Publish(body []byte) (uint64, error) {
-	t.mu.Lock()
-	qs := make([]*Queue, 0, len(t.groups))
-	for _, q := range t.groups {
-		qs = append(qs, q)
-	}
-	t.mu.Unlock()
+	return t.PublishKey("", body)
+}
+
+// PublishKey is Publish with a publisher-assigned message key; replicated
+// publishes use it so retries against the same broker are idempotent per
+// group (see Queue.PublishKey).
+func (t *Topic) PublishKey(key string, body []byte) (uint64, error) {
 	var first uint64
-	for i, q := range qs {
-		id, err := q.Publish(body)
+	for i, q := range t.groupQueues() {
+		id, err := q.PublishKey(key, body)
 		if err != nil {
 			return first, err
 		}
@@ -102,6 +103,29 @@ func (t *Topic) Publish(body []byte) (uint64, error) {
 		}
 	}
 	return first, nil
+}
+
+// Insert mirrors an already-admitted keyed message into every subscribed
+// group's queue (see Queue.Insert: idempotent, tombstone-aware, bypasses
+// MaxDepth). Reports how many group queues actually accepted a copy.
+func (t *Topic) Insert(key string, body []byte) int {
+	n := 0
+	for _, q := range t.groupQueues() {
+		if q.Insert(key, body) {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Topic) groupQueues() []*Queue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qs := make([]*Queue, 0, len(t.groups))
+	for _, q := range t.groups {
+		qs = append(qs, q)
+	}
+	return qs
 }
 
 // GroupLag reports one group's backlog (queued + in-flight): the signal

@@ -29,6 +29,12 @@ const DeadLetterSuffix = ".dlq"
 type Message struct {
 	// ID is assigned by the broker, monotonically increasing per queue.
 	ID uint64
+	// Key is the publisher-assigned globally-unique message key, carried by
+	// replicated publishes. It is what ties the copies of one message
+	// together across broker replicas: publish dedup, mirror insertion,
+	// settle-by-key, and consumer-side idempotency all hang off it. Plain
+	// single-broker publishes leave it empty.
+	Key string
 	// Body is the payload.
 	Body []byte
 	// Attempts counts deliveries, 1 on first receive.
@@ -73,8 +79,18 @@ type Broker struct {
 	mu     sync.Mutex
 	queues map[string]*queue
 	topics map[string]*Topic
+	closed bool
 	now    func() time.Time
 }
+
+// tombstoneCap bounds each queue's settled-key memory. A tombstone records
+// that a keyed message was settled here before its mirror copy arrived —
+// the race a replicated ack loses when the consumer settles faster than the
+// publisher finishes mirroring — so the late insert is dropped instead of
+// resurrecting a processed message. The cap is the broker-side half of the
+// "dedup window": a redelivery arriving after the key has been evicted is
+// delivered again, which at-least-once consumers already tolerate.
+const tombstoneCap = 4096
 
 type queue struct {
 	mu       sync.Mutex
@@ -82,12 +98,16 @@ type queue struct {
 	name     string
 	items    []*item // FIFO: items[0] is next
 	inflight map[uint64]*item
+	index    map[string]*item // key -> live item (queued or in-flight)
 	nextID   uint64
 	closed   bool
 	now      func() time.Time
 
 	cfg QueueConfig
 	dlq *queue // destination when MaxAttempts is exhausted; nil = drop to requeue
+
+	tombs     map[string]struct{}
+	tombOrder []string // FIFO eviction ring for tombs
 
 	published    int64
 	acked        int64
@@ -129,11 +149,36 @@ func (b *Broker) Queue(name string) *Queue {
 func (b *Broker) queueLocked(name string) *queue {
 	q, ok := b.queues[name]
 	if !ok {
-		q = &queue{name: name, inflight: make(map[uint64]*item), now: b.now}
+		q = &queue{
+			name: name, inflight: make(map[uint64]*item),
+			index: make(map[string]*item), tombs: make(map[string]struct{}),
+			now: b.now, closed: b.closed,
+		}
 		q.cond = sync.NewCond(&q.mu)
 		b.queues[name] = q
 	}
 	return q
+}
+
+// Close shuts the whole broker down: every queue closes (waking parked
+// receivers so they return promptly instead of burning their wait budget)
+// and queues created afterwards are born closed. RegisterService wires this
+// to the hosting RPC server's shutdown, so a broker tier never strands
+// long-poll handlers past its own Close.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	b.closed = true
+	qs := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		qs = append(qs, q)
+	}
+	b.mu.Unlock()
+	for _, qq := range qs {
+		qq.mu.Lock()
+		qq.closed = true
+		qq.cond.Broadcast()
+		qq.mu.Unlock()
+	}
 }
 
 // Configure sets the named queue's retry/depth bounds and returns it. When
@@ -167,23 +212,126 @@ func (q *Queue) Name() string { return q.name }
 // configured with MaxDepth, publishes beyond it fail with CodeOverloaded so
 // producers shed instead of growing the backlog without bound.
 func (q *Queue) Publish(body []byte) (uint64, error) {
+	return q.PublishKey("", body)
+}
+
+// PublishKey is Publish with a publisher-assigned message key. Keyed
+// publishes are idempotent within the dedup window: a key already live in
+// the queue (a retried or hedged publish) returns the existing ID, and a
+// tombstoned key (already settled here) returns without enqueueing — both
+// succeed, because the producer's intent is satisfied either way.
+func (q *Queue) PublishKey(key string, body []byte) (uint64, error) {
 	qq := q.q
 	qq.mu.Lock()
 	defer qq.mu.Unlock()
 	if qq.closed {
 		return 0, rpc.Errorf(rpc.CodeUnavailable, "mq: queue %q closed", q.name)
 	}
+	if key != "" {
+		if it, ok := qq.index[key]; ok {
+			return it.msg.ID, nil
+		}
+		if _, dead := qq.tombs[key]; dead {
+			return 0, nil
+		}
+	}
 	if qq.cfg.MaxDepth > 0 && len(qq.items)+len(qq.inflight) >= qq.cfg.MaxDepth {
 		return 0, rpc.Errorf(rpc.CodeOverloaded, "mq: queue %q full: %d queued + %d in flight >= max depth %d",
 			q.name, len(qq.items), len(qq.inflight), qq.cfg.MaxDepth)
 	}
+	return qq.enqueueLocked(key, body, 0), nil
+}
+
+// enqueueLocked appends a fresh item, indexing its key. Callers hold qq.mu.
+func (qq *queue) enqueueLocked(key string, body []byte, attempts int) uint64 {
 	qq.nextID++
 	qq.published++
 	cp := make([]byte, len(body))
 	copy(cp, body)
-	qq.items = append(qq.items, &item{msg: Message{ID: qq.nextID, Body: cp}, enqueued: qq.now()})
+	it := &item{msg: Message{ID: qq.nextID, Key: key, Body: cp, Attempts: attempts}, enqueued: qq.now()}
+	qq.items = append(qq.items, it)
+	if key != "" {
+		qq.index[key] = it
+	}
 	qq.cond.Signal()
-	return qq.nextID, nil
+	return qq.nextID
+}
+
+// Insert is the mirror-enqueue primitive behind broker replication: a
+// replica accepting a copy of a message its shard's primary already
+// admitted. It is idempotent by key (re-mirrors after a retry are dropped),
+// honors tombstones (the copy of an already-settled message is dropped),
+// and deliberately bypasses MaxDepth — admission is the primary's call, and
+// a mirror that shed an admitted message would silently void the
+// replication guarantee. Returns whether a copy was actually added.
+func (q *Queue) Insert(key string, body []byte) bool {
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	if qq.closed || key == "" {
+		return false
+	}
+	if _, ok := qq.index[key]; ok {
+		return false
+	}
+	if _, dead := qq.tombs[key]; dead {
+		return false
+	}
+	qq.enqueueLocked(key, body, 0)
+	return true
+}
+
+// Remove settles a keyed message wherever it is — queued or in-flight —
+// and reports whether a copy was found. It is the replicated ack: consumers
+// settle by key on every replica of the owning shard, so mirror copies
+// disappear with the primary's. An unknown key leaves a tombstone so the
+// mirror copy still on the wire is dropped on arrival instead of being
+// redelivered after a failover.
+func (q *Queue) Remove(key string) bool {
+	if key == "" {
+		return false
+	}
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	it, ok := qq.index[key]
+	if !ok {
+		qq.tombstoneLocked(key)
+		return false
+	}
+	qq.dropLocked(it)
+	qq.acked++
+	return true
+}
+
+// dropLocked unlinks a live item from whichever structure holds it.
+func (qq *queue) dropLocked(it *item) {
+	if _, inflight := qq.inflight[it.msg.ID]; inflight {
+		delete(qq.inflight, it.msg.ID)
+	} else {
+		for i, cand := range qq.items {
+			if cand == it {
+				qq.items = append(qq.items[:i], qq.items[i+1:]...)
+				break
+			}
+		}
+	}
+	if it.msg.Key != "" {
+		delete(qq.index, it.msg.Key)
+	}
+}
+
+// tombstoneLocked records a settled-elsewhere key, evicting FIFO past the cap.
+func (qq *queue) tombstoneLocked(key string) {
+	if _, ok := qq.tombs[key]; ok {
+		return
+	}
+	qq.tombs[key] = struct{}{}
+	qq.tombOrder = append(qq.tombOrder, key)
+	if len(qq.tombOrder) > tombstoneCap {
+		delete(qq.tombs, qq.tombOrder[0])
+		qq.tombOrder = qq.tombOrder[1:]
+	}
 }
 
 // Receive blocks until a message is available (or the queue closes) and
@@ -283,19 +431,26 @@ func (qq *queue) reclaimExpiredLocked() {
 
 // deadLetterLocked moves an exhausted message to the DLQ, reporting whether
 // it did. Called with qq.mu held; takes the DLQ's lock, which is safe
-// because a dead-letter queue never has a DLQ of its own (no cycle).
+// because a dead-letter queue never has a DLQ of its own (no cycle). The
+// message keeps its Key in the DLQ so an operator Redrive re-enters the
+// replicated identity space, and the origin queue tombstones the key so a
+// mirror copy cannot resurrect a dead-lettered message.
 func (qq *queue) deadLetterLocked(it *item) bool {
 	if qq.cfg.MaxAttempts <= 0 || it.msg.Attempts < qq.cfg.MaxAttempts || qq.dlq == nil {
 		return false
 	}
 	qq.deadLettered++
+	if it.msg.Key != "" {
+		delete(qq.index, it.msg.Key)
+		qq.tombstoneLocked(it.msg.Key)
+	}
 	d := qq.dlq
 	d.mu.Lock()
 	if !d.closed {
 		d.nextID++
 		d.published++
 		d.items = append(d.items, &item{
-			msg:      Message{ID: d.nextID, Body: it.msg.Body, Attempts: it.msg.Attempts},
+			msg:      Message{ID: d.nextID, Key: it.msg.Key, Body: it.msg.Body, Attempts: it.msg.Attempts},
 			enqueued: d.now(),
 		})
 		d.cond.Signal()
@@ -310,10 +465,14 @@ func (q *Queue) Ack(id uint64) bool {
 	qq := q.q
 	qq.mu.Lock()
 	defer qq.mu.Unlock()
-	if _, ok := qq.inflight[id]; !ok {
+	it, ok := qq.inflight[id]
+	if !ok {
 		return false
 	}
 	delete(qq.inflight, id)
+	if it.msg.Key != "" {
+		delete(qq.index, it.msg.Key)
+	}
 	qq.acked++
 	return true
 }
@@ -337,6 +496,121 @@ func (q *Queue) Nack(id uint64) bool {
 	qq.items = append([]*item{it}, qq.items...)
 	qq.cond.Signal()
 	return true
+}
+
+// NackKey returns a live keyed message to the front of the queue by key —
+// the failover-side settle used when a consumer that leased from a
+// now-dead primary reports failure to the surviving replica, where the
+// mirror copy may be queued rather than leased. Queued copies move to the
+// front; leased copies take the normal Nack path (including MaxAttempts
+// dead-lettering). Unknown keys report false without tombstoning: a failed
+// attempt must stay redeliverable.
+func (q *Queue) NackKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	it, ok := qq.index[key]
+	if !ok {
+		return false
+	}
+	if _, inflight := qq.inflight[it.msg.ID]; inflight {
+		delete(qq.inflight, it.msg.ID)
+		if qq.deadLetterLocked(it) {
+			return true
+		}
+		qq.redelivered++
+		qq.items = append([]*item{it}, qq.items...)
+		qq.cond.Signal()
+		return true
+	}
+	for i, cand := range qq.items {
+		if cand == it {
+			copy(qq.items[1:i+1], qq.items[:i])
+			qq.items[0] = it
+			qq.cond.Signal()
+			return true
+		}
+	}
+	return false
+}
+
+// Peek snapshots up to limit queued messages without leasing them — the
+// inspection primitive behind DLQ operability (limit <= 0 means all).
+// Bodies are copied so callers cannot mutate queued payloads.
+func (q *Queue) Peek(limit int) []Message {
+	qq := q.q
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	qq.reclaimExpiredLocked()
+	n := len(qq.items)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Message, 0, n)
+	for _, it := range qq.items[:n] {
+		m := it.msg
+		m.Body = append([]byte(nil), it.msg.Body...)
+		out = append(out, m)
+	}
+	return out
+}
+
+// Redrive drains the named queue's dead-letter companion back into the
+// origin queue with attempt counts reset, returning how many messages were
+// requeued. Keys are preserved and their origin tombstones cleared — an
+// operator redrive is an explicit statement that the message should get a
+// fresh at-least-once run, overriding the settled-here memory that
+// dead-lettering left behind.
+func (b *Broker) Redrive(name string) int {
+	b.mu.Lock()
+	origin := b.queueLocked(name)
+	dlq := b.queueLocked(name + DeadLetterSuffix)
+	b.mu.Unlock()
+
+	dlq.mu.Lock()
+	drained := dlq.items
+	dlq.items = nil
+	for _, it := range drained {
+		if it.msg.Key != "" {
+			delete(dlq.index, it.msg.Key)
+		}
+		dlq.acked++
+	}
+	dlq.mu.Unlock()
+
+	origin.mu.Lock()
+	for _, it := range drained {
+		if key := it.msg.Key; key != "" {
+			if _, dead := origin.tombs[key]; dead {
+				delete(origin.tombs, key)
+				for i, k := range origin.tombOrder {
+					if k == key {
+						origin.tombOrder = append(origin.tombOrder[:i], origin.tombOrder[i+1:]...)
+						break
+					}
+				}
+			}
+			if _, live := origin.index[key]; live {
+				continue // already back in the queue (e.g. a mirror raced us)
+			}
+		}
+		origin.enqueueLocked(it.msg.Key, it.msg.Body, 0)
+	}
+	n := len(drained)
+	origin.mu.Unlock()
+	return n
+}
+
+// Closed reports whether the queue (or its broker) has been shut down. The
+// Consume RPC handler uses this to distinguish "closed, go away" from
+// "empty poll, come back" for parked long-pollers.
+func (q *Queue) Closed() bool {
+	q.q.mu.Lock()
+	defer q.q.mu.Unlock()
+	return q.q.closed
 }
 
 // Len returns the number of queued (not in-flight) messages. Depth checks

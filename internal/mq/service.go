@@ -13,12 +13,29 @@ import (
 // (Topic, Group); plain queues (no fan-out) use Topic="" and Queue set.
 
 // PublishReq publishes one message to a topic (fan-out to all subscribed
-// groups) or, when Topic is empty, to the named plain queue.
+// groups) or, when Topic is empty, to the named plain queue. Key, when set,
+// makes the publish idempotent on this broker (retries and hedges are safe)
+// and identifies the message across broker replicas.
 type PublishReq struct {
 	Topic string
 	Queue string
+	Key   string
 	Body  []byte
 }
+
+// MirrorReq inserts a copy of an already-admitted keyed message — the
+// replication stream between a shard's primary and its mirrors. Unlike
+// Publish it never sheds on MaxDepth and requires a Key.
+type MirrorReq struct {
+	Topic string
+	Queue string
+	Key   string
+	Body  []byte
+}
+
+// MirrorResp reports how many queues accepted a copy (0 = everywhere
+// deduplicated or tombstoned, which still counts as mirrored).
+type MirrorResp struct{ N int }
 
 // PublishResp acknowledges the publish; the broker has durably enqueued the
 // message for every subscribed group by the time this returns.
@@ -44,21 +61,27 @@ type ConsumeReq struct {
 }
 
 // ConsumeResp returns the leased message; OK=false means the wait expired
-// with nothing deliverable.
+// with nothing deliverable. Key is set for replicated messages and is what
+// the settle must route by (the local ID is only meaningful on the broker
+// that leased it).
 type ConsumeResp struct {
 	ID       uint64
+	Key      string
 	Body     []byte
 	Attempts int
 	OK       bool
 }
 
 // AckReq settles a lease: acknowledge (done) or negative-acknowledge
-// (redeliver, or dead-letter once attempts are exhausted).
+// (redeliver, or dead-letter once attempts are exhausted). With Key set the
+// settle is by key — valid on any replica holding a copy, which is how
+// settles survive the leasing broker's death; otherwise by local lease ID.
 type AckReq struct {
 	Topic string
 	Group string
 	Queue string
 	ID    uint64
+	Key   string
 }
 
 // AckResp reports whether the lease was still live.
@@ -85,6 +108,31 @@ type StatsResp struct {
 // Lag is the consumer backlog (queued + in-flight).
 func (s StatsResp) Lag() int64 { return int64(s.Queued + s.InFlight) }
 
+// PeekReq snapshots queued messages without leasing them. DLQ=true peeks
+// the addressed queue's dead-letter companion — the operator's view into
+// poisoned work. Limit <= 0 means all.
+type PeekReq struct {
+	Topic string
+	Group string
+	Queue string
+	DLQ   bool
+	Limit int
+}
+
+// PeekResp carries the snapshot.
+type PeekResp struct{ Msgs []Message }
+
+// RedriveReq drains the addressed queue's dead-letter companion back into
+// the origin queue with attempt counts reset.
+type RedriveReq struct {
+	Topic string
+	Group string
+	Queue string
+}
+
+// RedriveResp reports how many messages were requeued.
+type RedriveResp struct{ N int }
+
 // queueFor resolves the queue a request addresses: a topic's group queue,
 // or a plain named queue. Consume on a topic implies Subscribe, so a
 // consumer that outlives a broker restart re-registers its group on first
@@ -103,19 +151,39 @@ func queueFor(b *Broker, topic, group, queue string) (*Queue, error) {
 	return b.Queue(queue), nil
 }
 
+// queueNameFor resolves the broker-level queue name a request addresses —
+// the string form Peek/Redrive need to reach dead-letter companions.
+func queueNameFor(topic, group, queue string) (string, error) {
+	if topic != "" {
+		if group == "" {
+			return "", rpc.Errorf(rpc.CodeBadRequest, "mq: topic %q requires a group", topic)
+		}
+		return topic + "@" + group, nil
+	}
+	if queue == "" {
+		return "", rpc.Errorf(rpc.CodeBadRequest, "mq: no topic or queue named")
+	}
+	return queue, nil
+}
+
 // RegisterService exposes broker as an RPC microservice on srv with methods
 // Publish, Subscribe, Consume, Ack, Nack, and Stats — the networked broker
 // tier the async application paths publish through. Ack and Nack are safe
 // to invoke one-way: a lost settle only costs a redelivery, which
 // at-least-once consumers already tolerate.
 func RegisterService(srv *rpc.Server, broker *Broker) {
+	// Server shutdown must wake parked long-pollers: Close runs after the
+	// server stops accepting but before it waits on in-flight handlers, so a
+	// Consume parked in ReceiveWait returns promptly instead of burning its
+	// full wait budget (or wedging Close forever).
+	srv.OnClose(broker.Close)
 	srv.Handle("Publish", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req PublishReq
 		if err := codec.Unmarshal(payload, &req); err != nil {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
 		}
 		if req.Topic != "" {
-			id, err := broker.Topic(req.Topic).Publish(req.Body)
+			id, err := broker.Topic(req.Topic).PublishKey(req.Key, req.Body)
 			if err != nil {
 				return nil, err
 			}
@@ -124,11 +192,31 @@ func RegisterService(srv *rpc.Server, broker *Broker) {
 		if req.Queue == "" {
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: no topic or queue named")
 		}
-		id, err := broker.Queue(req.Queue).Publish(req.Body)
+		id, err := broker.Queue(req.Queue).PublishKey(req.Key, req.Body)
 		if err != nil {
 			return nil, err
 		}
 		return codec.Marshal(PublishResp{ID: id})
+	})
+	srv.Handle("Mirror", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req MirrorReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		if req.Key == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: mirror requires a key")
+		}
+		if req.Topic != "" {
+			return codec.Marshal(MirrorResp{N: broker.Topic(req.Topic).Insert(req.Key, req.Body)})
+		}
+		if req.Queue == "" {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "mq: no topic or queue named")
+		}
+		n := 0
+		if broker.Queue(req.Queue).Insert(req.Key, req.Body) {
+			n = 1
+		}
+		return codec.Marshal(MirrorResp{N: n})
 	})
 	srv.Handle("Subscribe", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req SubscribeReq
@@ -164,9 +252,14 @@ func RegisterService(srv *rpc.Server, broker *Broker) {
 		}
 		msg, ok := q.ReceiveWait(time.Duration(req.LeaseNs), wait)
 		if !ok {
+			if q.Closed() {
+				// A coded error, not an empty poll: the consumer must fail
+				// over to a sibling replica, not come back here.
+				return nil, rpc.Errorf(rpc.CodeUnavailable, "mq: queue %q closed", q.Name())
+			}
 			return codec.Marshal(ConsumeResp{})
 		}
-		return codec.Marshal(ConsumeResp{ID: msg.ID, Body: msg.Body, Attempts: msg.Attempts, OK: true})
+		return codec.Marshal(ConsumeResp{ID: msg.ID, Key: msg.Key, Body: msg.Body, Attempts: msg.Attempts, OK: true})
 	})
 	srv.Handle("Ack", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req AckReq
@@ -176,6 +269,9 @@ func RegisterService(srv *rpc.Server, broker *Broker) {
 		q, err := queueFor(broker, req.Topic, req.Group, req.Queue)
 		if err != nil {
 			return nil, err
+		}
+		if req.Key != "" {
+			return codec.Marshal(AckResp{OK: q.Remove(req.Key)})
 		}
 		return codec.Marshal(AckResp{OK: q.Ack(req.ID)})
 	})
@@ -188,7 +284,41 @@ func RegisterService(srv *rpc.Server, broker *Broker) {
 		if err != nil {
 			return nil, err
 		}
+		if req.Key != "" {
+			return codec.Marshal(AckResp{OK: q.NackKey(req.Key)})
+		}
 		return codec.Marshal(AckResp{OK: q.Nack(req.ID)})
+	})
+	srv.Handle("Peek", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req PeekReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		name, err := queueNameFor(req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return nil, err
+		}
+		if req.Topic != "" {
+			broker.Topic(req.Topic).Subscribe(req.Group) // materialize + configure
+		}
+		if req.DLQ {
+			name += DeadLetterSuffix
+		}
+		return codec.Marshal(PeekResp{Msgs: broker.Queue(name).Peek(req.Limit)})
+	})
+	srv.Handle("Redrive", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
+		var req RedriveReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		name, err := queueNameFor(req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return nil, err
+		}
+		if req.Topic != "" {
+			broker.Topic(req.Topic).Subscribe(req.Group)
+		}
+		return codec.Marshal(RedriveResp{N: broker.Redrive(name)})
 	})
 	srv.Handle("Stats", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req StatsReq
@@ -220,8 +350,14 @@ type Client struct{ C transport.Caller }
 // enqueued it for every subscribed group — the "returns after broker ack"
 // contract async producers rely on.
 func (c Client) Publish(ctx context.Context, topic string, body []byte) (uint64, error) {
+	return c.PublishKey(ctx, topic, "", body)
+}
+
+// PublishKey is Publish with a message key, making retries against the
+// broker idempotent (see Queue.PublishKey).
+func (c Client) PublishKey(ctx context.Context, topic, key string, body []byte) (uint64, error) {
 	var resp PublishResp
-	if err := c.C.Call(ctx, "Publish", PublishReq{Topic: topic, Body: body}, &resp); err != nil {
+	if err := c.C.Call(ctx, "Publish", PublishReq{Topic: topic, Key: key, Body: body}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.ID, nil
@@ -243,24 +379,24 @@ func (c Client) Consume(ctx context.Context, topic, group string, lease, wait ti
 	return resp, err
 }
 
-// Ack settles a lease as done. When the underlying transport supports
-// fire-and-forget it goes one-way: a lost ack only costs a redelivery,
-// which at-least-once consumers already tolerate, so the consumer loop
-// skips the settle round trip on its hot path.
-func (c Client) Ack(ctx context.Context, topic, group string, id uint64) error {
-	req := AckReq{Topic: topic, Group: group, ID: id}
+// Ack settles a leased message as done. When the underlying transport
+// supports fire-and-forget it goes one-way: a lost ack only costs a
+// redelivery, which at-least-once consumers already tolerate, so the
+// consumer loop skips the settle round trip on its hot path.
+func (c Client) Ack(ctx context.Context, topic, group string, m ConsumeResp) error {
+	req := AckReq{Topic: topic, Group: group, ID: m.ID}
 	if ow, ok := c.C.(transport.OneWayCaller); ok {
 		return ow.CallOneWay(ctx, "Ack", req)
 	}
 	return c.C.Call(ctx, "Ack", req, nil)
 }
 
-// Nack returns a lease for redelivery (or dead-lettering, once attempts are
-// exhausted). Synchronous: a nacking consumer is already off its hot path
-// and the caller usually wants to know the settle landed.
-func (c Client) Nack(ctx context.Context, topic, group string, id uint64) error {
+// Nack returns a leased message for redelivery (or dead-lettering, once
+// attempts are exhausted). Synchronous: a nacking consumer is already off
+// its hot path and the caller usually wants to know the settle landed.
+func (c Client) Nack(ctx context.Context, topic, group string, m ConsumeResp) error {
 	var resp AckResp
-	return c.C.Call(ctx, "Nack", AckReq{Topic: topic, Group: group, ID: id}, &resp)
+	return c.C.Call(ctx, "Nack", AckReq{Topic: topic, Group: group, ID: m.ID}, &resp)
 }
 
 // Stats snapshots a group queue.
@@ -268,4 +404,21 @@ func (c Client) Stats(ctx context.Context, topic, group string) (StatsResp, erro
 	var resp StatsResp
 	err := c.C.Call(ctx, "Stats", StatsReq{Topic: topic, Group: group}, &resp)
 	return resp, err
+}
+
+// PeekDLQ snapshots a group's dead-letter queue without leasing anything —
+// the operator's look at poisoned work (limit <= 0 means all).
+func (c Client) PeekDLQ(ctx context.Context, topic, group string, limit int) ([]Message, error) {
+	var resp PeekResp
+	err := c.C.Call(ctx, "Peek", PeekReq{Topic: topic, Group: group, DLQ: true, Limit: limit}, &resp)
+	return resp.Msgs, err
+}
+
+// Redrive drains a group's dead-letter queue back into the group queue
+// with attempt counts reset, returning how many messages were requeued —
+// the "we fixed the bug, run the poison again" operation.
+func (c Client) Redrive(ctx context.Context, topic, group string) (int, error) {
+	var resp RedriveResp
+	err := c.C.Call(ctx, "Redrive", RedriveReq{Topic: topic, Group: group}, &resp)
+	return resp.N, err
 }

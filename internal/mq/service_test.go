@@ -48,7 +48,7 @@ func TestBrokerServiceRoundTrip(t *testing.T) {
 	if string(msg.Body) != "order-1" || msg.Attempts != 1 {
 		t.Fatalf("consumed %+v", msg)
 	}
-	if err := bus.Ack(ctx, "orders", "commit", msg.ID); err != nil {
+	if err := bus.Ack(ctx, "orders", "commit", msg); err != nil {
 		t.Fatalf("Ack: %v", err)
 	}
 	// Ack is one-way; poll stats until the settle lands.
@@ -124,14 +124,14 @@ func TestBrokerServiceNackRedelivers(t *testing.T) {
 	if err != nil || !m1.OK {
 		t.Fatalf("first consume = %+v, %v", m1, err)
 	}
-	if err := bus.Nack(ctx, "t", "g", m1.ID); err != nil {
+	if err := bus.Nack(ctx, "t", "g", m1); err != nil {
 		t.Fatalf("Nack: %v", err)
 	}
 	m2, err := bus.Consume(ctx, "t", "g", time.Minute, time.Second)
 	if err != nil || !m2.OK || m2.Attempts != 2 {
 		t.Fatalf("redelivery = %+v, %v", m2, err)
 	}
-	if err := bus.Nack(ctx, "t", "g", m2.ID); err != nil {
+	if err := bus.Nack(ctx, "t", "g", m2); err != nil {
 		t.Fatalf("second Nack: %v", err)
 	}
 	// Attempts exhausted: the message is in the DLQ, not the group queue.

@@ -61,6 +61,7 @@ type Server struct {
 	wg           sync.WaitGroup
 	sem          chan struct{} // nil = unlimited concurrency
 	hung         atomic.Bool
+	onClose      []func()
 
 	// onewayErrs counts one-way requests whose handler (or an interceptor)
 	// failed. There is no reply frame to carry the error back, so this
@@ -121,6 +122,17 @@ func (s *Server) Hung() bool { return s.hung.Load() }
 // frame is on the wire — admission sheds, missing methods, handler errors —
 // lands here instead of in a reply.
 func (s *Server) OneWayErrors() int64 { return s.onewayErrs.Load() }
+
+// OnClose registers a hook that runs during Close, after the server stops
+// accepting but before it waits for in-flight handlers. Hooks are how
+// long-poll services wake parked handlers at shutdown — without one, Close
+// would block on handlers waiting out their full poll budget (and, on a
+// hung server, forever).
+func (s *Server) OnClose(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onClose = append(s.onClose, fn)
+}
 
 // Handle registers a raw handler for method.
 func (s *Server) Handle(method string, h Handler) {
@@ -192,12 +204,16 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	hooks := s.onClose
 	s.mu.Unlock()
 	for _, l := range ls {
 		l.Close()
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	for _, fn := range hooks {
+		fn()
 	}
 	s.wg.Wait()
 	return nil

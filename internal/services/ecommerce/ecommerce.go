@@ -76,8 +76,9 @@ type Ecommerce struct {
 	Cart      svcutil.Caller
 
 	// Broker is the message-broker tier behind the async order path;
-	// exported so tests and experiments can read backlog stats directly.
-	Broker *mq.Broker
+	// exported so tests and experiments can read backlog stats directly
+	// across every broker instance.
+	Broker *mq.Cluster
 
 	qm *queueMaster
 }

@@ -63,7 +63,7 @@ func ConfigureOrderBroker(b *mq.Broker) {
 }
 
 type queueMaster struct {
-	bus       mq.Client
+	bus       mq.Bus
 	db        svcutil.DB
 	catalogue svcutil.Caller
 	wg        sync.WaitGroup
@@ -71,7 +71,7 @@ type queueMaster struct {
 	closed    atomic.Bool
 }
 
-func registerQueueMaster(srv *rpc.Server, bus mq.Client, db svcutil.DB, catalogue svcutil.Caller, workers int) *queueMaster {
+func registerQueueMaster(srv *rpc.Server, bus mq.Bus, db svcutil.DB, catalogue svcutil.Caller, workers int) *queueMaster {
 	if workers < 1 {
 		workers = 1
 	}
@@ -81,8 +81,10 @@ func registerQueueMaster(srv *rpc.Server, bus mq.Client, db svcutil.DB, catalogu
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "queueMaster: order ID required")
 		}
 		// Publish returns after the broker ack; a full topic surfaces the
-		// broker's CodeOverloaded to the caller unchanged.
-		_, err := qm.bus.Publish(ctx, orderTopic, []byte(req.ID))
+		// broker's CodeOverloaded to the caller unchanged. The order ID is
+		// the message key: an enqueue retried through a broker failover
+		// dedups instead of committing twice.
+		_, err := qm.bus.PublishKey(ctx, orderTopic, req.ID, []byte(req.ID))
 		return nil, err
 	})
 	svcutil.Handle(srv, "Depth", func(ctx *rpc.Ctx, req *struct{}) (*struct{ Depth int64 }, error) {
@@ -127,14 +129,14 @@ func (qm *queueMaster) consume() {
 			continue // poll expired empty
 		}
 		if retry := qm.commit(string(msg.Body)); retry && !qm.closed.Load() {
-			qm.bus.Nack(ctx, orderTopic, orderGroup, msg.ID) //nolint:errcheck // lease expiry redelivers anyway
+			qm.bus.Nack(ctx, orderTopic, orderGroup, msg) //nolint:errcheck // lease expiry redelivers anyway
 			time.Sleep(overloadRetryBackoff)
 			continue
 		}
 		// On teardown a still-shed order is acked away (it keeps StatusQueued
 		// in the store) rather than spinning Close forever. The ack itself is
 		// one-way: a lost ack only costs a redelivery.
-		qm.bus.Ack(ctx, orderTopic, orderGroup, msg.ID) //nolint:errcheck
+		qm.bus.Ack(ctx, orderTopic, orderGroup, msg) //nolint:errcheck
 	}
 }
 

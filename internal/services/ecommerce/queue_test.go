@@ -2,6 +2,7 @@ package ecommerce
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -145,9 +146,11 @@ func TestEnqueueShedsWhenFull(t *testing.T) {
 	if err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: "ord-0"}, nil); err != nil {
 		t.Fatal(err)
 	}
+	// Filler IDs must be distinct: Enqueue keys messages by order ID, so a
+	// repeated ID dedups broker-side instead of deepening the queue.
 	filled := 1
 	for i := 1; i < maxQueueDepth; i++ {
-		if err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: "ord-filler"}, nil); err != nil {
+		if err := enqueue.Call(ctx, "Enqueue", GetOrderReq{ID: fmt.Sprintf("ord-filler-%d", i)}, nil); err != nil {
 			if transport.IsCode(err, transport.CodeOverloaded) {
 				break // consumer timing already pushed depth to the cap
 			}

@@ -3,10 +3,12 @@ package media
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"dsb/internal/blobstore"
 	"dsb/internal/core"
+	"dsb/internal/mq"
 	"dsb/internal/rest"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
@@ -40,6 +42,18 @@ type Config struct {
 	// DisableCoalescing turns off miss coalescing on the review-list read
 	// path.
 	DisableCoalescing bool
+	// AsyncReviews moves composeReview's non-critical follow-ups — the
+	// rating-aggregate fold and review-text indexing — off the write path:
+	// movieReview publishes a ReviewEvent to the broker tier at Record and
+	// returns at broker ack; the "enrich" consumer group applies both behind
+	// the write. The review itself is always stored synchronously, so the
+	// movie's review list keeps read-your-writes; the aggregate and search
+	// index converge within the group's drain time (bounded by DrainReviews
+	// in tests).
+	AsyncReviews bool
+	// ReviewWorkers sizes the enrich consumer tier at boot (default 2).
+	// Only meaningful with AsyncReviews.
+	ReviewWorkers int
 	// Spawner, when set, receives replicable tier boots so the control plane
 	// can autoscale them.
 	Spawner svcutil.Definer
@@ -52,6 +66,10 @@ var replicable = map[string]bool{
 	"movieDB": true, "plot": true, "user": true, "movieID": true,
 	"rating": true, "reviewStorage": true, "movieReview": true,
 	"userReview": true, "rent": true, "recommender": true,
+	// reviewWorker replicas are members of one broker consumer group — they
+	// share the partition, so scaling the tier out never double-enriches.
+	// reviewSearch stays single-instance: it holds the index in-process.
+	"reviewWorker": true,
 }
 
 // Media is a running Media Service deployment.
@@ -65,6 +83,56 @@ type Media struct {
 	ComposeReview svcutil.Caller
 	User          svcutil.Caller
 	Rent          svcutil.Caller
+	ReviewSearch  svcutil.Caller
+
+	// Broker is the message-broker tier behind async review enrichment (nil
+	// unless Config.AsyncReviews); exported so tests and experiments can
+	// read backlog stats directly across every broker instance.
+	Broker *mq.Cluster
+
+	mu      sync.Mutex
+	workers []*reviewWorker
+}
+
+// DrainReviews blocks until the enrich consumer group's backlog reaches
+// zero — every published review event applied and settled — or the timeout
+// elapses. This is the convergence bound deterministic tests use before
+// asserting the rating aggregate or search index. A nil-broker (sync)
+// deployment drains trivially.
+func (m *Media) DrainReviews(timeout time.Duration) error {
+	if m.Broker == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		lag := m.Broker.GroupLag(reviewTopic, reviewGroup)
+		if lag == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("media: review backlog still %d after %v", lag, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the review enrich workers; call before closing the app.
+// Synchronous deployments have none and close trivially.
+func (m *Media) Close() {
+	m.mu.Lock()
+	workers := m.workers
+	m.workers = nil
+	m.mu.Unlock()
+	for _, rw := range workers {
+		rw.Close()
+	}
+}
+
+// addWorker records an enrich replica for teardown.
+func (m *Media) addWorker(rw *reviewWorker) {
+	m.mu.Lock()
+	m.workers = append(m.workers, rw)
+	m.mu.Unlock()
 }
 
 // New boots the Media Service.
@@ -83,6 +151,22 @@ func New(app *core.App, cfg Config) (*Media, error) {
 	if err != nil {
 		return nil, err
 	}
+	replicas := cfg.Replicas
+	if cfg.AsyncReviews {
+		// The enrich tier's boot size rides the same replica map as every
+		// other tier; copy so the caller's map is never mutated.
+		replicas = make(map[string]int, len(cfg.Replicas)+1)
+		for k, v := range cfg.Replicas {
+			replicas[k] = v
+		}
+		if replicas["reviewWorker"] <= 0 {
+			n := cfg.ReviewWorkers
+			if n <= 0 {
+				n = 2
+			}
+			replicas["reviewWorker"] = n
+		}
+	}
 	stack := &svcutil.Stack{
 		App:           app,
 		Prefix:        "media.",
@@ -91,7 +175,7 @@ func New(app *core.App, cfg Config) (*Media, error) {
 		CacheBytes:    cfg.CacheBytes,
 		Middleware:    cfg.Middleware,
 		Replicable:    replicable,
-		Replicas:      cfg.Replicas,
+		Replicas:      replicas,
 		Spawner:       cfg.Spawner,
 	}
 	if err := stack.StartStores("db-reviews", "db-users", "db-plots", "db-rentals"); err != nil {
@@ -103,6 +187,8 @@ func New(app *core.App, cfg Config) (*Media, error) {
 
 	degrade := !cfg.DisableDegradation
 	cl, db, mc, start := stack.Caller, stack.DB, stack.KV, stack.Start
+
+	m := &Media{App: app}
 
 	start("movieDB", func(s *rpc.Server) { registerMovieDB(s, movieCluster) })
 	start("plot", func(s *rpc.Server) {
@@ -118,9 +204,31 @@ func New(app *core.App, cfg Config) (*Media, error) {
 	start("reviewStorage", func(s *rpc.Server) {
 		registerReviewStorage(s, db("reviewStorage", "db-reviews"), mc("reviewStorage", "mc-reviews"), cfg.DisableCoalescing)
 	})
+	// The review text index boots before movieReview (its synchronous-mode
+	// downstream) and before the enrich workers that feed it asynchronously.
+	start("reviewSearch", registerReviewSearch)
+	// The broker tier boots just before movieReview when enrichment is
+	// async: its configure hook declares the review topic and subscribes the
+	// enrich group, so no publish misses the group.
+	if cfg.AsyncReviews {
+		m.Broker = stack.StartBroker("broker", ConfigureReviewBroker)
+	}
 	start("movieReview", func(s *rpc.Server) {
-		registerMovieReview(s, cl("movieReview", "reviewStorage"), cl("movieReview", "movieDB"))
+		var bus mq.Bus
+		if cfg.AsyncReviews {
+			bus = stack.MQ("movieReview", "broker")
+		}
+		registerMovieReview(s, cl("movieReview", "reviewStorage"),
+			cl("movieReview", "movieDB"), cl("movieReview", "reviewSearch"), bus)
 	})
+	if cfg.AsyncReviews {
+		start("reviewWorker", func(s *rpc.Server) {
+			m.addWorker(registerReviewWorker(s,
+				stack.MQ("reviewWorker", "broker"),
+				cl("reviewWorker", "movieDB"),
+				cl("reviewWorker", "reviewSearch")))
+		})
+	}
 	start("userReview", func(s *rpc.Server) {
 		registerUserReview(s, cl("userReview", "reviewStorage"))
 	})
@@ -142,6 +250,9 @@ func New(app *core.App, cfg Config) (*Media, error) {
 	if err := stack.Boot(); err != nil {
 		return nil, fmt.Errorf("media: boot: %w", err)
 	}
+	// Stop the enrich workers on app teardown even when the caller never
+	// calls Media.Close: their long polls must not outlive the stack.
+	app.OnClose(m.Close)
 
 	// Streaming tier (nginx-hls) with its NFS-equivalent blob store.
 	films := blobstore.New()
@@ -166,7 +277,7 @@ func New(app *core.App, cfg Config) (*Media, error) {
 		return nil, err
 	}
 
-	m := &Media{App: app, Films: films}
+	m.Films = films
 	if m.Frontend, err = app.REST("client", "media.frontend"); err != nil {
 		return nil, err
 	}
@@ -183,6 +294,9 @@ func New(app *core.App, cfg Config) (*Media, error) {
 		return nil, err
 	}
 	if m.Rent, err = app.RPC("client", "media.rent"); err != nil {
+		return nil, err
+	}
+	if m.ReviewSearch, err = app.RPC("client", "media.reviewSearch"); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -9,6 +9,7 @@ import (
 
 	"dsb/internal/codec"
 	"dsb/internal/docstore"
+	"dsb/internal/mq"
 	"dsb/internal/rpc"
 	"dsb/internal/svcutil"
 )
@@ -146,13 +147,32 @@ func registerReviewStorage(srv *rpc.Server, db svcutil.DB, mc svcutil.KV, noCoal
 }
 
 // registerMovieReview installs the movieReview service, which maintains the
-// per-movie review index and folds ratings into MovieDB's aggregate.
-func registerMovieReview(srv *rpc.Server, storage, movieDB svcutil.Caller) {
+// per-movie review index, folds ratings into MovieDB's aggregate, and feeds
+// the review text index. The review itself is always stored synchronously —
+// that is what keeps read-your-writes on the movie's review list — but the
+// two follow-ups are non-critical: with bus set (Config.AsyncReviews) they
+// leave the write path as one keyed ReviewEvent publish, applied behind the
+// write by the "enrich" consumer group (see reviewasync.go).
+func registerMovieReview(srv *rpc.Server, storage, movieDB, search svcutil.Caller, bus mq.Bus) {
 	svcutil.Handle(srv, "Record", func(ctx *rpc.Ctx, req *StoreReviewReq) (*struct{}, error) {
 		if err := storage.Call(ctx, "Store", *req, nil); err != nil {
 			return nil, err
 		}
-		return nil, movieDB.Call(ctx, "Rate", RateMovieReq{MovieID: req.Review.MovieID, Rating: req.Review.Rating}, nil)
+		if bus != nil {
+			body, err := codec.Marshal(req.Review)
+			if err != nil {
+				return nil, err
+			}
+			// The review ID keys the event: a retried Record republishes the
+			// same key and dedups broker-side instead of double-counting the
+			// rating.
+			_, err = bus.PublishKey(ctx, reviewTopic, req.Review.ID, body)
+			return nil, err
+		}
+		if err := movieDB.Call(ctx, "Rate", RateMovieReq{MovieID: req.Review.MovieID, Rating: req.Review.Rating}, nil); err != nil {
+			return nil, err
+		}
+		return nil, search.Call(ctx, "Index", IndexReviewReq{Review: req.Review}, nil)
 	})
 	svcutil.Handle(srv, "List", func(ctx *rpc.Ctx, req *ReviewsByMovieReq) (*ReviewsResp, error) {
 		var resp ReviewsResp

@@ -59,11 +59,19 @@ func ConfigureTimelineBroker(b *mq.Broker) {
 
 // fanoutPush prepends a post to each listed user's timeline and invalidates
 // their cache entries, walking the list with a bounded worker pool. Shared
-// by the synchronous Append path and the async consumer.
-func fanoutPush(ctx context.Context, db svcutil.DB, mc svcutil.KV, users []string, postID string, workers int) error {
+// by the synchronous Append path and the async consumer; unique turns each
+// prepend into the idempotent variant — the store-level backstop the async
+// path needs, because at-least-once redelivery across a broker crash may
+// replay a push on a *different* consumer replica, past any per-replica
+// dedup.
+func fanoutPush(ctx context.Context, db svcutil.DB, mc svcutil.KV, users []string, postID string, workers int, unique bool) error {
 	return svcutil.Parallel(workers, len(users), func(i int) error {
 		key := "tl:" + users[i]
-		if _, err := db.ListPrepend(ctx, "timelines", key, postID, timelineCap); err != nil {
+		prepend := db.ListPrepend
+		if unique {
+			prepend = db.ListPrependUnique
+		}
+		if _, err := prepend(ctx, "timelines", key, postID, timelineCap); err != nil {
 			return err
 		}
 		mc.Delete(ctx, key) //nolint:errcheck // invalidation is best-effort
@@ -74,11 +82,12 @@ func fanoutPush(ctx context.Context, db svcutil.DB, mc svcutil.KV, users []strin
 // fanoutConsumer is one replica of the fanout tier: a member of the
 // "fanout" consumer group draining the timeline topic.
 type fanoutConsumer struct {
-	bus     mq.Client
+	bus     mq.Bus
 	graph   svcutil.Caller
 	db      svcutil.DB
 	mc      svcutil.KV
 	workers int
+	seen    mq.Dedup
 	stop    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -86,7 +95,7 @@ type fanoutConsumer struct {
 // registerFanoutConsumer installs a fanout-tier replica on srv (the server
 // exists to give the replica service identity — load reports and the
 // control plane's lag probe attach to it) and starts its consume loop.
-func registerFanoutConsumer(srv *rpc.Server, bus mq.Client, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int) *fanoutConsumer {
+func registerFanoutConsumer(srv *rpc.Server, bus mq.Bus, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int) *fanoutConsumer {
 	if workers <= 0 {
 		workers = defaultFanoutWorkers
 	}
@@ -134,23 +143,26 @@ func (fc *fanoutConsumer) run() {
 		if !msg.OK {
 			continue // poll expired empty
 		}
-		if err := fc.deliver(ctx, msg.Body); err != nil {
-			fc.bus.Nack(ctx, timelineTopic, fanoutGroup, msg.ID) //nolint:errcheck // lease expiry redelivers anyway
+		if err := fc.deliver(ctx, msg); err != nil {
+			fc.bus.Nack(ctx, timelineTopic, fanoutGroup, msg) //nolint:errcheck // lease expiry redelivers anyway
 			continue
 		}
-		fc.bus.Ack(ctx, timelineTopic, fanoutGroup, msg.ID) //nolint:errcheck // one-way; a lost ack costs a redelivery
+		fc.bus.Ack(ctx, timelineTopic, fanoutGroup, msg) //nolint:errcheck // one-way; a lost ack costs a redelivery
 	}
 }
 
 // deliver hydrates follower timelines for one event. The author's own
 // timeline was already written synchronously by Append, so only followers
-// are pushed here; ListPrepend de-dup is not needed because redelivery
-// after a partial push re-prepends at most once per follower and timeline
-// reads tolerate (and cap away) the rare duplicate — at-least-once, like
-// every real fan-out service.
-func (fc *fanoutConsumer) deliver(ctx context.Context, body []byte) error {
+// are pushed here. Idempotent consumption is layered: a redelivered key
+// this replica already processed is settled without re-pushing (dedup),
+// and whatever slips past — a replay landing on a different replica —
+// is absorbed by the unique timeline prepend.
+func (fc *fanoutConsumer) deliver(ctx context.Context, msg mq.ConsumeResp) error {
+	if fc.seen.Has(msg.Key) {
+		return nil // already delivered; settle the redelivery
+	}
 	var ev FanoutEvent
-	if err := codec.Unmarshal(body, &ev); err != nil {
+	if err := codec.Unmarshal(msg.Body, &ev); err != nil {
 		return err
 	}
 	dctx, cancel := context.WithTimeout(ctx, fanoutLease/2)
@@ -159,7 +171,11 @@ func (fc *fanoutConsumer) deliver(ctx context.Context, body []byte) error {
 	if err := fc.graph.Call(dctx, "Followers", NeighborsReq{User: ev.Author}, &followers); err != nil {
 		return err
 	}
-	return fanoutPush(dctx, fc.db, fc.mc, followers.Users, ev.PostID, fc.workers)
+	if err := fanoutPush(dctx, fc.db, fc.mc, followers.Users, ev.PostID, fc.workers, msg.Key != ""); err != nil {
+		return err
+	}
+	fc.seen.Mark(msg.Key)
+	return nil
 }
 
 // Close stops the consume loop; a replica parked in a long poll notices

@@ -124,7 +124,7 @@ func TestAsyncFanoutClose(t *testing.T) {
 	if posts := timeline(t, sn, "alice"); len(posts) != 2 || posts[0].ID != post.ID {
 		t.Fatalf("author timeline after close = %+v", posts)
 	}
-	if lag := sn.Broker.Topic(timelineTopic).GroupLag(fanoutGroup); lag != 1 {
+	if lag := sn.Broker.GroupLag(timelineTopic, fanoutGroup); lag != 1 {
 		t.Fatalf("orphaned event lag = %d, want 1", lag)
 	}
 }

@@ -52,6 +52,16 @@ type Config struct {
 	// Only meaningful with AsyncFanout; the control plane can grow the tier
 	// further on lag through the Spawner.
 	FanoutConsumers int
+	// BrokerShards partitions the broker tier into this many instances
+	// (default 1): each topic's traffic spreads across shards by message
+	// key, and publishers/consumers route per key through the shard ring.
+	BrokerShards int
+	// BrokerReplicas is the replica count per broker shard (default 1).
+	// With BrokerReplicas > 1 every publish is mirrored to the shard's
+	// sibling brokers before it is acked, so un-acked messages survive a
+	// broker crash: when the ring evicts the dead instance, consumers fail
+	// over and leased-but-unacked messages redeliver from a mirror.
+	BrokerReplicas int
 	// DisableCoalescing turns off miss coalescing on the cache-aside read
 	// paths (timelines, posts, profiles), so every concurrent miss becomes
 	// its own backing-store read. Used by the hotpath experiment's
@@ -105,8 +115,8 @@ type SocialNetwork struct {
 
 	// Broker is the message-broker tier behind async fan-out (nil unless
 	// Config.AsyncFanout); exported so tests and experiments can read
-	// backlog stats directly.
-	Broker *mq.Broker
+	// backlog stats directly across every broker instance.
+	Broker *mq.Cluster
 
 	mu        sync.Mutex
 	consumers []*fanoutConsumer
@@ -131,7 +141,7 @@ func (sn *SocialNetwork) DrainFanout(timeout time.Duration) error {
 	}
 	deadline := time.Now().Add(timeout)
 	for {
-		lag := sn.Broker.Topic(timelineTopic).GroupLag(fanoutGroup)
+		lag := sn.Broker.GroupLag(timelineTopic, fanoutGroup)
 		if lag == 0 {
 			return nil
 		}
@@ -184,15 +194,17 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		}
 	}
 	stack := &svcutil.Stack{
-		App:           app,
-		Prefix:        "social.",
-		Shards:        cfg.Shards,
-		ShardReplicas: cfg.ShardReplicas,
-		CacheBytes:    cfg.CacheBytes,
-		Middleware:    cfg.Middleware,
-		Replicable:    replicable,
-		Replicas:      replicas,
-		Spawner:       cfg.Spawner,
+		App:            app,
+		Prefix:         "social.",
+		Shards:         cfg.Shards,
+		ShardReplicas:  cfg.ShardReplicas,
+		BrokerShards:   cfg.BrokerShards,
+		BrokerReplicas: cfg.BrokerReplicas,
+		CacheBytes:     cfg.CacheBytes,
+		Middleware:     cfg.Middleware,
+		Replicable:     replicable,
+		Replicas:       replicas,
+		Spawner:        cfg.Spawner,
 	}
 
 	// Storage tiers: one cache and/or document store per backend group,
@@ -255,10 +267,9 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 		sn.Broker = stack.StartBroker("broker", ConfigureTimelineBroker)
 	}
 	start("writeTimeline", func(s *rpc.Server) {
-		var bus *mq.Client
+		var bus mq.Bus
 		if cfg.AsyncFanout {
-			b := stack.MQ("writeTimeline", "broker")
-			bus = &b
+			bus = stack.MQ("writeTimeline", "broker")
 		}
 		registerWriteTimeline(s, cl("writeTimeline", "socialGraph"),
 			db("writeTimeline", "db-timeline"),

@@ -64,7 +64,7 @@ const defaultFanoutWorkers = 8
 // authors always read their own writes — then publishes a FanoutEvent and
 // returns at broker ack. The fanout consumer group pushes follower
 // timelines behind the write (see fanout.go).
-func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int, bus *mq.Client) {
+func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int, bus mq.Bus) {
 	if workers <= 0 {
 		workers = defaultFanoutWorkers
 	}
@@ -73,14 +73,18 @@ func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB,
 			return nil, rpc.Errorf(rpc.CodeBadRequest, "writeTimeline: author and post required")
 		}
 		if bus != nil {
-			if err := fanoutPush(ctx, db, mc, []string{req.Author}, req.PostID, 1); err != nil {
+			if err := fanoutPush(ctx, db, mc, []string{req.Author}, req.PostID, 1, true); err != nil {
 				return nil, err
 			}
 			body, err := codec.Marshal(FanoutEvent{Author: req.Author, PostID: req.PostID})
 			if err != nil {
 				return nil, err
 			}
-			if _, err := bus.Publish(ctx, timelineTopic, body); err != nil {
+			// The key is the event's stable identity: a client retrying a
+			// failed Append republishes the same key, and broker-side
+			// publish dedup plus consumer-side idempotency make the retry
+			// safe end to end.
+			if _, err := bus.PublishKey(ctx, timelineTopic, req.Author+"/"+req.PostID, body); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -90,7 +94,7 @@ func registerWriteTimeline(srv *rpc.Server, graph svcutil.Caller, db svcutil.DB,
 			return nil, err
 		}
 		audience := append(followers.Users, req.Author)
-		if err := fanoutPush(ctx, db, mc, audience, req.PostID, workers); err != nil {
+		if err := fanoutPush(ctx, db, mc, audience, req.PostID, workers, false); err != nil {
 			return nil, err
 		}
 		return nil, nil

@@ -93,11 +93,22 @@ func (rp *ReadPath[V]) Stats() coalesce.Stats { return rp.group.Stats() }
 // document, creating it if absent and capping the list at max entries
 // (<=0 = unbounded). Returns the resulting list length.
 func (d DB) ListPrepend(ctx context.Context, collection, id, value string, max int) (int, error) {
+	return d.listPrepend(ctx, collection, id, value, max, false)
+}
+
+// ListPrependUnique is ListPrepend that skips the write when value is
+// already in the list — the store-level idempotency backstop at-least-once
+// delivery pipelines write through (see docstore.ListPrependUnique).
+func (d DB) ListPrependUnique(ctx context.Context, collection, id, value string, max int) (int, error) {
+	return d.listPrepend(ctx, collection, id, value, max, true)
+}
+
+func (d DB) listPrepend(ctx context.Context, collection, id, value string, max int, unique bool) (int, error) {
 	if d.Shards != nil {
-		return d.shardedListPrepend(ctx, collection, id, value, max)
+		return d.shardedListPrepend(ctx, collection, id, value, max, unique)
 	}
 	var resp docstore.ListPrependResp
-	req := docstore.ListPrependReq{Collection: collection, ID: id, Value: value, Cap: int64(max)}
+	req := docstore.ListPrependReq{Collection: collection, ID: id, Value: value, Cap: int64(max), Unique: unique}
 	if err := d.C.Call(ctx, "ListPrepend", req, &resp); err != nil {
 		return 0, err
 	}

@@ -297,7 +297,7 @@ func (d DB) shardedDocDelete(ctx context.Context, collection, id string) (bool, 
 	return existed, err
 }
 
-func (d DB) shardedListPrepend(ctx context.Context, collection, id, value string, max int) (int, error) {
+func (d DB) shardedListPrepend(ctx context.Context, collection, id, value string, max int, unique bool) (int, error) {
 	reps := d.Shards.Route(id)
 	if len(reps) == 0 {
 		return 0, noShards(d.Shards)
@@ -306,7 +306,7 @@ func (d DB) shardedListPrepend(ctx context.Context, collection, id, value string
 	got := false
 	err := writeAll(reps, func(rep *shard.Replica) error {
 		var resp docstore.ListPrependResp
-		req := docstore.ListPrependReq{Collection: collection, ID: id, Value: value, Cap: int64(max)}
+		req := docstore.ListPrependReq{Collection: collection, ID: id, Value: value, Cap: int64(max), Unique: unique}
 		if err := rep.Call(ctx, "ListPrepend", req, &resp); err != nil {
 			return err
 		}

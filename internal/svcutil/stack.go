@@ -64,6 +64,14 @@ type Stack struct {
 	Replicable map[string]bool
 	// Replicas scales replicable tiers out at boot, keyed by tier name.
 	Replicas map[string]int
+	// BrokerShards partitions the broker tier booted by StartBroker into this
+	// many consistent-hash shards — topics are partitioned by message key, so
+	// one hot topic spreads across all of them (default 1 = single instance).
+	BrokerShards int
+	// BrokerReplicas is the replica count per broker shard (default 1).
+	// Above 1, every publish is mirrored to the shard's other replicas before
+	// it is acked, so un-acked messages survive a broker crash.
+	BrokerReplicas int
 	// Spawner, when set, receives every index-independent replicable tier
 	// boot via Define+Spawn so the control plane can autoscale those tiers.
 	Spawner Definer
@@ -144,35 +152,78 @@ func (st *Stack) StartCaches(names ...string) error {
 	return nil
 }
 
-// StartBroker queues a message-broker tier for boot: one instance serving
-// the mq RPC interface under the stack's prefix. The broker is created (and
-// returned) immediately so the composition root can hold it for white-box
-// stats, but configure — where topics are declared and consumer groups
-// subscribed — runs at boot time, before any producer or consumer tier
-// starts. Subscribing at boot is what guarantees every group sees every
-// publish: a topic publish fans out only to groups subscribed at that
-// moment. The broker is deliberately single-instance: it is the
-// serialization point the paper's Section 7 attributes to queueMaster, and
-// the asyncfanout experiment measures what that buys and costs.
-func (st *Stack) StartBroker(name string, configure func(*mq.Broker)) *mq.Broker {
-	broker := mq.NewBroker()
-	st.boot = append(st.boot, func() error {
-		if configure != nil {
-			configure(broker)
-		}
-		_, err := st.App.StartRPC(st.Name(name), func(s *rpc.Server) {
-			mq.RegisterService(s, broker)
-		})
-		return err
-	})
-	return broker
+func (st *Stack) brokerShape() (shards, replicas int) {
+	shards, replicas = st.BrokerShards, st.BrokerReplicas
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return shards, replicas
 }
 
-// MQ builds a typed broker client from one tier to the broker tier. Acks
-// ride the one-way fast path automatically when the underlying wire
-// supports it.
-func (st *Stack) MQ(caller, target string) mq.Client {
-	return mq.Client{C: st.Caller(caller, target)}
+// BrokerSharded reports whether the broker tier runs partitioned/replicated.
+func (st *Stack) BrokerSharded() bool {
+	shards, replicas := st.brokerShape()
+	return shards > 1 || replicas > 1
+}
+
+// StartBroker queues a message-broker tier for boot, serving the mq RPC
+// interface under the stack's prefix: one instance by default, or
+// BrokerShards×BrokerReplicas instances under shard.MetaShard labels —
+// topics partitioned by message key across shards, each shard's group
+// queues mirrored across its replicas (see mq.Partitioned for the
+// publish/mirror/failover contract). configure — where topics are declared
+// and consumer groups subscribed — runs per broker instance at boot time,
+// before any producer or consumer tier starts; running it on every
+// instance is what lets mirrors accept copies for the same groups their
+// primaries fan out to. The returned Cluster is the composition root's
+// white-box handle (aggregate lag, drain loops); instances register on it
+// as they boot.
+func (st *Stack) StartBroker(name string, configure func(*mq.Broker)) *mq.Cluster {
+	cluster := mq.NewCluster()
+	shards, replicas := st.brokerShape()
+	if !st.BrokerSharded() {
+		broker := mq.NewBroker()
+		cluster.Add(broker)
+		st.boot = append(st.boot, func() error {
+			if configure != nil {
+				configure(broker)
+			}
+			_, err := st.App.StartRPC(st.Name(name), func(s *rpc.Server) {
+				mq.RegisterService(s, broker)
+			})
+			return err
+		})
+		return cluster
+	}
+	st.boot = append(st.boot, func() error {
+		return StartShardReplicas(st.App, st.Name(name), shards, replicas, func(int, int) func(*rpc.Server) {
+			broker := mq.NewBroker()
+			if configure != nil {
+				configure(broker)
+			}
+			cluster.Add(broker)
+			return func(s *rpc.Server) { mq.RegisterService(s, broker) }
+		})
+	})
+	return cluster
+}
+
+// MQ builds a typed broker client from one tier to the broker tier, in
+// whichever mode the deployment runs: a single-instance Client, or a
+// Partitioned client over the broker shard router. Acks ride the one-way
+// fast path automatically when the underlying wire supports it.
+func (st *Stack) MQ(caller, target string) mq.Bus {
+	if !st.BrokerSharded() {
+		return mq.Client{C: st.Caller(caller, target)}
+	}
+	router, err := st.App.ShardedRPC(st.Name(caller), st.Name(target), st.Middleware...)
+	if err != nil {
+		panic(err)
+	}
+	return mq.NewPartitioned(router)
 }
 
 // Caller builds a load-balanced client from one tier to another. Wiring
