@@ -13,11 +13,12 @@ vet:
 
 # The call-path packages carry the concurrency-heavy code (connection
 # pools, hedges, breakers, admission queues, fault injection, lease
-# heartbeats, broker leases and consumer groups); run them under the race
-# detector, along with the applications refactored onto the sharded
-# live-stack wiring and the broker-backed async paths.
+# heartbeats, broker leases and consumer groups, and the stream
+# send/recv/credit machinery); run them under the race detector, along
+# with the codec the stream frames ride on, the applications refactored
+# onto the sharded live-stack wiring, and the broker-backed async paths.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/... ./internal/coalesce/... ./internal/svcutil/... ./internal/docstore/... ./internal/kv/... ./internal/shard/... ./internal/mq/... ./internal/services/media/... ./internal/services/ecommerce/... ./internal/services/banking/... ./internal/services/swarm/... ./internal/services/socialnetwork/...
+	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/... ./internal/coalesce/... ./internal/svcutil/... ./internal/docstore/... ./internal/kv/... ./internal/codec/... ./internal/shard/... ./internal/mq/... ./internal/services/media/... ./internal/services/ecommerce/... ./internal/services/banking/... ./internal/services/swarm/... ./internal/services/socialnetwork/...
 
 # Alloc-regression guard: the rpc frame encode/decode hot path has a pinned
 # allocation budget (0 allocs/op encode, frame+payload only on decode); any
@@ -41,4 +42,4 @@ bench:
 # re-deriving every simulator figure.
 bench-smoke:
 	$(GO) test -bench='QueryDiversity|RPCvsREST|SlowServerResilience|AutoscaleLive|ChaosRecovery|HotKeyStampede|TailAtScale|ClusterParity|AsyncFanout' -benchtime=1x .
-	$(GO) test -run 'TestClusterParityShape|TestAsyncFanoutShape|TestBrokerCrashShape' -count=1 ./internal/experiments/
+	$(GO) test -run 'TestClusterParityShape|TestAsyncFanoutShape|TestBrokerCrashShape|TestPushShape' -count=1 ./internal/experiments/

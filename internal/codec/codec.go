@@ -29,6 +29,12 @@ var ErrTrailingBytes = errors.New("codec: trailing bytes after value")
 // or hostile input blowing up allocation.
 const maxLen = 1 << 26 // 64M elements
 
+// maxEagerLen bounds how many slice elements / map buckets a decoder will
+// allocate up front on the strength of a length header alone; anything
+// larger must earn its allocation element by element. Honest RPC payloads
+// sit far below this, so the fast path is unchanged.
+const maxEagerLen = 1 << 10
+
 // Marshal encodes v into a new byte slice.
 func Marshal(v any) ([]byte, error) {
 	return AppendMarshal(nil, v)
@@ -288,8 +294,24 @@ func buildSlicePlan(t reflect.Type, session map[reflect.Type]*plan) (plan, error
 		if err != nil {
 			return nil, err
 		}
-		s := reflect.MakeSlice(t, n, n)
+		// Don't size the allocation from the claimed length alone: a corrupt
+		// three-byte header can claim 64M elements. Start at a bounded size
+		// and grow only as elements actually decode.
+		size := n
+		if size > maxEagerLen {
+			size = maxEagerLen
+		}
+		s := reflect.MakeSlice(t, size, size)
 		for i := 0; i < n; i++ {
+			if i == s.Len() {
+				grow := s.Len() * 2
+				if grow > n {
+					grow = n
+				}
+				ns := reflect.MakeSlice(t, grow, grow)
+				reflect.Copy(ns, s)
+				s = ns
+			}
 			rest, err = elem.dec(rest, s.Index(i))
 			if err != nil {
 				return nil, err
@@ -364,7 +386,11 @@ func buildMapPlan(t reflect.Type, session map[reflect.Type]*plan) (plan, error) 
 		if err != nil {
 			return nil, err
 		}
-		m := reflect.MakeMapWithSize(t, n)
+		hint := n
+		if hint > maxEagerLen {
+			hint = maxEagerLen
+		}
+		m := reflect.MakeMapWithSize(t, hint)
 		for i := 0; i < n; i++ {
 			k := reflect.New(t.Key()).Elem()
 			rest, err = keyPlan.dec(rest, k)

@@ -78,7 +78,10 @@ type bcResult struct {
 
 // bcRun boots one arm, kills shard 0's primary broker mid-drive, and
 // watches the probe follower's timeline until the delivered set settles.
-func bcRun(replicated bool, seed int64) (bcResult, error) {
+// push switches the fanout consumers from poll to push delivery — the push
+// experiment reruns the replicated crash under it to show the durability
+// contract carries over to streamed delivery.
+func bcRun(replicated, push bool, seed int64) (bcResult, error) {
 	inj := fault.NewInjector(seed)
 	app := core.NewApp("brokercrash", core.Options{
 		DisableTracing: true,
@@ -104,6 +107,7 @@ func bcRun(replicated bool, seed int64) (bcResult, error) {
 		FanoutConsumers: 2,
 		FanoutWorkers:   bcStoreSlots,
 		BrokerShards:    2,
+		PushFanout:      push,
 	}
 	if replicated {
 		cfg.BrokerReplicas = 2
@@ -290,7 +294,7 @@ func BrokerCrash() *Report {
 		if replicated {
 			arm = "replicated (2 shards x 2)"
 		}
-		res, err := bcRun(replicated, 41)
+		res, err := bcRun(replicated, false, 41)
 		if err != nil {
 			r.Notes = append(r.Notes, fmt.Sprintf("brokercrash %s: %v", arm, err))
 			continue

@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"clusterparity", "Flash crowd on one tenant of a five-app shared cluster (live stack)", ClusterParity},
 		{"asyncfanout", "Sync vs pipelined vs broker-backed async fan-out at fixed p99 QoS (live stack)", AsyncFanout},
 		{"brokercrash", "Broker crash mid-fanout: replicated vs unreplicated partitioned tier (live stack)", BrokerCrash},
+		{"push", "Push vs poll consumer delivery: latency and the polling tax (live stack)", Push},
 	}
 }
 

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// pushShapeViolations runs both delivery arms at equal offered load and
+// returns the claims that did not hold. An empty list is a clean pass.
+func pushShapeViolations() []string {
+	var v []string
+	push, err := pushRun("push")
+	if err != nil {
+		return []string{fmt.Sprintf("push arm failed: %v", err)}
+	}
+	poll, err := pushRun("poll")
+	if err != nil {
+		return []string{fmt.Sprintf("poll arm failed: %v", err)}
+	}
+
+	// Both arms must drain the drive — a latency contrast between partial
+	// deliveries compares nothing.
+	for _, res := range []pushResult{push, poll} {
+		if res.delivered < pushMsgs {
+			v = append(v, fmt.Sprintf("%s arm delivered %d/%d — the drive never drained", res.mode, res.delivered, pushMsgs))
+		}
+	}
+	if len(v) > 0 {
+		return v
+	}
+
+	// The tentpole claim: push delivery rides the standing stream, so a
+	// message never waits out a poll sweep. Poll-arm p50 sits in the sweep
+	// cadence; push-arm p50 must beat it outright.
+	if push.p50 >= poll.p50 {
+		v = append(v, fmt.Sprintf("push p50 %v is not below poll p50 %v — the stream bought no latency", push.p50, poll.p50))
+	}
+	// The polling tax: push mode issues zero Consume RPCs, ever — delivery
+	// and the idle window both ride the stream.
+	if push.consumeRPCs != 0 {
+		v = append(v, fmt.Sprintf("push arm issued %d Consume RPCs — the poll path is still live under push", push.consumeRPCs))
+	}
+	// The contrast needs the tax to be visible: the poll arm must have paid
+	// idle polls across the trailing window (empty sweeps against both
+	// shards).
+	if poll.idlePolls == 0 {
+		v = append(v, "poll arm paid zero idle polls — the idle window missed the tax, so the contrast shows nothing")
+	}
+	return v
+}
+
+// TestPushShape asserts the push experiment's contrast — push delivery is
+// faster than polling at equal throughput and eliminates idle-poll RPCs
+// entirely — and then reruns the replicated broker-crash arm with
+// push-mode consumers: the durability contract (zero acked-message loss,
+// no duplicates, bounded recovery) must be delivery-path independent.
+// Standing push streams are the new leak surface, so the whole run sits
+// inside a goroutine-leak guard. Latency arms are wall-clock runs, so the
+// shape gets three attempts and passes on the first clean one.
+func TestPushShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live push/poll runs skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	const attempts = 3
+	var last []string
+	for i := 1; i <= attempts; i++ {
+		last = pushShapeViolations()
+		if len(last) == 0 {
+			break
+		}
+		t.Logf("attempt %d/%d violated the shape: %v", i, attempts, last)
+	}
+	for _, violation := range last {
+		t.Error(violation)
+	}
+
+	// Crash rerun under push: same seed discipline as the broker-crash shape.
+	var res bcResult
+	var err error
+	for i := 1; i <= attempts; i++ {
+		res, err = bcRun(true, true, int64(41*i))
+		if err == nil && res.acked >= res.appended/2 && res.lost == 0 && res.dups == 0 && res.recovered {
+			break
+		}
+		t.Logf("crash rerun attempt %d/%d: err=%v acked=%d/%d lost=%d dups=%d recovered=%v",
+			i, attempts, err, res.acked, res.appended, res.lost, res.dups, res.recovered)
+	}
+	if err != nil {
+		t.Fatalf("crash rerun under push failed: %v", err)
+	}
+	if res.lost != 0 {
+		t.Errorf("crash under push lost %d acked posts (delivered %d/%d) — acked ⇒ mirrored broke on the stream path",
+			res.lost, res.delivered, res.acked)
+	}
+	if res.dups != 0 {
+		t.Errorf("crash under push delivered %d duplicates — stream redelivery is not idempotent", res.dups)
+	}
+	if !res.recovered {
+		t.Error("crash under push never converged: acked posts were still missing when the delivered set settled")
+	}
+
+	// Leak guard: every arm tears its stack down; standing streams, push
+	// sessions, and reopen loops must all unwind. Allow brief settling and a
+	// small slack for runtime background goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -358,6 +358,16 @@ func (b *Balanced) Invoke(ctx context.Context, call *transport.Call) error {
 	return b.invoke(ctx, call)
 }
 
+// Stream opens a streaming call on a policy-picked backend. The open runs
+// through the balanced chain (so a dead instance fails over exactly like a
+// unary call); the stream then lives on that backend's connection until
+// teardown — it does not re-balance mid-stream.
+func (b *Balanced) Stream(ctx context.Context, method string, req any) (*transport.Stream, error) {
+	return transport.OpenStream(ctx, b.invoke, b.target, "", method, req)
+}
+
+var _ transport.Streamer = (*Balanced)(nil)
+
 // invokeOnce is the terminal invoker under the balanced middleware: pick a
 // replica and issue one attempt. Transport-level failures (dial refused,
 // connection lost, breaker rejection) fail over once to the next backend,

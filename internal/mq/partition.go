@@ -175,24 +175,47 @@ const consumeGrace = 100 * time.Millisecond
 // Consume polls the shard primaries round-robin, splitting the wait budget
 // across shards. Dead shards (no live replicas, or a primary that errors)
 // are skipped; an empty sweep returns OK=false like a single broker would.
+//
+// The whole sweep is bounded by wait plus ONE consumeGrace, not one per
+// shard: per-shard polls are clamped to the remaining overall budget, so a
+// sweep across N hung primaries costs at most wait+grace instead of
+// wait+N*grace — the overshoot that used to starve the caller's own
+// deadline on wide tiers. The caller's ctx deadline, when earlier, caps the
+// budget too.
 func (p *Partitioned) Consume(ctx context.Context, topic, group string, lease, wait time.Duration) (ConsumeResp, error) {
 	shards := p.router.Shards()
 	if len(shards) == 0 {
 		return ConsumeResp{}, rpc.Errorf(rpc.CodeUnavailable, "mq: no live brokers for topic %q", topic)
 	}
 	per := wait / time.Duration(len(shards))
+	deadline := time.Now().Add(wait + consumeGrace)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
 	start := int(p.rr.Add(1))
 	var lastErr error
 	for i := range shards {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
 		label := shards[(start+i)%len(shards)]
 		reps := byAddr(p.router.GroupReplicas(label))
 		if len(reps) == 0 {
 			continue
 		}
-		cctx, cancel := context.WithTimeout(ctx, per+consumeGrace)
+		slice := per + consumeGrace
+		if slice > remaining {
+			slice = remaining
+		}
+		pollWait := per
+		if pollWait > slice {
+			pollWait = slice
+		}
+		cctx, cancel := context.WithTimeout(ctx, slice)
 		var resp ConsumeResp
 		err := reps[0].Call(cctx, "Consume", ConsumeReq{
-			Topic: topic, Group: group, LeaseNs: int64(lease), WaitNs: int64(per),
+			Topic: topic, Group: group, LeaseNs: int64(lease), WaitNs: int64(pollWait),
 		}, &resp)
 		cancel()
 		if err != nil {

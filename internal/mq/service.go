@@ -72,6 +72,18 @@ type ConsumeResp struct {
 	OK       bool
 }
 
+// PushReq opens a push-delivery stream: the broker leases messages for the
+// group as they become deliverable and streams each as a ConsumeResp item,
+// one standing stream replacing the consumer's poll loop. LeaseNs bounds
+// per-message processing exactly as in ConsumeReq; settles still travel as
+// ordinary Ack/Nack calls.
+type PushReq struct {
+	Topic   string
+	Group   string
+	Queue   string
+	LeaseNs int64
+}
+
 // AckReq settles a lease: acknowledge (done) or negative-acknowledge
 // (redeliver, or dead-letter once attempts are exhausted). With Key set the
 // settle is by key — valid on any replica holding a copy, which is how
@@ -260,6 +272,53 @@ func RegisterService(srv *rpc.Server, broker *Broker) {
 			return codec.Marshal(ConsumeResp{})
 		}
 		return codec.Marshal(ConsumeResp{ID: msg.ID, Key: msg.Key, Body: msg.Body, Attempts: msg.Attempts, OK: true})
+	})
+	srv.HandleStream("Push", func(ctx *rpc.Ctx, payload []byte, st *rpc.ServerStream) error {
+		var req PushReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return rpc.Errorf(rpc.CodeBadRequest, "decode: %v", err)
+		}
+		q, err := queueFor(broker, req.Topic, req.Group, req.Queue)
+		if err != nil {
+			return err
+		}
+		for {
+			// Short wait slices — a local cond wait, no RPCs — keep the loop
+			// responsive to stream teardown (client gone, conn death, server
+			// shutdown) without busy-spinning an idle queue.
+			msg, ok := q.ReceiveWait(time.Duration(req.LeaseNs), pushWaitSlice)
+			select {
+			case <-st.Done():
+				if ok {
+					// Leased after the client left: hand it straight back so a
+					// failed-over consumer gets it now, not at lease expiry.
+					q.Nack(msg.ID)
+				}
+				return nil
+			case <-ctx.Done():
+				if ok {
+					q.Nack(msg.ID)
+				}
+				return nil
+			default:
+			}
+			if !ok {
+				if q.Closed() {
+					// Same coded signal the poll path gives: fail over to a
+					// sibling replica, don't come back here.
+					return rpc.Errorf(rpc.CodeUnavailable, "mq: queue %q closed", q.Name())
+				}
+				continue
+			}
+			// Send blocks while the client's window is exhausted — backpressure
+			// with the message leased, so a slow consumer throttles delivery
+			// without breaking at-least-once.
+			err := st.SendMsg(ConsumeResp{ID: msg.ID, Key: msg.Key, Body: msg.Body, Attempts: msg.Attempts, OK: true})
+			if err != nil {
+				q.Nack(msg.ID) // stream died mid-delivery; redeliver immediately
+				return err
+			}
+		}
 	})
 	srv.Handle("Ack", func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req AckReq

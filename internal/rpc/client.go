@@ -178,6 +178,49 @@ func (c *Client) Go(ctx context.Context, method string, req, resp any) *Pending 
 	return p
 }
 
+// Stream opens a streaming call: the open runs through the full middleware
+// chain (Call.Stream set), and the returned typed stream multiplexes item
+// frames on a pooled connection alongside unary traffic. ctx governs the
+// stream's whole lifetime — cancellation aborts it, waking parked Sends and
+// Recvs on both ends.
+func (c *Client) Stream(ctx context.Context, method string, req any) (*transport.Stream, error) {
+	return transport.OpenStream(ctx, c.invoke, c.target, "", method, req)
+}
+
+var _ transport.Streamer = (*Client)(nil)
+
+// openStream is the terminal invoker's streaming branch: it writes the open
+// frame on a pooled conn (with the same one-shot dead-on-arrival redial as
+// exchange) and attaches the stream to the call. A watcher goroutine ties
+// the stream to ctx — cancellation sends the server a coded End (waking its
+// handler) and tears the client side down; it exits with the stream.
+func (c *Client) openStream(ctx context.Context, call *transport.Call) error {
+	for attempt := 0; ; attempt++ {
+		cc, err := c.pick()
+		if err != nil {
+			return err
+		}
+		f := &frame{kind: kindStreamOpen, method: call.Method, headers: call.Headers, payload: call.Payload}
+		st, err := cc.openStream(f)
+		if err != nil {
+			cc.fail(err)
+			if attempt == 0 && !cc.delivered() {
+				continue // dead-on-arrival pooled conn: one fresh dial
+			}
+			return transport.WrapCode(transport.CodeUnavailable, err, "rpc: open stream to %s: %v", c.target, err)
+		}
+		go func() {
+			select {
+			case <-ctx.Done():
+				st.cancelWith(CodeDeadline, "stream context done: "+ctx.Err().Error())
+			case <-st.done:
+			}
+		}()
+		call.StreamBody = &clientStream{core: st}
+		return nil
+	}
+}
+
 // exchangeCall is the terminal invoker: it stamps the deadline header from
 // the (possibly budget-shrunken) context and performs the wire exchange.
 func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
@@ -186,6 +229,9 @@ func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
 	}
 	if call.OneWay {
 		return c.sendOneWay(call.Method, call.Headers, call.Payload)
+	}
+	if call.Stream {
+		return c.openStream(ctx, call)
 	}
 	reply, err := c.exchange(ctx, call.Method, call.Headers, call.Payload)
 	if err != nil {
@@ -240,10 +286,16 @@ func (c *Client) exchange(ctx context.Context, method string, headers map[string
 		select {
 		case reply, ok := <-ch:
 			if !ok {
-				if attempt == 0 && !cc.delivered() {
-					continue
-				}
-				return nil, fmt.Errorf("rpc: connection to %s lost", c.target)
+				// The conn died with this request outstanding. The frame was
+				// delivered (the send succeeded), so resending transparently
+				// here could execute it twice — and against a parked long-poll
+				// handler would re-park until the deadline. Fail fast with a
+				// coded retryable error instead: every pipelined call parked in
+				// the pending map unblocks at once, and the retry middleware
+				// (which owns the is-it-safe-to-retry budget) decides what to
+				// reissue.
+				return nil, transport.Errorf(transport.CodeUnavailable,
+					"rpc: connection to %s lost with %s.%s in flight", c.target, c.target, method)
 			}
 			if reply.kind == kindError {
 				return nil, &Error{Code: int(reply.code), Msg: string(reply.payload)}
@@ -317,6 +369,7 @@ type clientConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan *frame
+	streams map[uint64]*streamCore
 	seq     uint64
 	err     error
 
@@ -335,6 +388,7 @@ func newClientConn(conn interface {
 		conn:    conn,
 		cw:      newConnWriter(conn),
 		pending: make(map[uint64]chan *frame),
+		streams: make(map[uint64]*streamCore),
 	}
 	go cc.readLoop(newFrameReader(conn))
 	return cc
@@ -397,7 +451,11 @@ func (cc *clientConn) abandon(seq uint64) {
 }
 
 // fail marks the connection dead and wakes all waiters with closed channels.
+// Open streams are torn down outside the lock (their unregister hooks
+// re-enter the conn), with a coded retryable error so stream consumers fail
+// over the way unary callers do.
 func (cc *clientConn) fail(err error) {
+	var streams []*streamCore
 	cc.mu.Lock()
 	if cc.err == nil {
 		cc.err = err
@@ -405,9 +463,48 @@ func (cc *clientConn) fail(err error) {
 			close(ch)
 			delete(cc.pending, seq)
 		}
+		streams = make([]*streamCore, 0, len(cc.streams))
+		for seq, st := range cc.streams {
+			streams = append(streams, st)
+			delete(cc.streams, seq)
+		}
 	}
 	cc.mu.Unlock()
+	for _, st := range streams {
+		st.teardown(transport.WrapCode(transport.CodeUnavailable, err, "rpc: stream conn lost: %v", err))
+	}
 	cc.conn.Close()
+}
+
+// openStream registers a stream for the open frame's sequence number and
+// writes it. The returned core is routed item/credit/end frames by the read
+// loop until teardown unregisters it.
+func (cc *clientConn) openStream(f *frame) (*streamCore, error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.seq++
+	f.seq = cc.seq
+	seq := f.seq
+	st := newStreamCore(seq, cc.cw)
+	st.onTeardown = func() { cc.dropStream(seq) }
+	cc.streams[seq] = st
+	cc.mu.Unlock()
+
+	if err := cc.cw.write(f); err != nil {
+		cc.dropStream(seq)
+		return nil, err
+	}
+	return st, nil
+}
+
+func (cc *clientConn) dropStream(seq uint64) {
+	cc.mu.Lock()
+	delete(cc.streams, seq)
+	cc.mu.Unlock()
 }
 
 func (cc *clientConn) readLoop(fr *frameReader) {
@@ -418,6 +515,26 @@ func (cc *clientConn) readLoop(fr *frameReader) {
 			return
 		}
 		cc.gotReply.Store(true)
+		switch f.kind {
+		case kindStreamItem, kindStreamEnd, kindStreamCredit:
+			cc.mu.Lock()
+			st := cc.streams[f.seq]
+			cc.mu.Unlock()
+			if st == nil {
+				continue // late frame for a torn-down stream
+			}
+			switch f.kind {
+			case kindStreamItem:
+				st.deliver(f.payload)
+			case kindStreamEnd:
+				// Any server End is terminal client-side: the handler
+				// returned, so sends have no one to reach.
+				st.peerEnd(f.code, f.payload, true)
+			case kindStreamCredit:
+				st.peerCredit(int(f.code))
+			}
+			continue
+		}
 		cc.mu.Lock()
 		ch, ok := cc.pending[f.seq]
 		if ok {

@@ -8,11 +8,22 @@ import (
 // Frame kinds. A request carries a method; a reply or error carries the
 // originating sequence number only. A one-way frame is a request the server
 // never answers: the client completes at send and registers no reply waiter.
+//
+// The stream kinds multiplex open streams on the same connection, keyed by
+// the opening frame's sequence number: StreamOpen is a request that starts
+// a stream instead of a unary exchange, StreamItem carries one data frame
+// in either direction, StreamEnd half-closes a direction (code 0 = clean,
+// nonzero = the coded error that ended it), and StreamCredit grants the
+// peer `code` more item frames of send window (flow control).
 const (
-	kindRequest = 0
-	kindReply   = 1
-	kindError   = 2
-	kindOneWay  = 3
+	kindRequest      = 0
+	kindReply        = 1
+	kindError        = 2
+	kindOneWay       = 3
+	kindStreamOpen   = 4
+	kindStreamItem   = 5
+	kindStreamEnd    = 6
+	kindStreamCredit = 7
 )
 
 // maxFrameSize bounds a single frame; movie "video" payloads in the suite
@@ -23,20 +34,31 @@ const maxFrameSize = 16 << 20
 type frame struct {
 	kind    byte
 	seq     uint64
-	method  string            // requests only
-	code    int64             // error frames only
+	method  string            // request-shaped frames only
+	code    int64             // error, stream-end, and stream-credit frames
 	headers map[string]string // requests and replies (trace context)
 	payload []byte
+}
+
+// hasMethod reports whether kind carries a method name on the wire.
+func hasMethod(kind byte) bool {
+	return kind == kindRequest || kind == kindOneWay || kind == kindStreamOpen
+}
+
+// hasCode reports whether kind carries a code varint on the wire: the error
+// code for kindError/kindStreamEnd, the credit grant for kindStreamCredit.
+func hasCode(kind byte) bool {
+	return kind == kindError || kind == kindStreamEnd || kind == kindStreamCredit
 }
 
 // appendFrame serializes f (excluding the outer length prefix) into buf.
 func appendFrame(buf []byte, f *frame) []byte {
 	buf = append(buf, f.kind)
 	buf = binary.AppendUvarint(buf, f.seq)
-	if f.kind == kindRequest || f.kind == kindOneWay {
+	if hasMethod(f.kind) {
 		buf = appendString(buf, f.method)
 	}
-	if f.kind == kindError {
+	if hasCode(f.kind) {
 		buf = binary.AppendVarint(buf, f.code)
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(f.headers)))
@@ -70,12 +92,12 @@ func parseFrame(body []byte) (*frame, error) {
 	if f.seq, rest, err = readUvarint(rest); err != nil {
 		return nil, err
 	}
-	if f.kind == kindRequest || f.kind == kindOneWay {
+	if hasMethod(f.kind) {
 		if f.method, rest, err = readString(rest); err != nil {
 			return nil, err
 		}
 	}
-	if f.kind == kindError {
+	if hasCode(f.kind) {
 		if f.code, rest, err = readVarint(rest); err != nil {
 			return nil, err
 		}

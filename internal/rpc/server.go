@@ -54,6 +54,7 @@ type Server struct {
 	service      string
 	mu           sync.Mutex
 	handlers     map[string]Handler
+	streams      map[string]StreamHandler
 	interceptors []ServerInterceptor
 	listeners    []net.Listener
 	conns        map[net.Conn]struct{}
@@ -75,6 +76,7 @@ func NewServer(service string) *Server {
 	return &Server{
 		service:  service,
 		handlers: make(map[string]Handler),
+		streams:  make(map[string]StreamHandler),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
@@ -141,7 +143,25 @@ func (s *Server) Handle(method string, h Handler) {
 	if _, dup := s.handlers[method]; dup {
 		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
 	}
+	if _, dup := s.streams[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
+	}
 	s.handlers[method] = h
+}
+
+// HandleStream registers a stream handler for method. Unary and stream
+// methods share one namespace — a streaming open of a unary method (or vice
+// versa) fails with CodeNotFound.
+func (s *Server) HandleStream(method string, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
+	}
+	if _, dup := s.streams[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
+	}
+	s.streams[method] = h
 }
 
 // Serve accepts connections on l until the listener or server is closed.
@@ -221,7 +241,13 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	streams := newConnStreams()
 	defer func() {
+		// Conn teardown (peer death or Server.Close closing the conn) fails
+		// every open stream: parked stream senders and receivers wake, their
+		// handlers unwind, and Close's wg.Wait completes instead of
+		// deadlocking on a stream parked mid-window.
+		streams.failAll(Errorf(CodeUnavailable, "%s: connection closed", s.service))
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -234,20 +260,104 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if f.kind != kindRequest && f.kind != kindOneWay {
-			continue // ignore stray frames
-		}
 		if s.hung.Load() {
-			continue // crashed peer: consume the frame, never answer
+			continue // crashed peer: consume every frame, never answer
 		}
 		// The payload slice is owned by the frame (frameReader copies it out
 		// of the shared read buffer), so handlers may retain it.
-		s.wg.Add(1)
-		go func(f *frame) {
-			defer s.wg.Done()
-			s.dispatch(conn, cw, f, f.payload)
-		}(f)
+		switch f.kind {
+		case kindRequest, kindOneWay:
+			s.wg.Add(1)
+			go func(f *frame) {
+				defer s.wg.Done()
+				s.dispatch(conn, cw, f, f.payload)
+			}(f)
+		case kindStreamOpen:
+			// Register the stream here, in the read loop, before the handler
+			// goroutine exists: the client's first item can be one frame
+			// behind the open, and a stream registered only once its handler
+			// gets scheduled would silently drop it.
+			base, cancel := context.WithCancel(context.Background())
+			if v, ok := f.headers[deadlineHeader]; ok {
+				if dl, ok := transport.ParseDeadline(v); ok {
+					inner := cancel
+					var cancelDL context.CancelFunc
+					base, cancelDL = context.WithDeadline(base, dl)
+					cancel = func() { cancelDL(); inner() }
+				}
+			}
+			st := &ServerStream{core: newStreamCore(f.seq, cw), cancel: cancel}
+			if !streams.add(f.seq, st) {
+				cancel()
+				continue // conn torn down (or seq reuse)
+			}
+			s.wg.Add(1)
+			go func(f *frame) {
+				defer s.wg.Done()
+				s.dispatchStream(streams, st, base, cancel, f)
+			}(f)
+		case kindStreamItem:
+			if st := streams.get(f.seq); st != nil {
+				st.core.deliver(f.payload)
+			}
+		case kindStreamEnd:
+			if st := streams.get(f.seq); st != nil {
+				// Clean End = client half-close (handler's Recv drains to
+				// io.EOF, sends continue); coded End = client abort, which
+				// also cancels the handler's ctx.
+				st.core.peerEnd(f.code, f.payload, f.code != 0)
+				if f.code != 0 && st.cancel != nil {
+					st.cancel()
+				}
+			}
+		case kindStreamCredit:
+			if st := streams.get(f.seq); st != nil {
+				st.core.peerCredit(int(f.code))
+			}
+		default:
+			continue // ignore stray frames
+		}
 	}
+}
+
+// dispatchStream runs one stream handler to completion; the stream is
+// already registered on the conn (items arriving before the handler is
+// scheduled buffer into the inbox). The unary interceptor chain wraps the
+// stream's whole lifetime with the opening payload — admission control
+// parks or sheds the open, tracing spans the stream — and the handler's
+// return value goes back as the End frame.
+func (s *Server) dispatchStream(streams *connStreams, st *ServerStream, base context.Context, cancel context.CancelFunc, f *frame) {
+	defer cancel()
+	defer streams.remove(f.seq)
+	if s.sem != nil {
+		// A stream holds one concurrency slot for its lifetime, like the
+		// long-poll request it replaces.
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	ctx := &Ctx{Context: base, Method: f.method, Service: s.service, Headers: f.headers}
+
+	s.mu.Lock()
+	h := s.streams[f.method]
+	chain := s.interceptors
+	s.mu.Unlock()
+
+	var err error
+	if h == nil {
+		err = Errorf(CodeNotFound, "%s: no such stream method %q", s.service, f.method)
+	} else {
+		wrapped := Handler(func(ctx *Ctx, payload []byte) ([]byte, error) {
+			return nil, h(ctx, payload, st)
+		})
+		for i := len(chain) - 1; i >= 0; i-- {
+			ic, next := chain[i], wrapped
+			wrapped = func(ctx *Ctx, payload []byte) ([]byte, error) {
+				return ic(ctx, payload, next)
+			}
+		}
+		_, err = safeCall(wrapped, ctx, f.payload)
+	}
+	st.finish(err)
 }
 
 func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byte) {

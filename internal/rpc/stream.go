@@ -1,0 +1,400 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"dsb/internal/codec"
+	"dsb/internal/transport"
+)
+
+// Streaming: a stream is opened by a kindStreamOpen request and then
+// carries kindStreamItem frames in either direction on the same multiplexed
+// connection as unary, one-way, and pipelined traffic, keyed by the opening
+// sequence number. Flow control is credit-based: each direction starts with
+// streamWindow item frames of send window, and the receiver grants credit
+// back (kindStreamCredit) as its application consumes items, so a slow
+// consumer parks the sender instead of ballooning the receiver's inbox —
+// the per-stream bound the broker's push delivery leans on for
+// backpressure. A kindStreamEnd half-closes a direction: the client's clean
+// End means "no more requests" (the server keeps sending), the server's End
+// means the handler returned and the whole stream is over, and a nonzero
+// code from either side aborts everything.
+//
+// Teardown matrix (who wakes whom):
+//   - conn death: both endpoints' read loops fail every stream on the conn —
+//     parked senders (awaiting credit) and receivers (awaiting items) wake
+//     with a coded retryable error.
+//   - Server.Close: closes conns, which is conn death as above; Close's
+//     wg.Wait then observes every stream handler unwind.
+//   - context cancellation (client): sends a coded End to the server —
+//     canceling the handler's ctx — and tears the client side down.
+//   - handler return (server): sends End (clean or coded) and tears down;
+//     the client drains buffered items, then sees io.EOF or the error.
+const streamWindow = 32
+
+// creditBatch is how many consumed items a receiver accumulates before
+// granting them back as send window: one credit frame per half window on a
+// healthy stream, instead of one per item.
+const creditBatch = streamWindow / 2
+
+// errSendClosed reports a Send after CloseSend.
+var errSendClosed = errors.New("rpc: stream send side closed")
+
+// errStreamEnded reports a Send after the peer ended the stream cleanly.
+var errStreamEnded = errors.New("rpc: stream ended by peer")
+
+// streamCore is one endpoint's half of an open stream: the send window, the
+// receive inbox, and the teardown latch, shared by the client and server
+// stream types. The wire writer is the conn's shared flush-coalescing
+// writer, so stream frames interleave with unary traffic.
+type streamCore struct {
+	seq uint64
+	cw  *connWriter
+
+	mu     sync.Mutex
+	sendCv *sync.Cond // senders park here awaiting credit
+	recvCv *sync.Cond // receivers park here awaiting items
+
+	credit     int   // item frames we may still send
+	sendErr    error // set: no more sends (half-close, end, teardown)
+	sendClosed bool  // we sent our clean End
+
+	inbox    [][]byte // received, unconsumed items (bounded by the window)
+	consumed int      // items consumed since the last credit grant
+	recvErr  error    // set: inbox is final; drained recvs return this
+
+	torn       bool
+	done       chan struct{} // closed at teardown
+	onTeardown func()        // unregister hook; run once, outside mu
+}
+
+func newStreamCore(seq uint64, cw *connWriter) *streamCore {
+	sc := &streamCore{seq: seq, cw: cw, credit: streamWindow, done: make(chan struct{})}
+	sc.sendCv = sync.NewCond(&sc.mu)
+	sc.recvCv = sync.NewCond(&sc.mu)
+	return sc
+}
+
+// send writes one item frame, parking while the peer's window is exhausted.
+func (sc *streamCore) send(b []byte) error {
+	sc.mu.Lock()
+	for sc.sendErr == nil && sc.credit <= 0 {
+		sc.sendCv.Wait()
+	}
+	if sc.sendErr != nil {
+		err := sc.sendErr
+		sc.mu.Unlock()
+		return err
+	}
+	sc.credit--
+	sc.mu.Unlock()
+	if err := sc.cw.write(&frame{kind: kindStreamItem, seq: sc.seq, payload: b}); err != nil {
+		// The conn is broken; its read loop will fail every stream on it, but
+		// tear this one down now so the caller's error is immediate.
+		sc.teardown(transport.WrapCode(transport.CodeUnavailable, err, "rpc: stream conn lost: %v", err))
+		return sc.sendErrLocked()
+	}
+	return nil
+}
+
+func (sc *streamCore) sendErrLocked() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.sendErr
+}
+
+// closeSend half-closes the send side: a clean End goes out and further
+// sends fail with errSendClosed. Receiving stays open.
+func (sc *streamCore) closeSend() error {
+	sc.mu.Lock()
+	if sc.torn || sc.sendClosed {
+		sc.mu.Unlock()
+		return nil
+	}
+	sc.sendClosed = true
+	if sc.sendErr == nil {
+		sc.sendErr = errSendClosed
+	}
+	sc.sendCv.Broadcast()
+	sc.mu.Unlock()
+	return sc.cw.write(&frame{kind: kindStreamEnd, seq: sc.seq})
+}
+
+// recv returns the next item. Buffered items always drain before an end
+// condition (io.EOF, peer error, teardown) is reported, and consuming
+// refills the peer's send window in creditBatch-sized grants.
+func (sc *streamCore) recv() ([]byte, error) {
+	sc.mu.Lock()
+	for len(sc.inbox) == 0 && sc.recvErr == nil {
+		sc.recvCv.Wait()
+	}
+	if len(sc.inbox) == 0 {
+		err := sc.recvErr
+		sc.mu.Unlock()
+		return nil, err
+	}
+	b := sc.inbox[0]
+	sc.inbox[0] = nil
+	sc.inbox = sc.inbox[1:]
+	if len(sc.inbox) == 0 {
+		sc.inbox = nil
+	}
+	sc.consumed++
+	grant := 0
+	if sc.consumed >= creditBatch && !sc.torn {
+		grant, sc.consumed = sc.consumed, 0
+	}
+	sc.mu.Unlock()
+	if grant > 0 {
+		// Best-effort: a failed credit write means the conn is dying and its
+		// read loop is about to tear the stream down anyway.
+		sc.cw.write(&frame{kind: kindStreamCredit, seq: sc.seq, code: int64(grant)}) //nolint:errcheck
+	}
+	return b, nil
+}
+
+// deliver enqueues an item from the peer (called by the conn read loop,
+// never blocking it). Items past teardown or a flow-control violation are
+// dropped; the window bound keeps the inbox finite against a law-abiding
+// peer and the 2× cap guards against a broken one.
+func (sc *streamCore) deliver(b []byte) {
+	sc.mu.Lock()
+	if sc.recvErr != nil || len(sc.inbox) >= 2*streamWindow {
+		sc.mu.Unlock()
+		return
+	}
+	sc.inbox = append(sc.inbox, b)
+	sc.recvCv.Signal()
+	sc.mu.Unlock()
+}
+
+// peerCredit refills the send window from a credit frame.
+func (sc *streamCore) peerCredit(n int) {
+	if n <= 0 {
+		return
+	}
+	sc.mu.Lock()
+	sc.credit += n
+	if sc.credit > 2*streamWindow {
+		sc.credit = 2 * streamWindow
+	}
+	sc.sendCv.Broadcast()
+	sc.mu.Unlock()
+}
+
+// peerEnd handles an End frame from the peer. A clean non-terminal End is a
+// half-close: recv drains to io.EOF, sending continues (the server's view
+// of a client CloseSend). terminal — the client's view of any server End,
+// or either side's view of a coded abort — tears the whole stream down.
+func (sc *streamCore) peerEnd(code int64, msg []byte, terminal bool) {
+	var rerr error
+	if code == 0 {
+		rerr = io.EOF
+	} else {
+		rerr = &Error{Code: int(code), Msg: string(msg)}
+	}
+	sc.mu.Lock()
+	if sc.recvErr == nil {
+		sc.recvErr = rerr
+	}
+	sc.recvCv.Broadcast()
+	sc.mu.Unlock()
+	if terminal || code != 0 {
+		if code == 0 {
+			sc.teardown(errStreamEnded)
+		} else {
+			sc.teardown(rerr)
+		}
+	}
+}
+
+// cancelWith aborts the stream from this side: best-effort coded End to the
+// peer, then local teardown.
+func (sc *streamCore) cancelWith(code int, msg string) {
+	sc.mu.Lock()
+	torn := sc.torn
+	sc.mu.Unlock()
+	if !torn {
+		sc.cw.write(&frame{kind: kindStreamEnd, seq: sc.seq, code: int64(code), payload: []byte(msg)}) //nolint:errcheck
+	}
+	sc.teardown(&Error{Code: code, Msg: msg})
+}
+
+// teardown finalizes both directions (keeping any earlier, more specific
+// per-direction error), wakes every parked sender and receiver, closes
+// done, and runs the unregister hook. Buffered inbox items still drain
+// through recv afterwards. Idempotent.
+func (sc *streamCore) teardown(err error) {
+	sc.mu.Lock()
+	if sc.torn {
+		sc.mu.Unlock()
+		return
+	}
+	sc.torn = true
+	if sc.sendErr == nil {
+		sc.sendErr = err
+	}
+	if sc.recvErr == nil {
+		sc.recvErr = err
+	}
+	hook := sc.onTeardown
+	sc.onTeardown = nil
+	sc.sendCv.Broadcast()
+	sc.recvCv.Broadcast()
+	close(sc.done)
+	sc.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// clientStream is the client endpoint; it satisfies transport.StreamConn
+// and is handed to callers wrapped in a typed transport.Stream.
+type clientStream struct {
+	core *streamCore
+}
+
+var _ transport.StreamConn = (*clientStream)(nil)
+
+func (st *clientStream) Send(payload []byte) error { return st.core.send(payload) }
+func (st *clientStream) CloseSend() error          { return st.core.closeSend() }
+func (st *clientStream) Recv() ([]byte, error)     { return st.core.recv() }
+func (st *clientStream) Cancel() {
+	st.core.cancelWith(CodeDeadline, "stream canceled by caller")
+}
+
+// ServerStream is the handler's half of one open stream: Send pushes
+// response items to the client under the flow-control window, Recv reads
+// client items (io.EOF after the client's CloseSend). The handler returning
+// ends the stream — nil sends a clean End, an error sends its code.
+type ServerStream struct {
+	core   *streamCore
+	cancel context.CancelFunc // cancels the handler ctx on client abort
+}
+
+// Send writes one response item, blocking while the client's receive
+// window is exhausted — the per-stream backpressure bound. It fails once
+// the stream is torn down (client cancel, conn death, server shutdown).
+func (st *ServerStream) Send(payload []byte) error { return st.core.send(payload) }
+
+// SendMsg encodes v with the wire codec and sends it.
+func (st *ServerStream) SendMsg(v any) error {
+	payload, err := codec.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return st.core.send(payload)
+}
+
+// Recv returns the next client item, io.EOF after the client half-closed.
+func (st *ServerStream) Recv() ([]byte, error) { return st.core.recv() }
+
+// RecvMsg decodes the next client item into v.
+func (st *ServerStream) RecvMsg(v any) error {
+	payload, err := st.core.recv()
+	if err != nil {
+		return err
+	}
+	return codec.Unmarshal(payload, v)
+}
+
+// Done is closed when the stream is torn down (client cancel, conn death,
+// server shutdown) — the liveness signal long-running push handlers poll
+// between waits.
+func (st *ServerStream) Done() <-chan struct{} { return st.core.done }
+
+// finish ends the stream after the handler returns: an End frame (clean or
+// carrying the handler's error code) goes to the client unless teardown
+// already happened, then the local side is torn down.
+func (st *ServerStream) finish(err error) {
+	out := &frame{kind: kindStreamEnd, seq: st.core.seq}
+	if err != nil {
+		out.code = int64(ErrorCode(err))
+		var e *Error
+		if errors.As(err, &e) {
+			out.payload = []byte(e.Msg)
+		} else {
+			out.payload = []byte(err.Error())
+		}
+	}
+	st.core.mu.Lock()
+	torn := st.core.torn
+	st.core.mu.Unlock()
+	if !torn {
+		st.core.cw.write(out) //nolint:errcheck // conn death tears down anyway
+	}
+	if err == nil {
+		err = errStreamEnded
+	}
+	st.core.teardown(err)
+}
+
+// StreamHandler processes one open stream: payload is the opening request
+// body, st the stream. Returning nil sends the client a clean end; an error
+// sends its code. The full interceptor chain runs around the stream's
+// lifetime with the opening payload, so admission control and tracing see
+// streaming calls like unary ones.
+type StreamHandler func(ctx *Ctx, payload []byte, st *ServerStream) error
+
+// connStreams tracks the open streams of one server connection, so the
+// read loop can route item/credit/end frames and conn teardown can fail
+// every stream at once — the wake-up that keeps Server.Close from
+// deadlocking on a parked stream sender.
+type connStreams struct {
+	mu   sync.Mutex
+	m    map[uint64]*ServerStream
+	dead bool
+}
+
+func newConnStreams() *connStreams {
+	return &connStreams{m: make(map[uint64]*ServerStream)}
+}
+
+// add registers an open stream; false means the conn is already torn down
+// (or the seq is in use) and the stream must not start.
+func (cs *connStreams) add(seq uint64, st *ServerStream) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.dead {
+		return false
+	}
+	if _, dup := cs.m[seq]; dup {
+		return false
+	}
+	cs.m[seq] = st
+	return true
+}
+
+func (cs *connStreams) get(seq uint64) *ServerStream {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.m[seq]
+}
+
+func (cs *connStreams) remove(seq uint64) {
+	cs.mu.Lock()
+	delete(cs.m, seq)
+	cs.mu.Unlock()
+}
+
+// failAll tears down every open stream on the conn: parked senders and
+// receivers wake, stream handlers unwind, and the conn's wg entries drain.
+func (cs *connStreams) failAll(err error) {
+	cs.mu.Lock()
+	cs.dead = true
+	streams := make([]*ServerStream, 0, len(cs.m))
+	for seq, st := range cs.m {
+		streams = append(streams, st)
+		delete(cs.m, seq)
+	}
+	cs.mu.Unlock()
+	for _, st := range streams {
+		st.core.teardown(err)
+		if st.cancel != nil {
+			st.cancel()
+		}
+	}
+}

@@ -1,0 +1,547 @@
+package rpc
+
+// Streaming RPC: round-trips, flow control, half-close, cancellation, and
+// the teardown matrix — conn death, Server.Close, and context expiry must
+// all wake parked stream senders and receivers. Runs under -race in
+// `make check`.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsb/internal/codec"
+	"dsb/internal/transport"
+)
+
+type streamItem struct {
+	Seq int64
+	Msg string
+}
+
+// startStreamServer boots a server with a family of stream handlers used
+// across the streaming tests.
+func startStreamServer(t testing.TB, network Network) (string, *Server) {
+	t.Helper()
+	s := NewServer("stream")
+	// Countdown: server pushes N items then returns cleanly.
+	s.HandleStream("Countdown", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		var req echoReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return Errorf(CodeBadRequest, "bad payload: %v", err)
+		}
+		for i := int64(0); i < req.N; i++ {
+			if err := st.SendMsg(streamItem{Seq: i, Msg: req.Text}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// EchoStream: server echoes every client item back until half-close.
+	s.HandleStream("EchoStream", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		for {
+			var item streamItem
+			if err := st.RecvMsg(&item); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+			if err := st.SendMsg(item); err != nil {
+				return err
+			}
+		}
+	})
+	// Firehose: server sends until its stream dies; used to exercise window
+	// exhaustion and teardown while parked on credit.
+	s.HandleStream("Firehose", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		for i := int64(0); ; i++ {
+			if err := st.SendMsg(streamItem{Seq: i}); err != nil {
+				return err
+			}
+		}
+	})
+	// Fails: coded handler error after one item.
+	s.HandleStream("Fails", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		if err := st.SendMsg(streamItem{Seq: 0}); err != nil {
+			return err
+		}
+		return Errorf(CodeConflict, "handler gave up")
+	})
+	// Parked: receiver parked on an empty inbox until teardown wakes it.
+	s.HandleStream("Parked", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		var item streamItem
+		return st.RecvMsg(&item)
+	})
+	addr, err := s.Start(network, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr, s
+}
+
+func TestStreamServerPush(t *testing.T) {
+	testNetworks(t, func(t *testing.T, n Network) {
+		addr, _ := startStreamServer(t, n)
+		c := NewClient(n, "stream", addr)
+		defer c.Close()
+
+		st, err := c.Stream(context.Background(), "Countdown", echoReq{Text: "x", N: 100})
+		if err != nil {
+			t.Fatalf("Stream: %v", err)
+		}
+		for i := int64(0); i < 100; i++ {
+			var item streamItem
+			if err := st.Recv(&item); err != nil {
+				t.Fatalf("Recv #%d: %v", i, err)
+			}
+			if item.Seq != i || item.Msg != "x" {
+				t.Fatalf("item = %+v, want seq %d", item, i)
+			}
+		}
+		var item streamItem
+		if err := st.Recv(&item); !transport.IsStreamEnd(err) {
+			t.Fatalf("after last item err = %v, want clean stream end", err)
+		}
+	})
+}
+
+func TestStreamBidirectionalEcho(t *testing.T) {
+	n := NewMem()
+	addr, _ := startStreamServer(t, n)
+	c := NewClient(n, "stream", addr)
+	defer c.Close()
+
+	st, err := c.Stream(context.Background(), "EchoStream", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	// More items than one window, so credit has to flow both ways.
+	const total = 3 * streamWindow
+	for i := 0; i < total; i++ {
+		if err := st.Send(streamItem{Seq: int64(i), Msg: "ping"}); err != nil {
+			t.Fatalf("Send #%d: %v", i, err)
+		}
+		var got streamItem
+		if err := st.Recv(&got); err != nil {
+			t.Fatalf("Recv #%d: %v", i, err)
+		}
+		if got.Seq != int64(i) {
+			t.Fatalf("echoed seq = %d, want %d", got.Seq, i)
+		}
+	}
+	// Half-close: the server drains to io.EOF, returns nil, and we see the
+	// clean end.
+	if err := st.CloseSend(); err != nil {
+		t.Fatalf("CloseSend: %v", err)
+	}
+	var got streamItem
+	if err := st.Recv(&got); !transport.IsStreamEnd(err) {
+		t.Fatalf("after CloseSend err = %v, want clean stream end", err)
+	}
+	// Sending after CloseSend fails locally.
+	if err := st.Send(streamItem{}); err == nil {
+		t.Fatal("Send after CloseSend succeeded")
+	}
+}
+
+// TestStreamFlowControlParksSender proves the window actually bounds the
+// sender: with the client not consuming, the firehose handler must stall at
+// the window instead of running away, then resume once the client drains.
+func TestStreamFlowControlParksSender(t *testing.T) {
+	n := NewMem()
+	s := NewServer("stream")
+	var sent atomic.Int64
+	s.HandleStream("Firehose", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		for i := int64(0); ; i++ {
+			if err := st.SendMsg(streamItem{Seq: i}); err != nil {
+				return err
+			}
+			sent.Store(i + 1)
+		}
+	})
+	addr, err := s.Start(n, "stream:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(n, "stream", addr)
+	defer c.Close()
+
+	st, err := c.Stream(context.Background(), "Firehose", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	// Let the sender run without a consumer: it must park at the window.
+	waitFor(t, func() bool { return sent.Load() >= streamWindow })
+	time.Sleep(50 * time.Millisecond)
+	if got := sent.Load(); got > 2*streamWindow {
+		t.Fatalf("sender pushed %d items with no consumer; window does not bound it", got)
+	}
+	stalled := sent.Load()
+	// Drain a full window: credit flows back and the sender resumes.
+	for i := 0; i < streamWindow; i++ {
+		var item streamItem
+		if err := st.Recv(&item); err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+	}
+	waitFor(t, func() bool { return sent.Load() > stalled })
+	st.Cancel()
+}
+
+func TestStreamHandlerError(t *testing.T) {
+	n := NewMem()
+	addr, _ := startStreamServer(t, n)
+	c := NewClient(n, "stream", addr)
+	defer c.Close()
+
+	st, err := c.Stream(context.Background(), "Fails", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	var item streamItem
+	if err := st.Recv(&item); err != nil {
+		t.Fatalf("first Recv: %v", err)
+	}
+	if err := st.Recv(&item); !IsCode(err, CodeConflict) {
+		t.Fatalf("err = %v, want CodeConflict from handler", err)
+	}
+	// The handler's error also poisons the send side.
+	if err := st.Send(streamItem{}); err == nil {
+		t.Fatal("Send after server error succeeded")
+	}
+}
+
+func TestStreamUnknownMethod(t *testing.T) {
+	n := NewMem()
+	addr, _ := startStreamServer(t, n)
+	c := NewClient(n, "stream", addr)
+	defer c.Close()
+
+	st, err := c.Stream(context.Background(), "Missing", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream open: %v", err) // open is async; the error lands on Recv
+	}
+	var item streamItem
+	if err := st.Recv(&item); !IsCode(err, CodeNotFound) {
+		t.Fatalf("err = %v, want CodeNotFound", err)
+	}
+}
+
+// TestStreamClientCancel cancels the client context mid-stream: the client
+// side tears down promptly and the server handler's ctx fires so the
+// firehose unwinds instead of leaking.
+func TestStreamClientCancel(t *testing.T) {
+	n := NewMem()
+	s := NewServer("stream")
+	handlerDone := make(chan struct{})
+	s.HandleStream("Firehose", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		defer close(handlerDone)
+		for i := int64(0); ; i++ {
+			if err := st.SendMsg(streamItem{Seq: i}); err != nil {
+				return err
+			}
+		}
+	})
+	addr, err := s.Start(n, "stream:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(n, "stream", addr)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := c.Stream(ctx, "Firehose", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	var item streamItem
+	if err := st.Recv(&item); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	cancel()
+
+	// Client side: recv drains buffered items, then reports the abort.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := st.Recv(&item); err != nil {
+			if !IsCode(err, CodeDeadline) {
+				t.Fatalf("post-cancel err = %v, want CodeDeadline", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Recv never saw the cancellation")
+		}
+	}
+	// Server side: the handler unwinds.
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler still running after client cancel")
+	}
+}
+
+// TestStreamConnDeathFailsBothEnds kills the transport under an open stream;
+// a client parked in Recv and the server handler parked in Send must both
+// wake with coded retryable errors.
+func TestStreamConnDeathFailsBothEnds(t *testing.T) {
+	mem := NewMem()
+	n := &connGrabber{Network: mem}
+	addr, _ := startStreamServer(t, mem)
+	c := NewClient(n, "stream", addr, WithPoolSize(1))
+	defer c.Close()
+
+	st, err := c.Stream(context.Background(), "Firehose", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	var item streamItem
+	if err := st.Recv(&item); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	n.closeAll()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := st.Recv(&item); err != nil {
+			if !IsCode(err, CodeUnavailable) || !transport.Retryable(err) {
+				t.Fatalf("post-death err = %v, want retryable CodeUnavailable", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Recv never observed conn death")
+		}
+	}
+	if err := st.Send(streamItem{}); err == nil {
+		t.Fatal("Send on dead stream succeeded")
+	}
+}
+
+// TestStreamsMultiplexWithUnary runs streams, unary calls, and one-way
+// notifications concurrently over a single pooled connection.
+func TestStreamsMultiplexWithUnary(t *testing.T) {
+	n := NewMem()
+	s := NewServer("mux")
+	var oneways atomic.Int64
+	s.Handle("Echo", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	s.Handle("Note", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		oneways.Add(1)
+		return nil, nil
+	})
+	s.HandleStream("Countdown", func(ctx *Ctx, payload []byte, st *ServerStream) error {
+		var req echoReq
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return err
+		}
+		for i := int64(0); i < req.N; i++ {
+			if err := st.SendMsg(streamItem{Seq: i}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	addr, err := s.Start(n, "mux:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(n, "mux", addr, WithPoolSize(1))
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st, err := c.Stream(context.Background(), "Countdown", echoReq{N: 64})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := int64(0); i < 64; i++ {
+				var item streamItem
+				if err := st.Recv(&item); err != nil {
+					errs <- fmt.Errorf("stream %d item %d: %w", g, i, err)
+					return
+				}
+				if item.Seq != i {
+					errs <- fmt.Errorf("stream %d: seq %d want %d", g, item.Seq, i)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				msg := fmt.Sprintf("u%d-%d", g, i)
+				out, err := c.CallRaw(context.Background(), "Echo", []byte(msg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(out) != msg {
+					errs <- fmt.Errorf("unary echo = %q want %q", out, msg)
+					return
+				}
+				if err := c.CallOneWay(context.Background(), "Note", nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	waitFor(t, func() bool { return oneways.Load() == 4*32 })
+}
+
+// TestServerCloseWakesParkedStreams is the shutdown-regression test:
+// Server.Close must wake a handler parked in Send on an exhausted window
+// and one parked in Recv on an empty inbox — mirroring the long-poll
+// shutdown fix, Close may not hang on them and the client must see a coded
+// error.
+func TestServerCloseWakesParkedStreams(t *testing.T) {
+	n := NewMem()
+	addr, s := startStreamServer(t, n)
+	c := NewClient(n, "stream", addr)
+	defer c.Close()
+
+	// Parked sender: firehose with a client that never consumes.
+	sendSt, err := c.Stream(context.Background(), "Firehose", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream(Firehose): %v", err)
+	}
+	// Parked receiver: handler blocked in Recv with no client items.
+	recvSt, err := c.Stream(context.Background(), "Parked", echoReq{})
+	if err != nil {
+		t.Fatalf("Stream(Parked): %v", err)
+	}
+	var item streamItem
+	if err := sendSt.Recv(&item); err != nil { // stream is live
+		t.Fatalf("Recv: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the firehose hit the window
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close() // must not hang on the parked handlers
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on parked stream handlers")
+	}
+
+	for _, st := range []*transport.Stream{sendSt, recvSt} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := st.Recv(&item); err != nil {
+				if transport.IsStreamEnd(err) || IsCode(err, CodeUnavailable) {
+					break
+				}
+				t.Fatalf("post-Close err = %v, want stream end or CodeUnavailable", err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("client stream never observed server shutdown")
+			}
+		}
+	}
+}
+
+// connGrabber records every conn it hands out so a test can sever them all
+// while the listener stays up — conn death without server death.
+type connGrabber struct {
+	Network
+	mu    sync.Mutex
+	conns []interface{ Close() error }
+}
+
+func (g *connGrabber) Dial(addr string) (conn net.Conn, err error) {
+	conn, err = g.Network.Dial(addr)
+	if err == nil {
+		g.mu.Lock()
+		g.conns = append(g.conns, conn)
+		g.mu.Unlock()
+	}
+	return conn, err
+}
+
+func (g *connGrabber) closeAll() {
+	g.mu.Lock()
+	conns := g.conns
+	g.conns = nil
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+}
+
+// TestPipelinedCallsFailFastOnConnDeath is the pipelining regression test:
+// Go() calls parked in the pending map must resolve with a coded retryable
+// error as soon as the conn dies — not hang until their deadlines, and not
+// be transparently resent (the request may have executed).
+func TestPipelinedCallsFailFastOnConnDeath(t *testing.T) {
+	mem := NewMem()
+	n := &connGrabber{Network: mem}
+	s := NewServer("park")
+	release := make(chan struct{})
+	s.Handle("Park", func(ctx *Ctx, payload []byte) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	addr, err := s.Start(mem, "park:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(release)
+
+	c := NewClient(n, "park", addr, WithPoolSize(1))
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var pendings []*Pending
+	for i := 0; i < 8; i++ {
+		pendings = append(pendings, c.Go(ctx, "Park", nil, nil))
+	}
+	time.Sleep(10 * time.Millisecond) // let the requests reach the server
+	n.closeAll()
+
+	start := time.Now()
+	for i, p := range pendings {
+		err := p.Wait()
+		if err == nil {
+			t.Fatalf("call #%d succeeded against a severed conn", i)
+		}
+		if !IsCode(err, CodeUnavailable) || !transport.Retryable(err) {
+			t.Fatalf("call #%d err = %v, want retryable CodeUnavailable", i, err)
+		}
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("pending calls took %v to fail after conn death; they hung", took)
+	}
+}

@@ -87,6 +87,7 @@ type fanoutConsumer struct {
 	db      svcutil.DB
 	mc      svcutil.KV
 	workers int
+	push    bool
 	seen    mq.Dedup
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -95,12 +96,14 @@ type fanoutConsumer struct {
 // registerFanoutConsumer installs a fanout-tier replica on srv (the server
 // exists to give the replica service identity — load reports and the
 // control plane's lag probe attach to it) and starts its consume loop.
-func registerFanoutConsumer(srv *rpc.Server, bus mq.Bus, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int) *fanoutConsumer {
+// With push set the replica takes delivery over a standing push stream
+// instead of polling (falling back to polling if the bus cannot push).
+func registerFanoutConsumer(srv *rpc.Server, bus mq.Bus, graph svcutil.Caller, db svcutil.DB, mc svcutil.KV, workers int, push bool) *fanoutConsumer {
 	if workers <= 0 {
 		workers = defaultFanoutWorkers
 	}
 	fc := &fanoutConsumer{
-		bus: bus, graph: graph, db: db, mc: mc, workers: workers,
+		bus: bus, graph: graph, db: db, mc: mc, workers: workers, push: push,
 		stop: make(chan struct{}),
 	}
 	// Lag is served RPC-side too, so anything holding a caller to the tier
@@ -117,11 +120,66 @@ func registerFanoutConsumer(srv *rpc.Server, bus mq.Bus, graph svcutil.Caller, d
 	return fc
 }
 
-// run is the consume loop: long-poll, deliver, settle. Delivery failures
-// nack for redelivery (another replica may succeed); the broker
-// dead-letters the event after fanoutMaxAttempts.
+// run takes delivery in the configured mode. Push needs a PushBus; a bus
+// that cannot push (a bare Bus implementation) degrades to polling, so the
+// switch is safe to flip regardless of broker layout.
 func (fc *fanoutConsumer) run() {
 	defer fc.wg.Done()
+	if fc.push {
+		if pb, ok := fc.bus.(mq.PushBus); ok {
+			fc.runPush(pb)
+			return
+		}
+	}
+	fc.runPoll()
+}
+
+// runPush is the push-mode loop: one standing delivery session replaces the
+// poll cycle — the broker streams events as they arrive, so an idle topic
+// costs zero RPCs. Settles are unchanged. A dead session (broker crash,
+// conn loss) is reopened with a short pause; lease redelivery covers
+// whatever was in flight.
+func (fc *fanoutConsumer) runPush(pb mq.PushBus) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-fc.stop
+		cancel() // wakes a Next parked on an idle session
+	}()
+	for {
+		select {
+		case <-fc.stop:
+			return
+		default:
+		}
+		d, err := pb.Push(ctx, timelineTopic, fanoutGroup, fanoutLease)
+		if err != nil {
+			select {
+			case <-fc.stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		for {
+			msg, err := d.Next()
+			if err != nil {
+				d.Close()
+				break // reopen the session
+			}
+			if err := fc.deliver(ctx, msg); err != nil {
+				fc.bus.Nack(ctx, timelineTopic, fanoutGroup, msg) //nolint:errcheck // lease expiry redelivers anyway
+				continue
+			}
+			fc.bus.Ack(ctx, timelineTopic, fanoutGroup, msg) //nolint:errcheck // one-way; a lost ack costs a redelivery
+		}
+	}
+}
+
+// runPoll is the poll-mode loop: long-poll, deliver, settle. Delivery
+// failures nack for redelivery (another replica may succeed); the broker
+// dead-letters the event after fanoutMaxAttempts.
+func (fc *fanoutConsumer) runPoll() {
 	ctx := context.Background()
 	for {
 		select {

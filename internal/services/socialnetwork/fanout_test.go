@@ -98,6 +98,59 @@ func TestAsyncFanoutManyPosts(t *testing.T) {
 	}
 }
 
+// TestPushFanoutDelivery runs the async path in push mode over a sharded
+// broker tier: consumers take delivery on standing streams instead of
+// polling, and followers must converge exactly as under polling.
+func TestPushFanoutDelivery(t *testing.T) {
+	sn, tokens := bootAsync(t, Config{PushFanout: true, BrokerShards: 2, FanoutConsumers: 2}, "alice", "bob", "carol")
+	ctx := context.Background()
+	for _, f := range []string{"bob", "carol"} {
+		if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: f, Followee: "alice"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 10
+	ids := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		ids[compose(t, sn, tokens["alice"], "pushed post").ID] = true
+	}
+	if err := sn.DrainFanout(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, reader := range []string{"bob", "carol"} {
+		posts := timeline(t, sn, reader)
+		if len(posts) != n {
+			t.Fatalf("%s sees %d posts, want %d", reader, len(posts), n)
+		}
+		for _, p := range posts {
+			if !ids[p.ID] {
+				t.Fatalf("unexpected post %s in %s's timeline", p.ID, reader)
+			}
+		}
+	}
+}
+
+// TestPushFanoutClose mirrors the shutdown test in push mode: Close must
+// not hang on a consumer parked in a standing push stream.
+func TestPushFanoutClose(t *testing.T) {
+	sn, tokens := bootAsync(t, Config{PushFanout: true}, "alice", "bob")
+	ctx := context.Background()
+	if err := sn.Graph.Call(ctx, "Follow", FollowReq{Follower: "bob", Followee: "alice"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	compose(t, sn, tokens["alice"], "before close")
+	if err := sn.DrainFanout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { sn.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return; consumer stuck in push stream")
+	}
+}
+
 // TestAsyncFanoutClose stops the consumer tier cleanly: Close returns (no
 // deadlock against a parked long poll) and a post composed afterwards still
 // succeeds — the write path only needs the broker ack, not a live consumer.

@@ -62,6 +62,15 @@ type Config struct {
 	// broker crash: when the ring evicts the dead instance, consumers fail
 	// over and leased-but-unacked messages redeliver from a mirror.
 	BrokerReplicas int
+	// PushFanout switches the fanout consumer tier from long-poll Consume
+	// loops to standing push streams: each consumer opens one Push stream
+	// per broker (per shard primary on a partitioned tier) and the broker
+	// streams FanoutEvents as they arrive — no idle-poll RPCs, no
+	// per-shard grace tax. Delivery stays lease-based at-least-once; a
+	// consumer whose stream dies reopens against the surviving replica.
+	// Only meaningful with AsyncFanout; polling remains the default (and
+	// the ablation arm of the push experiment).
+	PushFanout bool
 	// DisableCoalescing turns off miss coalescing on the cache-aside read
 	// paths (timelines, posts, profiles), so every concurrent miss becomes
 	// its own backing-store read. Used by the hotpath experiment's
@@ -283,7 +292,7 @@ func New(app *core.App, cfg Config) (*SocialNetwork, error) {
 				cl("fanout", "socialGraph"),
 				db("fanout", "db-timeline"),
 				mc("fanout", "mc-timeline"),
-				cfg.FanoutWorkers))
+				cfg.FanoutWorkers, cfg.PushFanout))
 		})
 	}
 	start("readTimeline", func(s *rpc.Server) {

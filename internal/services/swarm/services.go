@@ -2,7 +2,9 @@ package swarm
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -148,52 +150,101 @@ type StoreFrameReq struct {
 	Label   string
 }
 
+// TelemetryOpen opens a drone's per-mission telemetry stream.
+type TelemetryOpen struct{ DroneID string }
+
+// TelemetryItem is one frame on a drone's telemetry stream: a sensor
+// sample or a captured frame, exactly one field set. Batching many items on
+// one standing stream replaces a unary Report call per mission tick —
+// which, behind the wifi hop, paid the full RTT per sample.
+type TelemetryItem struct {
+	Report *SensorReport
+	Frame  *StoreFrameReq
+}
+
+// persistReport writes one sensor sample into the four per-sensor
+// collections; shared by the unary Report handler and the stream path.
+func persistReport(ctx context.Context, db svcutil.DB, seq *atomic.Int64, now func() time.Time, req *SensorReport) error {
+	if req.DroneID == "" {
+		return rpc.Errorf(rpc.CodeBadRequest, "telemetry: drone ID required")
+	}
+	if req.At == 0 {
+		req.At = now().UnixNano()
+	}
+	body, err := codec.Marshal(*req)
+	if err != nil {
+		return err
+	}
+	n := seq.Add(1)
+	for _, col := range []string{"location", "speed", "orientation", "luminosity"} {
+		doc := docstore.Doc{
+			ID:     fmt.Sprintf("%s-%d-%d", req.DroneID, req.At, n),
+			Fields: map[string]string{"drone": req.DroneID},
+			Nums:   map[string]int64{"ts": req.At},
+			Body:   body,
+		}
+		if err := db.Put(ctx, col, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// persistFrame archives one captured frame; shared by the unary StoreFrame
+// handler and the stream path.
+func persistFrame(ctx context.Context, db svcutil.DB, now func() time.Time, req *StoreFrameReq) error {
+	body, err := codec.Marshal(*req)
+	if err != nil {
+		return err
+	}
+	doc := docstore.Doc{
+		ID:     fmt.Sprintf("%s-%d-%d-%d", req.DroneID, req.At.X, req.At.Y, now().UnixNano()),
+		Fields: map[string]string{"drone": req.DroneID, "label": req.Label},
+		Body:   body,
+	}
+	return db.Put(ctx, "images", doc)
+}
+
 // registerTelemetry installs the cloud sensor databases (LocationDB,
 // SpeedDB, OrientationDB, LuminosityDB, ImageDB of Figure 8) behind one
 // RPC surface. The tier itself is stateless logic: samples persist into
 // per-sensor collections of the db-telemetry store tier, which shards like
-// every other stateful tier in the suite.
+// every other stateful tier in the suite. Samples arrive either as unary
+// Report/StoreFrame calls (one RTT each) or batched on a per-mission
+// Telemetry stream.
 func registerTelemetry(srv *rpc.Server, db svcutil.DB, now func() time.Time) {
 	if now == nil {
 		now = time.Now
 	}
 	var seq atomic.Int64
 	svcutil.Handle(srv, "Report", func(ctx *rpc.Ctx, req *SensorReport) (*struct{}, error) {
-		if req.DroneID == "" {
-			return nil, rpc.Errorf(rpc.CodeBadRequest, "telemetry: drone ID required")
-		}
-		if req.At == 0 {
-			req.At = now().UnixNano()
-		}
-		body, err := codec.Marshal(*req)
-		if err != nil {
-			return nil, err
-		}
-		n := seq.Add(1)
-		for _, col := range []string{"location", "speed", "orientation", "luminosity"} {
-			doc := docstore.Doc{
-				ID:     fmt.Sprintf("%s-%d-%d", req.DroneID, req.At, n),
-				Fields: map[string]string{"drone": req.DroneID},
-				Nums:   map[string]int64{"ts": req.At},
-				Body:   body,
-			}
-			if err := db.Put(ctx, col, doc); err != nil {
-				return nil, err
-			}
-		}
-		return nil, nil
+		return nil, persistReport(ctx, db, &seq, now, req)
 	})
 	svcutil.Handle(srv, "StoreFrame", func(ctx *rpc.Ctx, req *StoreFrameReq) (*struct{}, error) {
-		body, err := codec.Marshal(*req)
-		if err != nil {
-			return nil, err
+		return nil, persistFrame(ctx, db, now, req)
+	})
+	srv.HandleStream("Telemetry", func(ctx *rpc.Ctx, payload []byte, st *rpc.ServerStream) error {
+		for {
+			var item TelemetryItem
+			if err := st.RecvMsg(&item); err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil // drone half-closed: mission over, stream drained
+				}
+				return err
+			}
+			switch {
+			case item.Report != nil:
+				if err := persistReport(ctx, db, &seq, now, item.Report); err != nil {
+					return err
+				}
+			case item.Frame != nil:
+				if err := persistFrame(ctx, db, now, item.Frame); err != nil {
+					return err
+				}
+			default:
+				return rpc.Errorf(rpc.CodeBadRequest, "telemetry: empty stream item")
+			}
 		}
-		doc := docstore.Doc{
-			ID:     fmt.Sprintf("%s-%d-%d-%d", req.DroneID, req.At.X, req.At.Y, now().UnixNano()),
-			Fields: map[string]string{"drone": req.DroneID, "label": req.Label},
-			Body:   body,
-		}
-		return nil, db.Put(ctx, "images", doc)
 	})
 	svcutil.Handle(srv, "History", func(ctx *rpc.Ctx, req *SensorReport) (*struct{ Count int64 }, error) {
 		docs, err := db.Find(ctx, "location", "drone", req.DroneID, 0)

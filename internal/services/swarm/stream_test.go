@@ -1,0 +1,89 @@
+package swarm
+
+// Streaming telemetry: missions batch sensor samples on one standing
+// stream instead of a unary call per tick, with the same archived state and
+// degrade semantics as the unary path.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dsb/internal/core"
+)
+
+func bootStreamingSwarm(t *testing.T, cfg Config) *Swarm {
+	t.Helper()
+	app := core.NewApp("swarm-stream-test", core.Options{})
+	t.Cleanup(func() { app.Close() })
+	cfg.StreamTelemetry = true
+	if cfg.Drones == 0 {
+		cfg.Drones = 2
+	}
+	if cfg.WorldSize == 0 {
+		cfg.WorldSize = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.WifiRTT == 0 {
+		cfg.WifiRTT = 200 * time.Microsecond
+	}
+	sw, err := New(app, cfg)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	return sw
+}
+
+// TestStreamedMissionArchivesTelemetry flies a full mission with streaming
+// telemetry and checks the cloud DBs hold exactly what the unary path would
+// have archived: a location sample per report and the captured frame.
+func TestStreamedMissionArchivesTelemetry(t *testing.T) {
+	sw := bootStreamingSwarm(t, Config{})
+	target, wantLabel := anyTarget(t, sw.World)
+	drone := sw.Drones[0]
+	res, err := drone.FlyTo(context.Background(), target)
+	if err != nil {
+		t.Fatalf("mission: %v", err)
+	}
+	if res.Degraded {
+		t.Fatalf("streamed mission degraded: %+v", res)
+	}
+	if res.Label != wantLabel || !res.Confident {
+		t.Fatalf("recognized %q (confident=%v), want %q", res.Label, res.Confident, wantLabel)
+	}
+	ctx := context.Background()
+	locs, err := sw.Telemetry.Find(ctx, "location", "drone", drone.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != res.SensorLogs || res.SensorLogs == 0 {
+		t.Fatalf("location samples = %d, sensor logs = %d", len(locs), res.SensorLogs)
+	}
+	frames, err := sw.ArchivedSamples(ctx, "images")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 1 {
+		t.Fatalf("archived frames = %d, want 1", frames)
+	}
+}
+
+// TestStreamedMissionSharded runs streaming telemetry over the sharded
+// store layout: stream items fan out into the same sharded collections.
+func TestStreamedMissionSharded(t *testing.T) {
+	sw := bootStreamingSwarm(t, Config{Shards: 2, ShardReplicas: 2})
+	target, _ := anyTarget(t, sw.World)
+	res, err := sw.Drones[0].FlyTo(context.Background(), target)
+	if err != nil {
+		t.Fatalf("mission: %v", err)
+	}
+	locs, err := sw.Telemetry.Find(context.Background(), "location", "drone", sw.Drones[0].ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != res.SensorLogs || res.SensorLogs == 0 {
+		t.Fatalf("location samples = %d, sensor logs = %d", len(locs), res.SensorLogs)
+	}
+}

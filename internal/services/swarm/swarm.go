@@ -41,6 +41,11 @@ type Config struct {
 	// DisableCoalescing turns off miss coalescing on the route-construction
 	// read path.
 	DisableCoalescing bool
+	// StreamTelemetry has drones batch sensor samples and frame archives on
+	// one per-mission Telemetry stream instead of a unary call per tick —
+	// one wifi RTT per mission rather than per sample. Drones fall back to
+	// unary calls when the stream dies, preserving Degrade semantics.
+	StreamTelemetry bool
 	// Spawner, when set, receives replicable tier boots so the control plane
 	// can autoscale them.
 	Spawner svcutil.Definer
@@ -128,12 +133,13 @@ func New(app *core.App, cfg Config) (*Swarm, error) {
 			return nil, err
 		}
 		sw.Drones = append(sw.Drones, &Drone{
-			ID:      droneID,
-			World:   world,
-			Pos:     Point{0, 0},
-			Seed:    cfg.Seed + uint64(i),
-			Clients: clients,
-			Degrade: !cfg.DisableDegradation,
+			ID:              droneID,
+			World:           world,
+			Pos:             Point{0, 0},
+			Seed:            cfg.Seed + uint64(i),
+			Clients:         clients,
+			Degrade:         !cfg.DisableDegradation,
+			StreamTelemetry: cfg.StreamTelemetry,
 		})
 	}
 	return sw, nil

@@ -97,6 +97,16 @@ func (r *Replica) Call(ctx context.Context, method string, req, resp any) error 
 	return nil
 }
 
+// Stream opens a streaming call pinned to this replica, through the same
+// middleware chain as Call (the call is stamped with the replica address
+// first). The partitioned broker's push consumers use it to hold a standing
+// delivery stream to each shard primary.
+func (r *Replica) Stream(ctx context.Context, method string, req any) (*transport.Stream, error) {
+	return transport.OpenStream(ctx, r.invoke, r.target, r.addr, method, req)
+}
+
+var _ transport.Streamer = (*Replica)(nil)
+
 // Option configures a Router.
 type Option func(*Router)
 

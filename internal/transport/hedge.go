@@ -110,6 +110,7 @@ func Hedge(cfg HedgeConfig) Middleware {
 					inflight--
 					if r.err == nil {
 						call.Reply = r.att.Reply
+						call.StreamBody = r.att.StreamBody
 						// Mark the still-inflight losers before cancel fires
 						// (the deferred cancel runs after this), so their
 						// breakers see the outrun flag when they unwind.

@@ -92,6 +92,7 @@ func Retry(cfg RetryConfig) Middleware {
 				err := next(ctx, att)
 				if err == nil {
 					call.Reply = att.Reply
+					call.StreamBody = att.StreamBody
 					budget.success()
 					if attempt > 0 && cfg.Annotate != nil {
 						cfg.Annotate(ctx, "retry.attempts", strconv.Itoa(attempt+1))

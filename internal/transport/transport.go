@@ -75,6 +75,17 @@ type Call struct {
 	// injection observe every one-way hop exactly like a synchronous one.
 	OneWay bool
 
+	// Stream marks a streaming call: the terminal invoker opens a stream
+	// instead of exchanging one reply, setting StreamBody on success and
+	// leaving Reply nil. Like OneWay it is a call option — the open runs
+	// through the full middleware chain, so stats, breakers, retries, and
+	// fault injection observe streaming hops; what they time and retry is
+	// the open, the stream body then lives past the chain's return.
+	Stream bool
+	// StreamBody is the open stream, set by the terminal invoker when
+	// Stream is true (the streaming counterpart of Reply).
+	StreamBody StreamConn
+
 	// outrun is set by the hedge middleware when this attempt lost to a
 	// sibling: a peer replica proved the work completes fast, so the loser's
 	// replica — not the request — was the slow party. The breaker reads it
@@ -119,7 +130,7 @@ func (c *Call) Outrun() bool { return c.outrun.Load() }
 // Hedging and retries clone the call so concurrent attempts never share the
 // header map or the reply slot; the payload is shared read-only.
 func (c *Call) Clone() *Call {
-	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Addr: c.Addr, OneWay: c.OneWay}
+	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Addr: c.Addr, OneWay: c.OneWay, Stream: c.Stream}
 	if c.Headers != nil {
 		cp.Headers = make(map[string]string, len(c.Headers))
 		for k, v := range c.Headers {
