@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check alloc-guard shard-balance bench bench-smoke
+.PHONY: build test vet race check alloc-guard shard-balance bench bench-smoke codecgen codecgen-check
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,24 @@ vet:
 race:
 	$(GO) test -race ./internal/rpc/... ./internal/transport/... ./internal/rest/... ./internal/lb/... ./internal/core/... ./internal/controlplane/... ./internal/loadgen/... ./internal/fault/... ./internal/registry/... ./internal/coalesce/... ./internal/svcutil/... ./internal/docstore/... ./internal/kv/... ./internal/codec/... ./internal/shard/... ./internal/mq/... ./internal/services/media/... ./internal/services/ecommerce/... ./internal/services/banking/... ./internal/services/swarm/... ./internal/services/socialnetwork/...
 
-# Alloc-regression guard: the rpc frame encode/decode hot path has a pinned
-# allocation budget (0 allocs/op encode, frame+payload only on decode); any
-# regression fails TestFrameAllocGuard.
+# Regenerate the fast-path marshalers (wire_gen.go) from the registered
+# message types; codecgen-check fails if any are stale against the source
+# structs, so hand edits to a message type can't silently fall back to the
+# reflect plans (or worse, desync the generated encoding).
+codecgen:
+	$(GO) run ./cmd/codecgen
+
+codecgen-check:
+	$(GO) run ./cmd/codecgen -check
+
+# Alloc-regression guards for the wire hot path: frame encode/decode has a
+# pinned budget (0 allocs/op encode, frame+payload only on decode), a full
+# echo round trip over the in-memory network must allocate at most the
+# server-side request context, and WAL appends must reuse their encode
+# scratch instead of re-marshaling per record.
 alloc-guard:
-	$(GO) test -run TestFrameAllocGuard -count=1 ./internal/rpc/
+	$(GO) test -run 'TestFrameAllocGuard|TestEchoAllocGuard' -count=1 ./internal/rpc/
+	$(GO) test -run TestWALAppendBufferReuse -count=1 ./internal/docstore/
 
 # Ring-imbalance guard: at the default 128 vnodes, the consistent-hash
 # ring must spread keys over 8 shards within +/-15% of even; a hash or
@@ -32,7 +45,7 @@ alloc-guard:
 shard-balance:
 	$(GO) test -run TestRingBalanceGuard -count=1 ./internal/shard/
 
-check: vet race build test alloc-guard shard-balance
+check: vet race build test alloc-guard shard-balance codecgen-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

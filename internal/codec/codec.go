@@ -40,8 +40,28 @@ func Marshal(v any) ([]byte, error) {
 	return AppendMarshal(nil, v)
 }
 
-// AppendMarshal encodes v, appending to buf, and returns the extended slice.
+// AppendMarshal encodes v, appending to buf, and returns the extended
+// slice. Registered fast-path types (see Message and Register) dispatch to
+// their generated marshaler; a pointer implementing Message encodes its
+// pointee with no reflection at all. Everything else goes through the
+// reflect plans.
 func AppendMarshal(buf []byte, v any) ([]byte, error) {
+	if out, done, err := fastAppend(buf, v); done {
+		return out, err
+	}
+	return appendMarshalReflect(buf, v)
+}
+
+// MarshalReflect encodes v through the reflect plans unconditionally,
+// bypassing any registered fast path. The wire bytes are identical for a
+// correct registration — the differential fuzz harness pins that — so this
+// exists for that harness and for experiments that want the reflect
+// baseline as a control arm.
+func MarshalReflect(v any) ([]byte, error) {
+	return appendMarshalReflect(nil, v)
+}
+
+func appendMarshalReflect(buf []byte, v any) ([]byte, error) {
 	rv := reflect.ValueOf(v)
 	if !rv.IsValid() {
 		return nil, errors.New("codec: cannot marshal nil interface")
@@ -54,8 +74,26 @@ func AppendMarshal(buf []byte, v any) ([]byte, error) {
 }
 
 // Unmarshal decodes data into v, which must be a non-nil pointer. The whole
-// input must be consumed.
+// input must be consumed. A target implementing Message decodes through its
+// generated unmarshaler instead of the reflect plans.
 func Unmarshal(data []byte, v any) error {
+	if m, ok := v.(Message); ok {
+		rest, err := m.DecodeFrom(data)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return ErrTrailingBytes
+		}
+		return nil
+	}
+	return UnmarshalReflect(data, v)
+}
+
+// UnmarshalReflect decodes through the reflect plans unconditionally,
+// bypassing any registered fast path — the decode-side twin of
+// MarshalReflect.
+func UnmarshalReflect(data []byte, v any) error {
 	rv := reflect.ValueOf(v)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
 		return errors.New("codec: Unmarshal target must be a non-nil pointer")

@@ -71,7 +71,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if err := Unmarshal(data, &v1); err != nil {
 			return // rejection is fine; panics and runaway allocation are not
 		}
-		b1, err := Marshal(v1)
+		b1, err := Marshal(v1) // fast path: fuzzMsg is registered in fast_test.go
 		if err != nil {
 			t.Fatalf("re-marshal of accepted value failed: %v", err)
 		}
@@ -85,6 +85,28 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(b1, b2) {
 			t.Fatalf("encoding is not canonical:\n first = %x\nsecond = %x", b1, b2)
+		}
+		// Differential: the hand-written fast-path marshaler must agree with
+		// the reflect plan byte for byte, and each must decode the other's
+		// output. Values are compared through a re-encode (not DeepEqual) so
+		// NaN payloads, which compare unequal to themselves, still verify.
+		br, err := MarshalReflect(v1)
+		if err != nil {
+			t.Fatalf("reflect marshal of accepted value failed: %v", err)
+		}
+		if !bytes.Equal(b1, br) {
+			t.Fatalf("fast path and reflect plan disagree:\n   fast = %x\nreflect = %x", b1, br)
+		}
+		var vr fuzzMsg
+		if err := UnmarshalReflect(b1, &vr); err != nil {
+			t.Fatalf("reflect decode rejected fast-path encoding: %v", err)
+		}
+		brr, err := Marshal(vr)
+		if err != nil {
+			t.Fatalf("fast re-marshal of reflect-decoded value failed: %v", err)
+		}
+		if !bytes.Equal(brr, b1) {
+			t.Fatalf("cross-decoded value re-encodes differently:\ncross = %x\n fast = %x", brr, b1)
 		}
 	})
 }

@@ -18,8 +18,10 @@ const (
 	opDelete byte = 2
 )
 
-// walRecord is the codec-encoded log entry.
-type walRecord struct {
+// WALRecord is the codec-encoded log entry. It is exported so cmd/codecgen
+// can emit a fast-path marshaler for it; the wire format is positional and
+// unchanged from when the type was unexported.
+type WALRecord struct {
 	Kind       byte
 	Collection string
 	Doc        Doc
@@ -30,6 +32,7 @@ type WAL struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
+	buf  []byte // reusable encode scratch, guarded by mu
 	path string
 }
 
@@ -86,7 +89,7 @@ func replay(f *os.File, s *Store) (int64, error) {
 			}
 			return 0, err
 		}
-		var rec walRecord
+		var rec WALRecord
 		if err := codec.Unmarshal(body, &rec); err != nil {
 			return offset, nil // corrupt tail
 		}
@@ -107,21 +110,25 @@ func replay(f *os.File, s *Store) (int64, error) {
 }
 
 func (w *WAL) append(kind byte, collection string, d Doc) error {
-	body, err := codec.Marshal(walRecord{Kind: kind, Collection: collection, Doc: d})
-	if err != nil {
-		return err
-	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(body)))
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return errors.New("docstore: wal closed")
 	}
+	// Encode into the WAL's own scratch buffer: appends are serialized by
+	// w.mu anyway, so one buffer amortizes across every record instead of a
+	// fresh Marshal allocation per append.
+	var err error
+	w.buf, err = codec.AppendMarshal(w.buf[:0], WALRecord{Kind: kind, Collection: collection, Doc: d})
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(w.buf)))
 	if _, err := w.w.Write(lenBuf[:]); err != nil {
 		return err
 	}
-	if _, err := w.w.Write(body); err != nil {
+	if _, err := w.w.Write(w.buf); err != nil {
 		return err
 	}
 	return w.w.Flush()
@@ -157,16 +164,17 @@ func (w *WAL) Compact(s *Store) error {
 	}
 	bw := bufio.NewWriter(tmp)
 	writeRec := func(collection string, d Doc) error {
-		body, err := codec.Marshal(walRecord{Kind: opPut, Collection: collection, Doc: d})
+		var err error
+		w.buf, err = codec.AppendMarshal(w.buf[:0], WALRecord{Kind: opPut, Collection: collection, Doc: d})
 		if err != nil {
 			return err
 		}
 		var lenBuf [4]byte
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(body)))
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(w.buf)))
 		if _, err := bw.Write(lenBuf[:]); err != nil {
 			return err
 		}
-		_, err = bw.Write(body)
+		_, err = bw.Write(w.buf)
 		return err
 	}
 	for _, name := range s.Collections() {

@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"asyncfanout", "Sync vs pipelined vs broker-backed async fan-out at fixed p99 QoS (live stack)", AsyncFanout},
 		{"brokercrash", "Broker crash mid-fanout: replicated vs unreplicated partitioned tier (live stack)", BrokerCrash},
 		{"push", "Push vs poll consumer delivery: latency and the polling tax (live stack)", Push},
+		{"wirespeed", "Serialization share and echo latency: reflect vs generated codec (live stack)", Wirespeed},
 	}
 }
 

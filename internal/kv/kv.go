@@ -7,14 +7,42 @@
 package kv
 
 import (
+	"runtime"
 	"sync"
 	"time"
-
-	"dsb/internal/metrics"
 )
 
-// numShards spreads lock contention; power of two for cheap masking.
-const numShards = 16
+// minStripes and maxStripes bound the lock-stripe count. The default scales
+// with GOMAXPROCS — a cache serving a 64-way box with the 16 stripes that
+// suited a 4-way one serializes on stripe locks long before it saturates
+// memory bandwidth — and stays a power of two for cheap masking.
+const (
+	minStripes = 16
+	maxStripes = 256
+)
+
+// defaultStripes picks the stripe count for this machine: 4 stripes per
+// logical CPU (so uniformly random keys rarely collide on a lock even with
+// every core in the cache), clamped to [minStripes, maxStripes].
+func defaultStripes() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < minStripes {
+		n = minStripes
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	return n
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
 
 // entry is one cached item, a node in its shard's intrusive LRU list.
 type entry struct {
@@ -36,15 +64,17 @@ type Stats struct {
 	Bytes     int64
 }
 
-// Cache is a sharded LRU cache bounded by total value bytes.
+// Cache is a lock-striped LRU cache bounded by total value bytes. The
+// stripe count is fixed at construction: GOMAXPROCS-scaled by default,
+// pinned with WithStripes. Statistics counters live per stripe, incremented
+// under the stripe lock the operation already holds, so a 64-way box never
+// serializes its cache traffic on one shared counter cache line; Stats
+// folds them.
 type Cache struct {
-	shards    [numShards]shard
-	now       func() time.Time
-	hits      metrics.Counter
-	misses    metrics.Counter
-	sets      metrics.Counter
-	evictions metrics.Counter
-	expired   metrics.Counter
+	shards  []shard
+	mask    uint32
+	now     func() time.Time
+	stripes int // requested via WithStripes; 0 = machine default
 }
 
 type shard struct {
@@ -54,6 +84,11 @@ type shard struct {
 	tail     *entry // least recently used
 	bytes    int64
 	maxBytes int64
+
+	// Stats counters for operations that routed to this stripe; plain
+	// fields guarded by mu — the lock is already held everywhere they
+	// change, so they cost nothing extra and contend with nobody.
+	hits, misses, sets, evictions, expired int64
 }
 
 // Option configures a Cache.
@@ -64,22 +99,44 @@ func WithClock(now func() time.Time) Option {
 	return func(c *Cache) { c.now = now }
 }
 
+// WithStripes pins the lock-stripe count instead of the GOMAXPROCS-scaled
+// default — tests that reason about the per-stripe byte budget
+// (maxBytes/stripes) pin it so the budget does not move with the machine.
+// Rounded up to a power of two and capped at maxStripes; n <= 0 keeps the
+// default.
+func WithStripes(n int) Option {
+	return func(c *Cache) { c.stripes = n }
+}
+
 // New creates a cache bounded to maxBytes of value data (split evenly
-// across shards). maxBytes <= 0 means a generous default of 64 MiB.
+// across stripes). maxBytes <= 0 means a generous default of 64 MiB.
 func New(maxBytes int64, opts ...Option) *Cache {
 	if maxBytes <= 0 {
 		maxBytes = 64 << 20
 	}
 	c := &Cache{now: time.Now}
-	for i := range c.shards {
-		c.shards[i].items = make(map[string]*entry)
-		c.shards[i].maxBytes = maxBytes / numShards
-	}
 	for _, o := range opts {
 		o(c)
 	}
+	n := c.stripes
+	if n <= 0 {
+		n = defaultStripes()
+	}
+	n = nextPow2(n)
+	if n > maxStripes {
+		n = maxStripes
+	}
+	c.shards = make([]shard, n)
+	c.mask = uint32(n - 1)
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*entry)
+		c.shards[i].maxBytes = maxBytes / int64(n)
+	}
 	return c
 }
+
+// Stripes returns the stripe count the cache was built with.
+func (c *Cache) Stripes() int { return len(c.shards) }
 
 // fnv1a hashes the key for shard selection.
 func fnv1a(s string) uint32 {
@@ -92,7 +149,7 @@ func fnv1a(s string) uint32 {
 }
 
 func (c *Cache) shard(key string) *shard {
-	return &c.shards[fnv1a(key)&(numShards-1)]
+	return &c.shards[fnv1a(key)&c.mask]
 }
 
 // Get returns the cached value and its CAS version. The returned slice is
@@ -103,22 +160,22 @@ func (c *Cache) Get(key string) (value []byte, version uint64, ok bool) {
 	defer s.mu.Unlock()
 	e, exists := s.items[key]
 	if !exists {
-		c.misses.Inc()
+		s.misses++
 		return nil, 0, false
 	}
 	if !e.expires.IsZero() && !c.now().Before(e.expires) {
 		s.remove(e)
-		c.expired.Inc()
-		c.misses.Inc()
+		s.expired++
+		s.misses++
 		return nil, 0, false
 	}
 	s.touch(e)
-	c.hits.Inc()
+	s.hits++
 	return e.value, e.version, true
 }
 
 // Set stores value under key with the given TTL (0 = never expires).
-// A value larger than its shard's byte budget (maxBytes/numShards) cannot
+// A value larger than its stripe's byte budget (maxBytes/stripes) cannot
 // be cached: memcached-style, the set is counted and immediately evicted,
 // and any previous value for the key is removed as stale.
 func (c *Cache) Set(key string, value []byte, ttl time.Duration) {
@@ -139,7 +196,7 @@ func (c *Cache) set(key string, value []byte, ttl time.Duration, casVersion uint
 	if cas && (!exists || e.version != casVersion) {
 		return false
 	}
-	c.sets.Inc()
+	s.sets++
 	// A value larger than the shard budget can never be admitted: the
 	// eviction loop below deliberately refuses to evict the entry being
 	// written (s.tail != e), so an oversized value would be pinned above
@@ -151,7 +208,7 @@ func (c *Cache) set(key string, value []byte, ttl time.Duration, casVersion uint
 		if exists {
 			s.remove(e)
 		}
-		c.evictions.Inc()
+		s.evictions++
 		return true
 	}
 	var expires time.Time
@@ -171,7 +228,7 @@ func (c *Cache) set(key string, value []byte, ttl time.Duration, casVersion uint
 		s.pushFront(e)
 	}
 	for s.bytes > s.maxBytes && s.tail != nil && s.tail != e {
-		c.evictions.Inc()
+		s.evictions++
 		s.remove(s.tail)
 	}
 	return true
@@ -231,18 +288,18 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, folding the per-stripe
+// counters under each stripe's lock.
 func (c *Cache) Stats() Stats {
-	st := Stats{
-		Hits:      c.hits.Value(),
-		Misses:    c.misses.Value(),
-		Sets:      c.sets.Value(),
-		Evictions: c.evictions.Value(),
-		Expired:   c.expired.Value(),
-	}
+	var st Stats
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Sets += s.sets
+		st.Evictions += s.evictions
+		st.Expired += s.expired
 		st.Items += int64(len(s.items))
 		st.Bytes += s.bytes
 		s.mu.Unlock()

@@ -97,10 +97,14 @@ func TestIncr(t *testing.T) {
 	}
 }
 
+// testStripes pins the stripe count for tests whose byte-budget math
+// depends on maxBytes/stripes; the default scales with GOMAXPROCS.
+const testStripes = 16
+
 func TestLRUEviction(t *testing.T) {
-	// One shard gets maxBytes/numShards; craft keys for a single shard by
+	// One shard gets maxBytes/stripes; craft keys for a single shard by
 	// brute force so eviction order is observable.
-	c := New(numShards * 100) // 100 bytes per shard
+	c := New(testStripes*100, WithStripes(testStripes)) // 100 bytes per shard
 	shardOf := func(k string) *shard { return c.shard(k) }
 	target := shardOf("seed")
 	var keys []string
@@ -153,7 +157,7 @@ func TestCacheInvariantsProperty(t *testing.T) {
 	}
 	const perShardCap = 256
 	f := func(ops []op) bool {
-		c := New(numShards * perShardCap)
+		c := New(testStripes*perShardCap, WithStripes(testStripes))
 		for _, o := range ops {
 			key := fmt.Sprintf("k%d", o.Key%16)
 			if len(o.Value) > perShardCap {
@@ -241,7 +245,7 @@ func TestIncrConcurrentExact(t *testing.T) {
 // resident entry in the shard trying to make room that cannot exist. It
 // must be rejected outright, with byte accounting kept honest.
 func TestOversizedValueRejected(t *testing.T) {
-	c := New(numShards * 100) // 100 bytes per shard
+	c := New(testStripes*100, WithStripes(testStripes)) // 100 bytes per shard
 	// Seed the oversized key's shard with a small sibling that must survive.
 	target := c.shard("big")
 	var sibling string
@@ -291,6 +295,61 @@ func TestOversizedValueRejected(t *testing.T) {
 		if over {
 			t.Fatalf("shard %d above budget after oversized rejects", i)
 		}
+	}
+}
+
+func TestStripeConfiguration(t *testing.T) {
+	// Default scales with GOMAXPROCS, clamped to [16, 256], power of two.
+	def := New(1 << 20)
+	n := def.Stripes()
+	if n < 16 || n > 256 || n&(n-1) != 0 {
+		t.Fatalf("default stripes = %d, want power of two in [16, 256]", n)
+	}
+	// WithStripes rounds up to a power of two and caps at 256.
+	for _, tc := range []struct{ req, want int }{
+		{16, 16}, {17, 32}, {100, 128}, {256, 256}, {1000, 256},
+	} {
+		c := New(1<<20, WithStripes(tc.req))
+		if got := c.Stripes(); got != tc.want {
+			t.Fatalf("WithStripes(%d) = %d stripes, want %d", tc.req, got, tc.want)
+		}
+	}
+	// n <= 0 keeps the default.
+	if got := New(1<<20, WithStripes(0)).Stripes(); got != n {
+		t.Fatalf("WithStripes(0) = %d stripes, want default %d", got, n)
+	}
+	// The per-stripe budget splits maxBytes evenly.
+	c := New(32<<10, WithStripes(32))
+	for i := range c.shards {
+		if c.shards[i].maxBytes != 1<<10 {
+			t.Fatalf("stripe %d budget = %d, want %d", i, c.shards[i].maxBytes, 1<<10)
+		}
+	}
+}
+
+// The per-stripe counters must fold to exact totals under concurrency —
+// each increment happens under the stripe lock, so nothing can be lost.
+func TestStatsConcurrentExact(t *testing.T) {
+	c := New(64 << 20)
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				c.Set(key, []byte("v"), 0)
+				c.Get(key)          // hit
+				c.Get(key + "-nil") // miss
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	const want = goroutines * perG
+	if st.Sets != want || st.Hits != want || st.Misses != want {
+		t.Fatalf("stats = %+v, want Sets=Hits=Misses=%d", st, want)
 	}
 }
 

@@ -312,27 +312,22 @@ func (b *Balanced) Stats() []BackendStats {
 }
 
 // Call invokes method on a backend chosen by the policy, running the
-// balanced middleware chain around the choice. The request is encoded once,
-// up front, so retried and hedged attempts reuse the bytes.
+// balanced middleware chain around the choice. The request travels as a
+// typed value (Call.Body) and is marshaled at the wire, straight into the
+// connection's write segment — retried and hedged attempts re-encode there,
+// which is why req must not be mutated until Call returns.
 func (b *Balanced) Call(ctx context.Context, method string, req, resp any) error {
-	var payload []byte
-	if req != nil {
-		var err error
-		payload, err = codec.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("lb: marshal %s.%s: %w", b.target, method, err)
+	call := transport.AcquireCall(b.target, method)
+	call.Body = req
+	err := b.invoke(ctx, call)
+	if err == nil && resp != nil {
+		if uerr := codec.Unmarshal(call.Reply, resp); uerr != nil {
+			err = fmt.Errorf("lb: unmarshal %s.%s reply: %w", b.target, method, uerr)
 		}
 	}
-	call := transport.NewCall(b.target, method, payload)
-	if err := b.invoke(ctx, call); err != nil {
-		return err
-	}
-	if resp != nil {
-		if err := codec.Unmarshal(call.Reply, resp); err != nil {
-			return fmt.Errorf("lb: unmarshal %s.%s reply: %w", b.target, method, err)
-		}
-	}
-	return nil
+	transport.ReleaseBuf(call.Reply)
+	transport.ReleaseCall(call)
+	return err
 }
 
 // CallOneWay issues a fire-and-forget call on a policy-picked backend: the
@@ -340,17 +335,12 @@ func (b *Balanced) Call(ctx context.Context, method string, req, resp any) error
 // client completes at send without registering a reply waiter. Only
 // send-side errors come back; see rpc.Client.CallOneWay for the contract.
 func (b *Balanced) CallOneWay(ctx context.Context, method string, req any) error {
-	var payload []byte
-	if req != nil {
-		var err error
-		payload, err = codec.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("lb: marshal %s.%s: %w", b.target, method, err)
-		}
-	}
-	call := transport.NewCall(b.target, method, payload)
+	call := transport.AcquireCall(b.target, method)
+	call.Body = req
 	call.OneWay = true
-	return b.invoke(ctx, call)
+	err := b.invoke(ctx, call)
+	transport.ReleaseCall(call)
+	return err
 }
 
 // Invoke runs the balanced middleware chain for a caller-built call.

@@ -17,6 +17,15 @@ import (
 // flow through a transport.Middleware chain — the same chain type the REST
 // client accepts — composed once at construction, so an unadorned client
 // pays nothing per call for the abstraction.
+//
+// Requests travel as typed values (transport.Call.Body) all the way to the
+// connection writer, which marshals them straight into its write segment —
+// through the generated fast path for registered types — so a steady-state
+// Call allocates nothing: pooled call descriptor, pooled frames, pooled
+// reply buffer, in-place encode. The price of that is a narrow aliasing
+// contract: the request value must not be mutated until the call returns,
+// including any hedged attempts still in flight (they share the value and
+// re-encode it at the wire).
 type Client struct {
 	network Network
 	addr    string
@@ -64,36 +73,37 @@ func (c *Client) Target() string { return c.target }
 
 // Call invokes method with req encoded via the wire codec, decoding the
 // reply into resp (which may be nil for fire-and-forget-style methods that
-// return no body).
+// return no body). req must not be mutated until Call returns (see Client).
 func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
-	var payload []byte
-	if req != nil {
-		var err error
-		payload, err = codec.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("rpc: marshal %s.%s: %w", c.target, method, err)
+	call := transport.AcquireCall(c.target, method)
+	call.Body = req
+	err := c.invoke(ctx, call)
+	if err == nil && resp != nil {
+		if uerr := codec.Unmarshal(call.Reply, resp); uerr != nil {
+			err = fmt.Errorf("rpc: unmarshal %s.%s reply: %w", c.target, method, uerr)
 		}
 	}
-	out, err := c.CallRaw(ctx, method, payload)
-	if err != nil {
-		return err
-	}
-	if resp != nil {
-		if err := codec.Unmarshal(out, resp); err != nil {
-			return fmt.Errorf("rpc: unmarshal %s.%s reply: %w", c.target, method, err)
-		}
-	}
-	return nil
+	// The decode copied everything out (DecodeFrom never aliases), so the
+	// pooled reply buffer is dead either way.
+	transport.ReleaseBuf(call.Reply)
+	transport.ReleaseCall(call)
+	return err
 }
 
 // CallRaw invokes method with a pre-encoded payload and returns the raw
 // reply payload. The middleware chain runs around the transport exchange.
+// Ownership of the reply bytes transfers to the caller: they are never
+// recycled, so the caller may retain them indefinitely.
 func (c *Client) CallRaw(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	call := transport.NewCall(c.target, method, payload)
-	if err := c.invoke(ctx, call); err != nil {
+	call := transport.AcquireCall(c.target, method)
+	call.Payload = payload
+	err := c.invoke(ctx, call)
+	reply := call.Reply
+	transport.ReleaseCall(call)
+	if err != nil {
 		return nil, err
 	}
-	return call.Reply, nil
+	return reply, nil
 }
 
 // Invoke runs the client's middleware chain for a caller-built call
@@ -113,17 +123,12 @@ func (c *Client) Invoke(ctx context.Context, call *transport.Call) error {
 // stat, never to this caller. The call still runs the full middleware
 // chain with Call.OneWay set, so per-hop stats and fault rules apply.
 func (c *Client) CallOneWay(ctx context.Context, method string, req any) error {
-	var payload []byte
-	if req != nil {
-		var err error
-		payload, err = codec.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("rpc: marshal %s.%s: %w", c.target, method, err)
-		}
-	}
-	call := transport.NewCall(c.target, method, payload)
+	call := transport.AcquireCall(c.target, method)
+	call.Body = req
 	call.OneWay = true
-	return c.invoke(ctx, call)
+	err := c.invoke(ctx, call)
+	transport.ReleaseCall(call)
+	return err
 }
 
 // Pending is one in-flight pipelined call issued with Go. Wait blocks until
@@ -150,6 +155,10 @@ func (p *Pending) Wait() error {
 // flight at once and replies matched out of order by sequence number —
 // wall-clock cost ~one round trip instead of N. The middleware chain wraps
 // each call end-to-end exactly as with Call.
+//
+// Unlike Call, the request is marshaled eagerly, before Go returns: a
+// pipelined caller is free to reuse or mutate req immediately, so the
+// typed-body zero-copy path (whose contract forbids that) does not apply.
 func (c *Client) Go(ctx context.Context, method string, req, resp any) *Pending {
 	p := &Pending{done: make(chan struct{})}
 	var payload []byte
@@ -164,7 +173,9 @@ func (c *Client) Go(ctx context.Context, method string, req, resp any) *Pending 
 	}
 	go func() {
 		defer close(p.done)
-		call := transport.NewCall(c.target, method, payload)
+		call := transport.AcquireCall(c.target, method)
+		call.Payload = payload
+		defer transport.ReleaseCall(call)
 		if err := c.invoke(ctx, call); err != nil {
 			p.err = err
 			return
@@ -174,6 +185,7 @@ func (c *Client) Go(ctx context.Context, method string, req, resp any) *Pending 
 				p.err = fmt.Errorf("rpc: unmarshal %s.%s reply: %w", c.target, method, err)
 			}
 		}
+		transport.ReleaseBuf(call.Reply)
 	}()
 	return p
 }
@@ -200,8 +212,10 @@ func (c *Client) openStream(ctx context.Context, call *transport.Call) error {
 		if err != nil {
 			return err
 		}
-		f := &frame{kind: kindStreamOpen, method: call.Method, headers: call.Headers, payload: call.Payload}
+		f := getFrame()
+		f.kind, f.method, f.headers, f.payload = kindStreamOpen, call.Method, call.Headers, call.Payload
 		st, err := cc.openStream(f)
+		putFrame(f)
 		if err != nil {
 			cc.fail(err)
 			if attempt == 0 && !cc.delivered() {
@@ -228,30 +242,32 @@ func (c *Client) exchangeCall(ctx context.Context, call *transport.Call) error {
 		call.SetHeader(transport.DeadlineHeader, transport.EncodeDeadline(dl))
 	}
 	if call.OneWay {
-		return c.sendOneWay(call.Method, call.Headers, call.Payload)
+		return c.sendOneWay(call)
 	}
 	if call.Stream {
 		return c.openStream(ctx, call)
 	}
-	reply, err := c.exchange(ctx, call.Method, call.Headers, call.Payload)
-	if err != nil {
-		return err
-	}
-	call.Reply = reply
-	return nil
+	return c.exchange(ctx, call)
 }
 
 // sendOneWay writes a one-way frame and returns at send: no waiter, no
 // reply. Like exchange, a dead-on-arrival pooled connection gets one
 // transparent redial — the frame never left, so the retry is free.
-func (c *Client) sendOneWay(method string, headers map[string]string, payload []byte) error {
+func (c *Client) sendOneWay(call *transport.Call) error {
 	for attempt := 0; ; attempt++ {
 		cc, err := c.pick()
 		if err != nil {
 			return err
 		}
-		f := &frame{kind: kindOneWay, method: method, headers: headers, payload: payload}
-		if err := cc.sendNoReply(f); err != nil {
+		f := getFrame()
+		f.kind, f.method, f.headers, f.payload, f.body = kindOneWay, call.Method, call.Headers, call.Payload, call.Body
+		err = cc.sendNoReply(f)
+		putFrame(f)
+		if err != nil {
+			if errors.Is(err, errEncode) {
+				// The body would not serialize; the connection is fine.
+				return fmt.Errorf("rpc: marshal %s.%s: %w", c.target, call.Method, err)
+			}
 			cc.fail(err)
 			if attempt == 0 && !cc.delivered() {
 				continue
@@ -262,7 +278,10 @@ func (c *Client) sendOneWay(method string, headers map[string]string, payload []
 	}
 }
 
-func (c *Client) exchange(ctx context.Context, method string, headers map[string]string, payload []byte) ([]byte, error) {
+// exchange performs the unary wire round trip for call, setting call.Reply
+// (a pooled buffer — the caller that owns the Call decides when to release
+// it) on success.
+func (c *Client) exchange(ctx context.Context, call *transport.Call) error {
 	// A pooled connection to a peer that crashed since the last call fails
 	// immediately (io.EOF / ECONNRESET) without ever having served a reply.
 	// That is a property of the stale pool slot, not of the request, so it is
@@ -272,16 +291,24 @@ func (c *Client) exchange(ctx context.Context, method string, headers map[string
 	for attempt := 0; ; attempt++ {
 		cc, err := c.pick()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f := &frame{kind: kindRequest, method: method, headers: headers, payload: payload}
+		f := getFrame()
+		f.kind, f.method, f.headers, f.payload, f.body = kindRequest, call.Method, call.Headers, call.Payload, call.Body
 		ch, seq, err := cc.send(f)
+		putFrame(f) // cw.write is synchronous: encoded (or rolled back) by now
 		if err != nil {
+			if errors.Is(err, errEncode) {
+				// Serialization failure, not a transport failure: the frame was
+				// rolled back and the connection is healthy. Report it like the
+				// eager-marshal path used to, without burning the connection.
+				return fmt.Errorf("rpc: marshal %s.%s: %w", c.target, call.Method, err)
+			}
 			cc.fail(err)
 			if attempt == 0 && !cc.delivered() {
 				continue // dead-on-arrival pooled conn: one fresh dial
 			}
-			return nil, fmt.Errorf("rpc: send to %s: %w", c.target, err)
+			return fmt.Errorf("rpc: send to %s: %w", c.target, err)
 		}
 		select {
 		case reply, ok := <-ch:
@@ -294,16 +321,22 @@ func (c *Client) exchange(ctx context.Context, method string, headers map[string
 				// the pending map unblocks at once, and the retry middleware
 				// (which owns the is-it-safe-to-retry budget) decides what to
 				// reissue.
-				return nil, transport.Errorf(transport.CodeUnavailable,
-					"rpc: connection to %s lost with %s.%s in flight", c.target, c.target, method)
+				return transport.Errorf(transport.CodeUnavailable,
+					"rpc: connection to %s lost with %s.%s in flight", c.target, c.target, call.Method)
 			}
+			cc.putWaiter(ch) // happy receive: the channel is drained and reusable
 			if reply.kind == kindError {
-				return nil, &Error{Code: int(reply.code), Msg: string(reply.payload)}
+				err := &Error{Code: int(reply.code), Msg: string(reply.payload)}
+				transport.ReleaseBuf(reply.payload)
+				putFrame(reply)
+				return err
 			}
-			return reply.payload, nil
+			call.Reply = reply.payload // ownership moves to the call's owner
+			putFrame(reply)
+			return nil
 		case <-ctx.Done():
 			cc.abandon(seq)
-			return nil, transport.WrapCode(CodeDeadline, ctx.Err(), "call %s.%s: %v", c.target, method, ctx.Err())
+			return transport.WrapCode(CodeDeadline, ctx.Err(), "call %s.%s: %v", c.target, call.Method, ctx.Err())
 		}
 	}
 }
@@ -360,6 +393,12 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// waiterPool recycles reply-waiter channels. A channel is only returned to
+// the pool on a happy receive: a closed channel (conn failure) can never be
+// reused, and an abandoned one (local timeout) may still receive a late
+// reply frame, so both fall to the garbage collector instead.
+var waiterPool = sync.Pool{New: func() any { return make(chan *frame, 1) }}
+
 // clientConn is one multiplexed connection: writes are serialized (and
 // flush-coalesced across concurrent senders) by a connWriter, replies are
 // dispatched to waiters by sequence number by a reader goroutine.
@@ -403,13 +442,17 @@ func (cc *clientConn) dead() bool {
 	return cc.err != nil
 }
 
+// putWaiter recycles a drained, still-open waiter channel.
+func (cc *clientConn) putWaiter(ch chan *frame) { waiterPool.Put(ch) }
+
 // send registers a waiter and writes the frame, returning the reply channel.
 func (cc *clientConn) send(f *frame) (chan *frame, uint64, error) {
-	ch := make(chan *frame, 1)
+	ch := waiterPool.Get().(chan *frame)
 	cc.mu.Lock()
 	if cc.err != nil {
 		err := cc.err
 		cc.mu.Unlock()
+		waiterPool.Put(ch)
 		return nil, 0, err
 	}
 	cc.seq++
@@ -420,8 +463,14 @@ func (cc *clientConn) send(f *frame) (chan *frame, uint64, error) {
 
 	if err := cc.cw.write(f); err != nil {
 		cc.mu.Lock()
+		_, registered := cc.pending[seq]
 		delete(cc.pending, seq)
 		cc.mu.Unlock()
+		if registered {
+			// Still ours, never written to: safe to reuse. (If fail() raced us
+			// it closed the channel and removed it; leave that one to the GC.)
+			waiterPool.Put(ch)
+		}
 		return nil, 0, err
 	}
 	return ch, seq, nil
@@ -520,19 +569,22 @@ func (cc *clientConn) readLoop(fr *frameReader) {
 			cc.mu.Lock()
 			st := cc.streams[f.seq]
 			cc.mu.Unlock()
-			if st == nil {
-				continue // late frame for a torn-down stream
+			if st != nil {
+				switch f.kind {
+				case kindStreamItem:
+					st.deliver(f.payload)
+				case kindStreamEnd:
+					// Any server End is terminal client-side: the handler
+					// returned, so sends have no one to reach.
+					st.peerEnd(f.code, f.payload, true)
+				case kindStreamCredit:
+					st.peerCredit(int(f.code))
+				}
 			}
-			switch f.kind {
-			case kindStreamItem:
-				st.deliver(f.payload)
-			case kindStreamEnd:
-				// Any server End is terminal client-side: the handler
-				// returned, so sends have no one to reach.
-				st.peerEnd(f.code, f.payload, true)
-			case kindStreamCredit:
-				st.peerCredit(int(f.code))
-			}
+			// Stream payloads are plain allocations retained by the stream
+			// core (or dropped, for a torn-down stream); only the frame
+			// struct recycles.
+			putFrame(f)
 			continue
 		}
 		cc.mu.Lock()
@@ -543,6 +595,10 @@ func (cc *clientConn) readLoop(fr *frameReader) {
 		cc.mu.Unlock()
 		if ok {
 			ch <- f
+		} else {
+			// Late reply for an abandoned call: nobody will read it.
+			transport.ReleaseBuf(f.payload)
+			putFrame(f)
 		}
 	}
 }

@@ -30,7 +30,9 @@ const (
 // stay within a few MB, mirroring production post-size limits.
 const maxFrameSize = 16 << 20
 
-// frame is one protocol message.
+// frame is one protocol message. Frames on the hot path come from framePool
+// (getFrame/putFrame in wire.go); zero-value frames remain valid for
+// test and cold-path use.
 type frame struct {
 	kind    byte
 	seq     uint64
@@ -38,6 +40,11 @@ type frame struct {
 	code    int64             // error, stream-end, and stream-credit frames
 	headers map[string]string // requests and replies (trace context)
 	payload []byte
+	// body, when non-nil, is a typed request or reply value that the
+	// connWriter marshals directly into its write segment in place of
+	// payload — the zero-copy leg of transport.Call.Body. Only outgoing
+	// frames carry it; parsed frames always materialize payload bytes.
+	body any
 }
 
 // hasMethod reports whether kind carries a method name on the wire.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rpc
+
+const raceEnabled = false

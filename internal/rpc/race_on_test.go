@@ -1,0 +1,7 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its allocation overhead invalidates pinned alloc budgets.
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dsb/internal/codec"
 	"dsb/internal/transport"
 )
 
@@ -17,6 +18,15 @@ const deadlineHeader = transport.DeadlineHeader
 
 // Ctx is the per-request server context. It embeds a context.Context whose
 // deadline reflects the propagated client deadline.
+//
+// The Ctx itself is freshly allocated per request — handlers routinely
+// derive child contexts from it (context.WithTimeout and friends) whose
+// timer goroutines can outlive the request, so recycling it would be a
+// use-after-free; it is the one per-request allocation the unary hot path
+// keeps. The request payload, by contrast, IS pooled: a handler must not
+// retain the payload slice past its return — copy out anything that needs
+// to live longer. Returning it (or a sub-slice) as the response is fine;
+// the dispatcher writes the reply before recycling the request.
 type Ctx struct {
 	context.Context
 	// Method is the invoked method name, e.g. "ComposePost".
@@ -29,6 +39,10 @@ type Ctx struct {
 	// ReplyHeaders, if populated by the handler or an interceptor, are sent
 	// back with the response.
 	ReplyHeaders map[string]string
+
+	// replyBuf is the pooled buffer handed out by PooledReply, recycled by
+	// the dispatcher once the reply frame is written.
+	replyBuf []byte
 }
 
 // Header returns a request header value, or "".
@@ -42,20 +56,54 @@ func (c *Ctx) SetReplyHeader(key, value string) {
 	c.ReplyHeaders[key] = value
 }
 
+// PooledReply encodes v into a pooled buffer and returns it for use as the
+// handler's reply payload. The dispatcher recycles the buffer after the
+// reply frame is written, so a steady stream of typed replies allocates
+// nothing. Only the reply payload of this request may use it — do not retain
+// the returned slice past the handler's return.
+func (c *Ctx) PooledReply(v any) ([]byte, error) {
+	buf := transport.AcquireBuf(0)
+	out, err := codec.AppendMarshal(buf, v)
+	if err != nil {
+		transport.ReleaseBuf(buf)
+		return nil, err
+	}
+	c.replyBuf = out
+	return out, nil
+}
+
 // Handler processes a raw request payload and returns the raw response.
+// The payload is pooled: do not retain it past return; returning it (or a
+// sub-slice) as the response is fine — the dispatcher writes the reply
+// before recycling the request.
 type Handler func(ctx *Ctx, payload []byte) ([]byte, error)
 
 // ServerInterceptor wraps request handling; interceptors run in
 // registration order, outermost first.
 type ServerInterceptor func(ctx *Ctx, payload []byte, next Handler) ([]byte, error)
 
+// task is one unary request handed from a connection read loop to the
+// worker pool.
+type task struct {
+	conn net.Conn
+	cw   *connWriter
+	f    *frame
+}
+
 // Server serves RPC requests for one microservice instance.
+//
+// Unary dispatch runs on a demand-grown worker pool: the read loop hands a
+// request to a parked worker when one is ready instantly, and spawns a new
+// worker (which parks itself afterwards) when none is — so concurrency stays
+// unlimited, parked long-polls cannot starve anyone, and a steady serial
+// load reuses one goroutine instead of spawning per request.
 type Server struct {
 	service      string
 	mu           sync.Mutex
 	handlers     map[string]Handler
 	streams      map[string]StreamHandler
 	interceptors []ServerInterceptor
+	composed     map[string]Handler // per-method interceptor chain, built lazily
 	listeners    []net.Listener
 	conns        map[net.Conn]struct{}
 	closed       bool
@@ -63,6 +111,12 @@ type Server struct {
 	sem          chan struct{} // nil = unlimited concurrency
 	hung         atomic.Bool
 	onClose      []func()
+	tasks        chan task
+
+	// methodNames holds a map[string]string of registered method (and
+	// stream-method) names to themselves; frame readers intern incoming
+	// method strings against it instead of copying per frame.
+	methodNames atomic.Value
 
 	// onewayErrs counts one-way requests whose handler (or an interceptor)
 	// failed. There is no reply frame to carry the error back, so this
@@ -77,7 +131,9 @@ func NewServer(service string) *Server {
 		service:  service,
 		handlers: make(map[string]Handler),
 		streams:  make(map[string]StreamHandler),
+		composed: make(map[string]Handler),
 		conns:    make(map[net.Conn]struct{}),
+		tasks:    make(chan task),
 	}
 }
 
@@ -89,6 +145,7 @@ func (s *Server) Use(i ServerInterceptor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.interceptors = append(s.interceptors, i)
+	clear(s.composed) // cached chains are stale now
 }
 
 // SetConcurrency bounds the number of requests processed simultaneously.
@@ -136,6 +193,17 @@ func (s *Server) OnClose(fn func()) {
 	s.onClose = append(s.onClose, fn)
 }
 
+// internMethod republishes the method-name intern table. Caller holds s.mu.
+func (s *Server) internMethodLocked(method string) {
+	old, _ := s.methodNames.Load().(map[string]string)
+	next := make(map[string]string, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[method] = method
+	s.methodNames.Store(next)
+}
+
 // Handle registers a raw handler for method.
 func (s *Server) Handle(method string, h Handler) {
 	s.mu.Lock()
@@ -147,6 +215,7 @@ func (s *Server) Handle(method string, h Handler) {
 		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
 	}
 	s.handlers[method] = h
+	s.internMethodLocked(method)
 }
 
 // HandleStream registers a stream handler for method. Unary and stream
@@ -162,6 +231,7 @@ func (s *Server) HandleStream(method string, h StreamHandler) {
 		panic(fmt.Sprintf("rpc: duplicate handler for %s.%s", s.service, method))
 	}
 	s.streams[method] = h
+	s.internMethodLocked(method)
 }
 
 // Serve accepts connections on l until the listener or server is closed.
@@ -236,6 +306,9 @@ func (s *Server) Close() error {
 		fn()
 	}
 	s.wg.Wait()
+	// All read loops have exited and all dispatches drained, so nothing can
+	// enqueue anymore; closing the channel retires the parked workers.
+	close(s.tasks)
 	return nil
 }
 
@@ -254,6 +327,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	fr := newFrameReader(conn)
+	fr.methods = &s.methodNames
 	cw := newConnWriter(conn)
 	for {
 		f, err := fr.read()
@@ -261,22 +335,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if s.hung.Load() {
-			continue // crashed peer: consume every frame, never answer
+			// Crashed peer: consume every frame, never answer.
+			transport.ReleaseBuf(f.payload)
+			putFrame(f)
+			continue
 		}
-		// The payload slice is owned by the frame (frameReader copies it out
-		// of the shared read buffer), so handlers may retain it.
 		switch f.kind {
 		case kindRequest, kindOneWay:
 			s.wg.Add(1)
-			go func(f *frame) {
-				defer s.wg.Done()
-				s.dispatch(conn, cw, f, f.payload)
-			}(f)
+			t := task{conn: conn, cw: cw, f: f}
+			select {
+			case s.tasks <- t: // a parked worker takes it immediately
+			default:
+				go s.worker(t) // none parked: grow the pool
+			}
 		case kindStreamOpen:
 			// Register the stream here, in the read loop, before the handler
 			// goroutine exists: the client's first item can be one frame
 			// behind the open, and a stream registered only once its handler
-			// gets scheduled would silently drop it.
+			// gets scheduled would silently drop it. The open frame is
+			// retained by the handler goroutine, so it is not recycled.
 			base, cancel := context.WithCancel(context.Background())
 			if v, ok := f.headers[deadlineHeader]; ok {
 				if dl, ok := transport.ParseDeadline(v); ok {
@@ -300,6 +378,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if st := streams.get(f.seq); st != nil {
 				st.core.deliver(f.payload)
 			}
+			putFrame(f) // payload (plain alloc) is retained by the inbox
 		case kindStreamEnd:
 			if st := streams.get(f.seq); st != nil {
 				// Clean End = client half-close (handler's Recv drains to
@@ -310,14 +389,60 @@ func (s *Server) serveConn(conn net.Conn) {
 					st.cancel()
 				}
 			}
+			putFrame(f)
 		case kindStreamCredit:
 			if st := streams.get(f.seq); st != nil {
 				st.core.peerCredit(int(f.code))
 			}
+			putFrame(f)
 		default:
-			continue // ignore stray frames
+			putFrame(f) // ignore stray frames
 		}
 	}
+}
+
+// worker runs one task, then parks on the task channel to serve more until
+// the server closes it.
+func (s *Server) worker(t task) {
+	s.runTask(t)
+	for t := range s.tasks {
+		s.runTask(t)
+	}
+}
+
+func (s *Server) runTask(t task) {
+	defer s.wg.Done()
+	s.dispatch(t.conn, t.cw, t.f)
+}
+
+// composedHandler returns the interceptor-wrapped handler for method, or nil
+// if no handler is registered. Chains are composed once per method and
+// cached; an interceptor-free server dispatches the raw handler directly.
+func (s *Server) composedHandler(method string) Handler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.handlers[method]
+	if h == nil || len(s.interceptors) == 0 {
+		return h
+	}
+	if w, ok := s.composed[method]; ok {
+		return w
+	}
+	w := composeChain(h, s.interceptors)
+	s.composed[method] = w
+	return w
+}
+
+// composeChain wraps h in chain, chain[0] outermost.
+func composeChain(h Handler, chain []ServerInterceptor) Handler {
+	wrapped := h
+	for i := len(chain) - 1; i >= 0; i-- {
+		ic, next := chain[i], wrapped
+		wrapped = func(ctx *Ctx, payload []byte) ([]byte, error) {
+			return ic(ctx, payload, next)
+		}
+	}
+	return wrapped
 }
 
 // dispatchStream runs one stream handler to completion; the stream is
@@ -346,21 +471,18 @@ func (s *Server) dispatchStream(streams *connStreams, st *ServerStream, base con
 	if h == nil {
 		err = Errorf(CodeNotFound, "%s: no such stream method %q", s.service, f.method)
 	} else {
-		wrapped := Handler(func(ctx *Ctx, payload []byte) ([]byte, error) {
+		wrapped := composeChain(func(ctx *Ctx, payload []byte) ([]byte, error) {
 			return nil, h(ctx, payload, st)
-		})
-		for i := len(chain) - 1; i >= 0; i-- {
-			ic, next := chain[i], wrapped
-			wrapped = func(ctx *Ctx, payload []byte) ([]byte, error) {
-				return ic(ctx, payload, next)
-			}
-		}
+		}, chain)
 		_, err = safeCall(wrapped, ctx, f.payload)
 	}
 	st.finish(err)
 }
 
-func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byte) {
+// dispatch runs one unary (or one-way) request: handler chain, reply frame,
+// and recycling of every pooled resource once the reply is on the wire. It
+// owns f and f.payload from the moment it is called.
+func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame) {
 	if s.sem != nil {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
@@ -374,24 +496,12 @@ func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byt
 		}
 	}
 
-	s.mu.Lock()
-	h := s.handlers[f.method]
-	chain := s.interceptors
-	s.mu.Unlock()
-
 	var resp []byte
 	var err error
-	if h == nil {
+	if h := s.composedHandler(f.method); h == nil {
 		err = Errorf(CodeNotFound, "%s: no such method %q", s.service, f.method)
 	} else {
-		wrapped := h
-		for i := len(chain) - 1; i >= 0; i-- {
-			ic, next := chain[i], wrapped
-			wrapped = func(ctx *Ctx, payload []byte) ([]byte, error) {
-				return ic(ctx, payload, next)
-			}
-		}
-		resp, err = safeCall(wrapped, ctx, payload)
+		resp, err = safeCall(h, ctx, f.payload)
 	}
 
 	if f.kind == kindOneWay {
@@ -400,10 +510,12 @@ func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byt
 		if err != nil {
 			s.onewayErrs.Add(1)
 		}
+		s.recycle(ctx, f, nil)
 		return
 	}
 
-	out := &frame{seq: f.seq, headers: ctx.ReplyHeaders}
+	out := getFrame()
+	out.seq, out.headers = f.seq, ctx.ReplyHeaders
 	if err != nil {
 		out.kind = kindError
 		out.code = int64(ErrorCode(err))
@@ -419,6 +531,24 @@ func (s *Server) dispatch(conn net.Conn, cw *connWriter, f *frame, payload []byt
 	}
 	if werr := cw.write(out); werr != nil {
 		conn.Close()
+	}
+	// The reply is on the wire (or the conn is dead); the request payload —
+	// which the reply may alias (an echo handler returns its input) — and
+	// any pooled reply buffer are dead now, and only now.
+	s.recycle(ctx, f, out)
+}
+
+// recycle returns a dispatch's pooled resources: request payload and frame,
+// reply frame, and any PooledReply buffer. (The Ctx itself is not pooled —
+// see the Ctx doc comment.)
+func (s *Server) recycle(ctx *Ctx, f, out *frame) {
+	transport.ReleaseBuf(f.payload)
+	putFrame(f)
+	if out != nil {
+		putFrame(out)
+	}
+	if ctx.replyBuf != nil {
+		transport.ReleaseBuf(ctx.replyBuf)
 	}
 }
 

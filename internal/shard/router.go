@@ -76,25 +76,18 @@ func (r *Replica) Target() string { return r.target }
 // middleware that targets individual replicas (fault rules with Addr set)
 // can tell siblings apart.
 func (r *Replica) Call(ctx context.Context, method string, req, resp any) error {
-	var payload []byte
-	if req != nil {
-		var err error
-		payload, err = codec.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("shard: marshal %s.%s: %w", r.target, method, err)
-		}
-	}
-	call := transport.NewCall(r.target, method, payload)
+	call := transport.AcquireCall(r.target, method)
+	call.Body = req
 	call.Addr = r.addr
-	if err := r.invoke(ctx, call); err != nil {
-		return err
-	}
-	if resp != nil {
-		if err := codec.Unmarshal(call.Reply, resp); err != nil {
-			return fmt.Errorf("shard: unmarshal %s.%s reply: %w", r.target, method, err)
+	err := r.invoke(ctx, call)
+	if err == nil && resp != nil {
+		if uerr := codec.Unmarshal(call.Reply, resp); uerr != nil {
+			err = fmt.Errorf("shard: unmarshal %s.%s reply: %w", r.target, method, uerr)
 		}
 	}
-	return nil
+	transport.ReleaseBuf(call.Reply)
+	transport.ReleaseCall(call)
+	return err
 }
 
 // Stream opens a streaming call pinned to this replica, through the same

@@ -52,7 +52,9 @@ func StartReplicas(app RPCStarter, service string, n int, register func(i int) f
 
 // Handle registers a typed handler: the payload is decoded into Req, and
 // the returned Resp is encoded as the reply. A nil Resp sends an empty
-// reply body.
+// reply body. Replies encode into a pooled buffer that the RPC dispatcher
+// recycles once the reply frame is written, so a typed handler's encode
+// path allocates nothing for registered (codecgen) response types.
 func Handle[Req, Resp any](srv *rpc.Server, method string, fn func(ctx *rpc.Ctx, req *Req) (*Resp, error)) {
 	srv.Handle(method, func(ctx *rpc.Ctx, payload []byte) ([]byte, error) {
 		var req Req
@@ -68,7 +70,15 @@ func Handle[Req, Resp any](srv *rpc.Server, method string, fn func(ctx *rpc.Ctx,
 		if resp == nil {
 			return nil, nil
 		}
-		return codec.Marshal(*resp)
+		if _, ok := any(resp).(codec.Message); ok {
+			// Registered type: the pointer dispatches straight to its
+			// generated marshaler (same bytes as the value encoding, no
+			// interface boxing).
+			return ctx.PooledReply(resp)
+		}
+		// Unregistered type: encode the value, not the pointer — a pointer
+		// would take the reflect pointer plan and grow a nil-flag byte.
+		return ctx.PooledReply(*resp)
 	})
 }
 

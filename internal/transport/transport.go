@@ -53,6 +53,15 @@ type Call struct {
 	Method string
 	// Payload is the encoded request body (nil for bodyless calls).
 	Payload []byte
+	// Body, when non-nil, is the typed request value and takes precedence
+	// over Payload: the terminal invoker encodes it directly into the
+	// connection writer's buffer (through the codec fast path for registered
+	// types), so no intermediate encoded []byte exists per call and
+	// middleware never forces a re-encode. Because hedged and retried
+	// attempts re-encode at the wire, the caller must not mutate the value
+	// Body points to until the call — including any still-running hedge
+	// attempts, which share it via Clone — has completed.
+	Body any
 	// Headers are propagated to the server. The map is lazily allocated —
 	// use SetHeader or HeaderMap; a call with no deadline, tracing, or
 	// custom metadata never allocates it.
@@ -128,9 +137,10 @@ func (c *Call) Outrun() bool { return c.outrun.Load() }
 
 // Clone returns an independent copy for a parallel or repeated attempt.
 // Hedging and retries clone the call so concurrent attempts never share the
-// header map or the reply slot; the payload is shared read-only.
+// header map or the reply slot; the payload (and the typed Body, when set)
+// is shared read-only.
 func (c *Call) Clone() *Call {
-	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Addr: c.Addr, OneWay: c.OneWay, Stream: c.Stream}
+	cp := &Call{Target: c.Target, Method: c.Method, Payload: c.Payload, Body: c.Body, Addr: c.Addr, OneWay: c.OneWay, Stream: c.Stream}
 	if c.Headers != nil {
 		cp.Headers = make(map[string]string, len(c.Headers))
 		for k, v := range c.Headers {
